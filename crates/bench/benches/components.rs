@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks of the simulator's own components: DRAM and
+//! NoC event throughput, core timing measurement, kernel compilation, and
+//! functional execution — the costs that determine end-to-end simulation
+//! speed (Fig. 6's denominators).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptsim_common::config::{NocConfig, SimConfig};
+use ptsim_common::{Cycle, RequestId};
+use pytorchsim::compiler::{Compiler, CompilerOptions, Epilogue, KernelGen};
+use pytorchsim::dram::{DramSim, MemRequest};
+use pytorchsim::models;
+use pytorchsim::noc::{NocMessage, NocSim};
+use pytorchsim::timingsim::TimingSim;
+
+fn bench_components(c: &mut Criterion) {
+    let cfg = SimConfig::tpu_v3();
+
+    c.bench_function("dram_10k_transactions", |b| {
+        b.iter(|| {
+            let mut dram = DramSim::new(&cfg.dram, cfg.npu.freq_mhz);
+            let mut now = Cycle::ZERO;
+            let mut sent = 0u64;
+            while sent < 10_000 {
+                let req = MemRequest::read(RequestId::new(sent), sent * 64, 64, 0);
+                if dram.try_enqueue(req, now) {
+                    sent += 1;
+                } else {
+                    now = dram.next_event().unwrap_or(now + 16);
+                    dram.advance(now);
+                }
+            }
+            dram.advance(Cycle::new(u64::MAX / 8));
+            dram.pop_completed().len()
+        })
+    });
+
+    c.bench_function("noc_10k_messages", |b| {
+        b.iter(|| {
+            let mut noc = NocSim::new(&NocConfig::crossbar_tpu_v3(), 18, 940.0);
+            for i in 0..10_000u64 {
+                let msg = NocMessage {
+                    id: RequestId::new(i),
+                    src: (i % 16 + 2) as usize,
+                    dst: (i % 2) as usize,
+                    bytes: 64,
+                };
+                let _ = noc.try_send(msg, Cycle::new(i / 16));
+                if i % 1024 == 0 {
+                    noc.advance(Cycle::new(i));
+                    noc.pop_delivered();
+                }
+            }
+            noc.advance(Cycle::new(u64::MAX / 8));
+            noc.pop_delivered().len()
+        })
+    });
+
+    c.bench_function("timing_measure_gemm_tile", |b| {
+        let kg = KernelGen::new(&cfg.npu);
+        let sim = TimingSim::new(&cfg.npu);
+        let p = kg.gemm_tile(256, 128, 256, true, Epilogue::BiasRelu).unwrap();
+        b.iter(|| sim.measure(&p).unwrap().cycles)
+    });
+
+    c.bench_function("compile_gemm512", |b| {
+        let compiler = Compiler::new(cfg.clone(), CompilerOptions::default());
+        let spec = models::gemm(512);
+        b.iter(|| compiler.compile(&spec.graph, &spec.name, 1).unwrap().tog.nodes.len())
+    });
+
+    c.bench_function("functional_mlp_iteration", |b| {
+        let tiny = SimConfig::tiny();
+        let spec = models::mlp(8, 32);
+        let compiler = Compiler::new(tiny.clone(), CompilerOptions::default());
+        let model = compiler.compile(&spec.graph, &spec.name, 1).unwrap();
+        let params = spec.init_params(1);
+        let data = models::SyntheticMnist::generate(8, 2);
+        let (x, t, _) = data.batch(0, 8);
+        b.iter(|| {
+            pytorchsim::compiler::execute_functional(
+                &model,
+                &tiny.npu,
+                &[x.clone(), t.clone()],
+                &params,
+            )
+            .unwrap()
+            .len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates Fig. 10 (training batch-size study) with the §5.5
+//! functional validation.
+
+use ptsim_bench::{fig10, print_table, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
+    let rows = fig10::run(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.batch.to_string(),
+                r.run.iterations.to_string(),
+                r.run.cycles_per_iteration.to_string(),
+                r.run.total_cycles.to_string(),
+                format!("{:.3} -> {:.3}", r.run.losses[0], r.run.losses.last().unwrap()),
+                format!("{:.1}%", 100.0 * r.run.final_accuracy),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 10 — training batch-size impact",
+        &["batch", "iterations", "cycles/iter", "total cycles", "loss first->last", "accuracy"],
+        &table,
+    );
+    if rows.len() >= 2 {
+        let (a, b) = (&rows[0], &rows[1]);
+        println!(
+            "\nper-iteration cost {}: {:.2}x of batch {}, total time {:.2}x",
+            b.batch,
+            b.run.cycles_per_iteration as f64 / a.run.cycles_per_iteration as f64,
+            a.batch,
+            b.run.total_cycles as f64 / a.run.total_cycles as f64,
+        );
+    }
+    let (npu, host) = fig10::validate_functional_loss(scale);
+    println!("\nvalidation: first-iteration loss NPU {npu:.5} vs host {host:.5} (|diff| {:.1e})", (npu-host).abs());
+}

@@ -1,0 +1,33 @@
+//! Regenerates Fig. 5 (simulation accuracy) at paper scale.
+//! Pass `--bench` for the reduced workload set.
+
+use ptsim_bench::{fig5, print_table, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
+    let rows = fig5::run(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.reference.to_string(),
+                r.tls.to_string(),
+                format!("{:+.1}%", r.tls_err_pct()),
+                r.roofline.to_string(),
+                r.scalesim.to_string(),
+                r.maestro.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 5 — simulated cycles vs the ILS hardware-reference",
+        &["workload", "reference", "TLS", "TLS err", "roofline", "scalesim", "maestro"],
+        &table,
+    );
+    println!("\nMAE vs reference:");
+    println!("  PyTorchSim (TLS):   {:6.1}%", fig5::mae(&rows, |r| r.tls));
+    println!("  Timeloop-like:      {:6.1}%", fig5::mae(&rows, |r| r.roofline));
+    println!("  SCALE-Sim-like:     {:6.1}%", fig5::mae(&rows, |r| r.scalesim));
+    println!("  MAESTRO-like:       {:6.1}%", fig5::mae(&rows, |r| r.maestro));
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 6 (simulation speed) at paper scale.
+//! Pass `--bench` for the reduced workload set.
+
+use ptsim_bench::{fig6, fmt_x, print_table, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
+    let rows = fig6::run(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.3}s", r.tls_sn),
+                format!("{:.3}s", r.tls_cn),
+                format!("{:.3}s", r.ils),
+                format!("{:.3}s", r.mnpusim),
+                fmt_x(r.speedup_sn()),
+                fmt_x(r.speedup_cn()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 6 — wall-clock simulation time and speedup over ILS",
+        &["workload", "TLS-SN", "TLS-CN", "ILS", "mNPUsim-like", "SN speedup", "CN speedup"],
+        &table,
+    );
+    let gm_sn: f64 = rows.iter().map(|r| r.speedup_sn().ln()).sum::<f64>() / rows.len() as f64;
+    let gm_cn: f64 = rows.iter().map(|r| r.speedup_cn().ln()).sum::<f64>() / rows.len() as f64;
+    println!("\ngeomean speedup over ILS: SN {:.2}x, CN {:.2}x", gm_sn.exp(), gm_cn.exp());
+}

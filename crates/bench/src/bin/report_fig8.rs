@@ -1,0 +1,24 @@
+//! Regenerates Fig. 8 (compiler optimization impact).
+
+use ptsim_bench::{fig8, print_table, Scale};
+
+fn print_rows(title: &str, rows: &[fig8::Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.name.clone()];
+            for (i, (label, cycles)) in r.variants.iter().enumerate() {
+                row.push(format!("{label}: {cycles} ({:.2}x)", r.speedup(i)));
+            }
+            row
+        })
+        .collect();
+    print_table(title, &["workload", "baseline", "variant", "variant2"], &table);
+}
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
+    print_rows("Fig. 8a — DMA granularity (CG vs FG vs SFG)", &fig8::run_dma(scale));
+    print_rows("Fig. 8b — CONV layout optimization, batch = 1", &fig8::run_conv_batch1(scale));
+    print_rows("Fig. 8c — CONV layout optimization, small input channels", &fig8::run_conv_small_c(scale));
+}

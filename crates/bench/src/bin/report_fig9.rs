@@ -1,0 +1,32 @@
+//! Regenerates Fig. 9 (chiplet NUMA mapping).
+
+use ptsim_bench::{fig9, print_table, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
+    let rows = fig9::run(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            // The paper's §5.4 estimate: 480 GB/s local, 64 GB/s remote,
+            // normalized to the 960 GB/s monolithic chip.
+            let analytic = if r.local_fraction < 1.0 {
+                format!("{:.1}x", fig9::analytical_slowdown(r.local_fraction, 480.0, 64.0))
+            } else {
+                "1.0x".into()
+            };
+            vec![
+                r.name.clone(),
+                format!("{:.0}%", 100.0 * r.local_fraction),
+                r.cycles.to_string(),
+                format!("{:.2}x", r.normalized),
+                analytic,
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 9 — chiplet weight-mapping vs monolithic",
+        &["mapping", "local traffic", "cycles", "normalized runtime", "harmonic-mean estimate"],
+        &table,
+    );
+}

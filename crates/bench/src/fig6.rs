@@ -1,0 +1,101 @@
+//! Fig. 6 — simulation speed.
+//!
+//! Wall-clock time of four simulation modes on the same workloads:
+//!
+//! - **TLS-SN**: tile-level simulation with the simple latency–bandwidth
+//!   network,
+//! - **TLS-CN**: tile-level simulation with the flit-level crossbar,
+//! - **ILS**: instruction-level mode (every kernel's machine code
+//!   re-executed per tile) — the slow comparator, standing in for
+//!   Accel-Sim-style instruction-granular simulation,
+//! - **mNPUsim-like**: trace-granular serial simulation with per-access
+//!   address-record formatting.
+//!
+//! Reported speedups are normalized to ILS.
+
+use crate::Scale;
+use ptsim_common::config::{NocConfig, SimConfig};
+use pytorchsim::baselines::MnpusimLike;
+use pytorchsim::models::{self, ModelSpec};
+use pytorchsim::Simulator;
+use std::time::Instant;
+
+/// One workload's wall-clock measurements, in seconds.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload name.
+    pub name: String,
+    /// TLS with the simple network.
+    pub tls_sn: f64,
+    /// TLS with the crossbar network.
+    pub tls_cn: f64,
+    /// Instruction-level mode.
+    pub ils: f64,
+    /// The mNPUsim-like comparator.
+    pub mnpusim: f64,
+}
+
+impl Row {
+    /// TLS-SN speedup over ILS.
+    pub fn speedup_sn(&self) -> f64 {
+        self.ils / self.tls_sn.max(1e-9)
+    }
+
+    /// TLS-CN speedup over ILS.
+    pub fn speedup_cn(&self) -> f64 {
+        self.ils / self.tls_cn.max(1e-9)
+    }
+}
+
+/// The figure's workload list.
+pub fn workloads(scale: Scale) -> Vec<ModelSpec> {
+    match scale {
+        Scale::Bench => vec![models::gemm(256), models::conv_kernel(3, 1)],
+        Scale::Full => vec![
+            models::gemm(512),
+            models::gemm(1024),
+            models::gemm(2048),
+            models::conv_kernel(0, 1),
+            models::conv_kernel(1, 1),
+            models::conv_kernel(2, 1),
+            models::conv_kernel(3, 1),
+            models::resnet18(1),
+        ],
+    }
+}
+
+/// Runs the speed comparison.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let cn = SimConfig::tpu_v3_single_core();
+    let sn = SimConfig { noc: NocConfig::simple(), ..cn.clone() };
+    workloads(scale)
+        .into_iter()
+        .map(|spec| {
+            // Compile once outside the timed regions (the paper excludes
+            // compile time from simulation-speed measurements, §4.1).
+            let mut sim_sn = Simulator::new(sn.clone());
+            let mut sim_cn = Simulator::new(cn.clone());
+            let compiled = sim_cn.compile(&spec).expect("compiles");
+            sim_sn.compile(&spec).expect("compiles");
+
+            let t = Instant::now();
+            sim_sn.run_inference(&spec).expect("tls-sn");
+            let tls_sn = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            sim_cn.run_inference(&spec).expect("tls-cn");
+            let tls_cn = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            sim_cn.run_inference_ils(&spec).expect("ils");
+            let ils = t.elapsed().as_secs_f64();
+
+            let mut mn = MnpusimLike::new(&cn);
+            let t = Instant::now();
+            mn.simulate(&compiled.tog);
+            let mnpusim = t.elapsed().as_secs_f64();
+
+            Row { name: spec.name.clone(), tls_sn, tls_cn, ils, mnpusim }
+        })
+        .collect()
+}

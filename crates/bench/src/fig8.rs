@@ -1,0 +1,98 @@
+//! Fig. 8 — compiler optimization impact (§5.3): fine-grained DMA and the
+//! CONV layout optimizations.
+
+use crate::Scale;
+use ptsim_common::config::{DmaGranularity, SimConfig};
+use pytorchsim::compiler::CompilerOptions;
+use pytorchsim::models::{self, ModelSpec};
+use pytorchsim::Simulator;
+
+/// One workload simulated under several compiler configurations.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload name.
+    pub name: String,
+    /// Baseline cycles (first configuration).
+    pub baseline: u64,
+    /// Cycles per variant, in the order the variants were given.
+    pub variants: Vec<(String, u64)>,
+}
+
+impl Row {
+    /// Speedup of variant `i` over the baseline.
+    pub fn speedup(&self, i: usize) -> f64 {
+        self.baseline as f64 / self.variants[i].1.max(1) as f64
+    }
+}
+
+fn run_variants(spec: &ModelSpec, variants: &[(&str, CompilerOptions)]) -> Row {
+    let cfg = SimConfig::tpu_v3_single_core();
+    let mut results = Vec::new();
+    for (label, opts) in variants {
+        let mut sim = Simulator::with_options(cfg.clone(), opts.clone());
+        let cycles = sim.run_inference(spec).expect("simulation succeeds").total_cycles;
+        results.push((label.to_string(), cycles));
+    }
+    Row { name: spec.name.clone(), baseline: results[0].1, variants: results }
+}
+
+/// Fig. 8a: coarse-grained vs fine-grained vs selective fine-grained DMA
+/// for square GEMMs.
+pub fn run_dma(scale: Scale) -> Vec<Row> {
+    let sizes: &[usize] = match scale {
+        Scale::Bench => &[512],
+        Scale::Full => &[512, 1024, 2048],
+    };
+    let variants = [
+        ("CG-DMA", CompilerOptions { dma: DmaGranularity::Coarse, ..CompilerOptions::default() }),
+        ("FG-DMA", CompilerOptions { dma: DmaGranularity::Fine, ..CompilerOptions::default() }),
+        (
+            "SFG-DMA",
+            CompilerOptions {
+                dma: DmaGranularity::SelectiveFine,
+                ..CompilerOptions::default()
+            },
+        ),
+    ];
+    sizes.iter().map(|&n| run_variants(&models::gemm(n), &variants)).collect()
+}
+
+/// Fig. 8b: CONV layout optimization for batch-1 ResNet-style convolutions.
+pub fn run_conv_batch1(scale: Scale) -> Vec<Row> {
+    let specs: Vec<ModelSpec> = match scale {
+        Scale::Bench => vec![models::conv_kernel(3, 1)],
+        Scale::Full => {
+            vec![
+                models::conv_kernel(0, 1),
+                models::conv_kernel(1, 1),
+                models::conv_kernel(2, 1),
+                models::conv_kernel(3, 1),
+                models::resnet18(1),
+            ]
+        }
+    };
+    let variants = [
+        ("baseline", CompilerOptions { conv_layout_opt: false, ..CompilerOptions::default() }),
+        ("layout-opt", CompilerOptions::default()),
+    ];
+    specs.iter().map(|spec| run_variants(spec, &variants)).collect()
+}
+
+/// Fig. 8c: CONV layout optimization for small input-channel counts, at
+/// batch sizes 1 and 64.
+pub fn run_conv_small_c(scale: Scale) -> Vec<Row> {
+    let geometries: Vec<ModelSpec> = match scale {
+        Scale::Bench => vec![models::conv_custom(1, 3, 64, 56, 7, 2, 3)],
+        Scale::Full => vec![
+            models::conv_custom(1, 3, 64, 224, 7, 2, 3),
+            models::conv_custom(64, 3, 64, 112, 7, 2, 3),
+            models::conv_custom(1, 4, 64, 112, 3, 1, 1),
+            models::conv_custom(64, 4, 64, 56, 3, 1, 1),
+        ],
+    };
+    let variants = [
+        ("baseline", CompilerOptions { conv_layout_opt: false, ..CompilerOptions::default() }),
+        ("layout-opt", CompilerOptions::default()),
+    ];
+    geometries.iter().map(|spec| run_variants(spec, &variants)).collect()
+}

@@ -1,0 +1,457 @@
+//! Hardware and simulation configuration.
+//!
+//! The default preset, [`NpuConfig::tpu_v3`], mirrors the validation target
+//! of the paper (§4.1): two cores at 940 MHz, each with two 128×128 systolic
+//! arrays, 128 vector units of 16 lanes, 16 MiB of scratchpad, and four HBM2
+//! stacks totalling 960 GB/s behind a crossbar NoC with 256-bit flits.
+
+use crate::cycles::{ns_to_cycles, Cycle};
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Granularity at which the compiler decomposes tensor DMAs (§3.6.3, §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DmaGranularity {
+    /// One DMA per tensor tile (baseline).
+    Coarse,
+    /// Tile DMAs split into systolic-array-sized sub-transfers so compute can
+    /// begin as soon as its first operand rows arrive.
+    Fine,
+    /// Fine-grained DMA, but disabled for tensors large enough that the loss
+    /// of DRAM row-buffer locality outweighs the overlap gain (SFG-DMA).
+    #[default]
+    SelectiveFine,
+}
+
+/// DRAM command scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MemSchedulerPolicy {
+    /// First-ready, first-come-first-served: prefers row-buffer hits.
+    #[default]
+    FrFcfs,
+    /// Strict arrival order.
+    Fcfs,
+}
+
+/// Cycle-accurate DRAM model configuration (Ramulator 2 analog).
+///
+/// The model runs in the NPU core clock domain; `bytes_per_cycle_per_channel`
+/// is the data-bus width seen at that clock. The TPUv3 preset achieves
+/// 960 GB/s = 16 channels × 64 B/cycle × 940 MHz.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of independent (pseudo-)channels.
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks_per_channel: usize,
+    /// Row-buffer size per bank, in bytes.
+    pub row_bytes: u64,
+    /// Size of one memory transaction, in bytes.
+    pub transaction_bytes: u64,
+    /// Data-bus bytes transferred per core cycle per channel.
+    pub bytes_per_cycle_per_channel: u64,
+    /// CAS latency, ns.
+    pub t_cl_ns: f64,
+    /// RAS-to-CAS delay, ns.
+    pub t_rcd_ns: f64,
+    /// Row-active time, ns.
+    pub t_ras_ns: f64,
+    /// Write recovery, ns.
+    pub t_wr_ns: f64,
+    /// Row precharge, ns.
+    pub t_rp_ns: f64,
+    /// Per-channel request queue depth.
+    pub queue_depth: usize,
+    /// Command scheduling policy.
+    pub scheduler: MemSchedulerPolicy,
+}
+
+impl DramConfig {
+    /// HBM2 configuration matching the paper's TPUv3 setup (four stacks,
+    /// 960 GB/s aggregate, tCL/tRCD/tRAS/tWR/tRP = 8/8/18/8/8 ns).
+    pub fn hbm2_tpu_v3() -> Self {
+        DramConfig {
+            channels: 16,
+            banks_per_channel: 16,
+            row_bytes: 2048,
+            transaction_bytes: 64,
+            bytes_per_cycle_per_channel: 64,
+            t_cl_ns: 8.0,
+            t_rcd_ns: 8.0,
+            t_ras_ns: 18.0,
+            t_wr_ns: 8.0,
+            t_rp_ns: 8.0,
+            queue_depth: 32,
+            scheduler: MemSchedulerPolicy::FrFcfs,
+        }
+    }
+
+    /// Same geometry scaled to a fraction of the channels, used by the case
+    /// studies that allocate part of the memory system to a core (§5.1–5.2).
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Total peak bandwidth in bytes per core cycle.
+    pub fn peak_bytes_per_cycle(&self) -> u64 {
+        self.channels as u64 * self.bytes_per_cycle_per_channel
+    }
+
+    /// Total peak bandwidth in GB/s at the given core frequency.
+    pub fn peak_gbps(&self, freq_mhz: f64) -> f64 {
+        self.peak_bytes_per_cycle() as f64 * freq_mhz * 1e6 / 1e9
+    }
+
+    /// Converts a timing parameter from nanoseconds to core cycles.
+    pub fn timing_cycles(&self, ns: f64, freq_mhz: f64) -> u64 {
+        ns_to_cycles(ns, freq_mhz)
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.channels == 0 || self.banks_per_channel == 0 {
+            return Err(Error::InvalidConfig("dram must have channels and banks".into()));
+        }
+        if !self.transaction_bytes.is_power_of_two() || self.transaction_bytes == 0 {
+            return Err(Error::InvalidConfig(
+                "dram transaction size must be a nonzero power of two".into(),
+            ));
+        }
+        if self.row_bytes < self.transaction_bytes {
+            return Err(Error::InvalidConfig("dram row smaller than a transaction".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::hbm2_tpu_v3()
+    }
+}
+
+/// Interconnect fidelity selector (§4.1: PyTorchSim-SN vs PyTorchSim-CN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum NocKind {
+    /// Simple latency–bandwidth network model (SN).
+    Simple,
+    /// Cycle-accurate flit-level crossbar (CN, Booksim analog).
+    #[default]
+    Crossbar,
+}
+
+/// Configuration of an off-chip chiplet-to-chiplet link (§5.4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipletLinkConfig {
+    /// Number of chiplets; cores and DRAM channels are split evenly.
+    pub chiplets: usize,
+    /// Link bandwidth **per direction**, bytes per core cycle.
+    pub link_bytes_per_cycle: u64,
+    /// Link one-way latency, ns.
+    pub link_latency_ns: f64,
+}
+
+impl ChipletLinkConfig {
+    /// The paper's §5.4 setup: two chiplets, 64 GB/s aggregate (32 GB/s per
+    /// direction) and 20 ns latency, at a 940 MHz core clock.
+    pub fn paper_two_chiplets() -> Self {
+        ChipletLinkConfig {
+            chiplets: 2,
+            // 32 GB/s per direction at 940 MHz = ~34 B/cycle.
+            link_bytes_per_cycle: 34,
+            link_latency_ns: 20.0,
+        }
+    }
+}
+
+/// Interconnect configuration (Booksim analog).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Fidelity of the on-chip network model.
+    pub kind: NocKind,
+    /// Flit width in bytes (paper: 256-bit flits).
+    pub flit_bytes: u64,
+    /// Zero-load latency of the on-chip network, cycles.
+    pub latency_cycles: u64,
+    /// Per-port bandwidth of the simple model, bytes per cycle.
+    pub bytes_per_cycle: u64,
+    /// Parallel flit links per port in the crossbar model. A core port must
+    /// sink the aggregate DRAM stream (~1 KiB/cycle for TPUv3), so ports are
+    /// multi-link: 32 links x 32 B flits = 1 KiB/cycle.
+    pub port_links: u64,
+    /// Optional chiplet partitioning with an off-chip link.
+    pub chiplet: Option<ChipletLinkConfig>,
+}
+
+impl NocConfig {
+    /// Crossbar NoC with 256-bit flits, as assumed in §4.1.
+    pub fn crossbar_tpu_v3() -> Self {
+        NocConfig {
+            kind: NocKind::Crossbar,
+            flit_bytes: 32,
+            latency_cycles: 4,
+            bytes_per_cycle: 1024,
+            port_links: 32,
+            chiplet: None,
+        }
+    }
+
+    /// Simple latency-bandwidth network (SN).
+    pub fn simple() -> Self {
+        NocConfig { kind: NocKind::Simple, ..Self::crossbar_tpu_v3() }
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        Self::crossbar_tpu_v3()
+    }
+}
+
+/// Optional per-core L1 data cache in front of DRAM (§3.3.3: NPUs usually
+/// use software-managed scratchpads, "however, it is still possible to
+/// model L1 caches by expressing cache accesses as nodes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct L1CacheConfig {
+    /// Total capacity, bytes.
+    pub size_bytes: u64,
+    /// Line size, bytes (typically the DRAM transaction size).
+    pub line_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Hit latency, cycles.
+    pub hit_latency: u64,
+}
+
+impl L1CacheConfig {
+    /// A 128 KiB, 8-way cache with 64 B lines and 4-cycle hits.
+    pub fn kib_128() -> Self {
+        L1CacheConfig { size_bytes: 128 * 1024, line_bytes: 64, ways: 8, hit_latency: 4 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.line_bytes * self.ways as u64)).max(1) as usize
+    }
+}
+
+/// NPU core/microarchitecture configuration (§3.3, Fig. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NpuConfig {
+    /// Number of NPU cores.
+    pub cores: usize,
+    /// Core clock, MHz.
+    pub freq_mhz: f64,
+    /// Systolic array rows (weight dimension).
+    pub systolic_rows: usize,
+    /// Systolic array columns (output dimension).
+    pub systolic_cols: usize,
+    /// Number of systolic arrays per core.
+    pub systolic_arrays_per_core: usize,
+    /// Number of vector units per core.
+    pub vector_units: usize,
+    /// SIMD lanes per vector unit.
+    pub vector_lanes: usize,
+    /// Software-managed scratchpad capacity per core, bytes.
+    pub scratchpad_bytes: u64,
+    /// Tensor element size, bytes (fp32 = 4).
+    pub element_bytes: u64,
+    /// Maximum outstanding DMA descriptors per core.
+    pub dma_queue_depth: usize,
+    /// Fixed overhead of issuing one DMA descriptor, cycles (scalar unit +
+    /// address generation; the 4D engine amortizes this per §3.6.3).
+    pub dma_issue_cycles: u64,
+    /// Optional per-core L1 data cache in front of DRAM. `None` (the
+    /// default, like recent NPUs) uses the software-managed scratchpad
+    /// only.
+    #[serde(default)]
+    pub l1_cache: Option<L1CacheConfig>,
+}
+
+impl NpuConfig {
+    /// The Google TPUv3 validation target of §4.1 (one board, two cores).
+    pub fn tpu_v3() -> Self {
+        NpuConfig {
+            cores: 2,
+            freq_mhz: 940.0,
+            systolic_rows: 128,
+            systolic_cols: 128,
+            systolic_arrays_per_core: 2,
+            vector_units: 128,
+            vector_lanes: 16,
+            scratchpad_bytes: 16 * 1024 * 1024,
+            element_bytes: 4,
+            dma_queue_depth: 16,
+            dma_issue_cycles: 12,
+            l1_cache: None,
+        }
+    }
+
+    /// A single-core variant of [`NpuConfig::tpu_v3`], used for accuracy
+    /// validation exactly as in the paper ("we used only a single NPU core").
+    pub fn tpu_v3_single_core() -> Self {
+        NpuConfig { cores: 1, ..Self::tpu_v3() }
+    }
+
+    /// A small configuration for fast unit tests: one core, an 8×8 systolic
+    /// array, 4 vector units × 4 lanes, 64 KiB scratchpad.
+    pub fn tiny() -> Self {
+        NpuConfig {
+            cores: 1,
+            freq_mhz: 940.0,
+            systolic_rows: 8,
+            systolic_cols: 8,
+            systolic_arrays_per_core: 1,
+            vector_units: 4,
+            vector_lanes: 4,
+            scratchpad_bytes: 64 * 1024,
+            element_bytes: 4,
+            dma_queue_depth: 4,
+            dma_issue_cycles: 12,
+            l1_cache: None,
+        }
+    }
+
+    /// Peak multiply-accumulate operations per cycle per core.
+    pub fn macs_per_cycle(&self) -> u64 {
+        (self.systolic_rows * self.systolic_cols * self.systolic_arrays_per_core) as u64
+    }
+
+    /// Columns of the core's *logical* matrix unit: the per-core systolic
+    /// arrays operate in lockstep on adjacent output columns, so the
+    /// functional and timing models treat them as one array of
+    /// `systolic_rows × (systolic_cols × arrays)`.
+    pub fn logical_sa_cols(&self) -> usize {
+        self.systolic_cols * self.systolic_arrays_per_core
+    }
+
+    /// Total vector lanes per core.
+    pub fn total_vector_lanes(&self) -> usize {
+        self.vector_units * self.vector_lanes
+    }
+
+    /// Converts a simulated time to seconds at this core's clock.
+    pub fn cycles_to_secs(&self, t: Cycle) -> f64 {
+        t.raw() as f64 / (self.freq_mhz * 1e6)
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.cores == 0 {
+            return Err(Error::InvalidConfig("npu must have at least one core".into()));
+        }
+        if self.systolic_rows == 0 || self.systolic_cols == 0 {
+            return Err(Error::InvalidConfig("systolic array must be non-empty".into()));
+        }
+        if self.vector_units == 0 || self.vector_lanes == 0 {
+            return Err(Error::InvalidConfig("vector units must be non-empty".into()));
+        }
+        if self.scratchpad_bytes < 4096 {
+            return Err(Error::InvalidConfig("scratchpad too small".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for NpuConfig {
+    fn default() -> Self {
+        Self::tpu_v3()
+    }
+}
+
+/// Top-level simulation configuration bundling every subsystem.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// NPU core configuration.
+    pub npu: NpuConfig,
+    /// DRAM configuration.
+    pub dram: DramConfig,
+    /// Interconnect configuration.
+    pub noc: NocConfig,
+}
+
+impl SimConfig {
+    /// The paper's TPUv3 validation configuration.
+    pub fn tpu_v3() -> Self {
+        SimConfig {
+            npu: NpuConfig::tpu_v3(),
+            dram: DramConfig::hbm2_tpu_v3(),
+            noc: NocConfig::crossbar_tpu_v3(),
+        }
+    }
+
+    /// Single-core TPUv3, as used for Fig. 5 accuracy validation.
+    pub fn tpu_v3_single_core() -> Self {
+        SimConfig { npu: NpuConfig::tpu_v3_single_core(), ..Self::tpu_v3() }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        SimConfig {
+            npu: NpuConfig::tiny(),
+            dram: DramConfig { channels: 2, ..DramConfig::hbm2_tpu_v3() },
+            noc: NocConfig::simple(),
+        }
+    }
+
+    /// Validates every subsystem.
+    pub fn validate(&self) -> Result<()> {
+        self.npu.validate()?;
+        self.dram.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpu_v3_matches_paper_numbers() {
+        let c = SimConfig::tpu_v3();
+        assert_eq!(c.npu.cores, 2);
+        assert_eq!(c.npu.systolic_rows, 128);
+        assert_eq!(c.npu.systolic_arrays_per_core, 2);
+        assert_eq!(c.npu.vector_units, 128);
+        assert_eq!(c.npu.vector_lanes, 16);
+        assert_eq!(c.npu.scratchpad_bytes, 16 << 20);
+        // 960 GB/s aggregate HBM2 bandwidth (within a few percent).
+        let gbps = c.dram.peak_gbps(c.npu.freq_mhz);
+        assert!((gbps - 960.0).abs() < 5.0, "got {gbps} GB/s");
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn macs_per_cycle_counts_both_arrays() {
+        let c = NpuConfig::tpu_v3();
+        assert_eq!(c.macs_per_cycle(), 2 * 128 * 128);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = NpuConfig::tiny();
+        c.cores = 0;
+        assert!(c.validate().is_err());
+        let mut d = DramConfig::hbm2_tpu_v3();
+        d.transaction_bytes = 3;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn configs_serialize_round_trip() {
+        let c = SimConfig::tpu_v3();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn chiplet_link_preset_matches_paper() {
+        let l = ChipletLinkConfig::paper_two_chiplets();
+        assert_eq!(l.chiplets, 2);
+        // 34 B/cycle * 940 MHz ~= 32 GB/s per direction.
+        let gbps = l.link_bytes_per_cycle as f64 * 940.0e6 / 1e9;
+        assert!((gbps - 32.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// The error type returned by fallible PyTorchSim-rs operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Tensor shapes were incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Human-readable description of the conflict.
+        context: String,
+    },
+    /// A graph was malformed (cycle, dangling input, unknown node, ...).
+    InvalidGraph(String),
+    /// The compiler could not lower an operation to the NPU ISA.
+    Unsupported(String),
+    /// A configuration value was out of range or inconsistent.
+    InvalidConfig(String),
+    /// An ISA-level fault: bad encoding, out-of-range scratchpad access, ...
+    IsaFault(String),
+    /// The simulation reached an inconsistent state (a simulator bug).
+    SimulationFault(String),
+    /// (De)serialization of a TOG or config failed.
+    Serde(String),
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::ShapeMismatch`].
+    pub fn shape(context: impl Into<String>) -> Self {
+        Error::ShapeMismatch { context: context.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            Error::InvalidGraph(msg) => write!(f, "invalid graph: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::IsaFault(msg) => write!(f, "isa fault: {msg}"),
+            Error::SimulationFault(msg) => write!(f, "simulation fault: {msg}"),
+            Error::Serde(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_punctuation() {
+        let e = Error::shape("lhs [2, 3] vs rhs [4, 5]");
+        let s = e.to_string();
+        assert!(s.starts_with("shape mismatch"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

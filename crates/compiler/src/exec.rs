@@ -1,0 +1,172 @@
+//! The hybrid functional executor.
+//!
+//! Runs a compiled model for its *values* (not timing): ISA-path operators
+//! execute their TOG slice on the functional simulator — DMAs move real
+//! data between simulated DRAM and scratchpad, tile kernels run instruction
+//! by instruction, the systolic array computes — while eager-path operators
+//! run on the host reference and their results are written back to
+//! simulated DRAM, mirroring the paper's Spike↔PyTorch hybrid (§3.8).
+
+use crate::kernels::{ARG0, ARG1, ARG2, ARG3};
+use crate::lower::{CompiledModel, ExecPath};
+use ptsim_common::config::NpuConfig;
+use ptsim_common::{Error, Result};
+use ptsim_funcsim::{DmaDescriptor, FuncSim};
+use ptsim_graph::exec::apply;
+use ptsim_graph::Op;
+use ptsim_tensor::Tensor;
+use ptsim_tog::FlatNodeKind;
+
+/// Executes `model` functionally with the given inputs and parameters,
+/// returning the declared graph outputs.
+///
+/// # Errors
+///
+/// Returns an error on binding mismatches or any architectural fault in a
+/// kernel (which would indicate a compiler bug).
+pub fn execute_functional(
+    model: &CompiledModel,
+    cfg: &NpuConfig,
+    inputs: &[Tensor],
+    params: &[Tensor],
+) -> Result<Vec<Tensor>> {
+    let graph = &model.graph;
+    if inputs.len() != graph.inputs().len() || params.len() != graph.parameters().len() {
+        return Err(Error::InvalidGraph(format!(
+            "expected {} inputs / {} params, got {} / {}",
+            graph.inputs().len(),
+            graph.parameters().len(),
+            inputs.len(),
+            params.len()
+        )));
+    }
+    let mut sim = FuncSim::new(cfg);
+
+    // Stage interface tensors into simulated DRAM.
+    for (&id, tensor) in graph.inputs().iter().zip(inputs) {
+        if tensor.shape() != &graph.node(id).shape {
+            return Err(Error::shape(format!(
+                "input {} expects {}, got {}",
+                graph.node(id).name,
+                graph.node(id).shape,
+                tensor.shape()
+            )));
+        }
+        sim.memory_mut().write_slice(model.layout.addr(id), tensor.data())?;
+    }
+    for (&id, tensor) in graph.parameters().iter().zip(params) {
+        if tensor.shape() != &graph.node(id).shape {
+            return Err(Error::shape(format!(
+                "parameter {} expects {}, got {}",
+                graph.node(id).name,
+                graph.node(id).shape,
+                tensor.shape()
+            )));
+        }
+        sim.memory_mut().write_slice(model.layout.addr(id), tensor.data())?;
+    }
+    for (idx, node) in graph.nodes().iter().enumerate() {
+        if let Op::Constant(t) = &node.op {
+            sim.memory_mut()
+                .write_slice(model.layout.addr(ptsim_graph::ValueId(idx)), t.data())?;
+        }
+    }
+
+    // Execute plans in order.
+    for plan in &model.op_plans {
+        let node = graph.node(plan.value);
+        match plan.path {
+            ExecPath::Interface | ExecPath::FusedInto(_) => {}
+            ExecPath::Alias => {
+                let src = node.inputs[0];
+                let n = node.shape.numel();
+                let data = sim.memory().read_slice(model.layout.addr(src), n)?;
+                sim.memory_mut().write_slice(model.layout.addr(plan.value), &data)?;
+            }
+            ExecPath::Isa => run_tog_slice(model, &mut sim, plan.node_range)?,
+            ExecPath::Eager => {
+                let operands: Vec<Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|&v| {
+                        let shape = graph.node(v).shape.clone();
+                        let data =
+                            sim.memory().read_slice(model.layout.addr(v), shape.numel())?;
+                        Tensor::from_vec(data, shape)
+                    })
+                    .collect::<Result<_>>()?;
+                let refs: Vec<&Tensor> = operands.iter().collect();
+                let result = apply(&node.op, &refs)?;
+                sim.memory_mut().write_slice(model.layout.addr(plan.value), result.data())?;
+            }
+        }
+    }
+
+    // Collect declared outputs.
+    graph
+        .outputs()
+        .iter()
+        .map(|&out| {
+            let shape = graph.node(out).shape.clone();
+            let data = sim.memory().read_slice(model.layout.addr(out), shape.numel())?;
+            Tensor::from_vec(data, shape)
+        })
+        .collect()
+}
+
+fn run_tog_slice(model: &CompiledModel, sim: &mut FuncSim, range: (usize, usize)) -> Result<()> {
+    for node in &model.tog.nodes[range.0..range.1] {
+        match &node.kind {
+            FlatNodeKind::LoadDma { addr, sp, rows, cols, mm_stride, sp_stride, transpose } => {
+                let d = DmaDescriptor {
+                    rows: *rows,
+                    cols: *cols,
+                    mm_row_stride: *mm_stride,
+                    sp_row_stride: *sp_stride,
+                    transpose: *transpose,
+                    ..DmaDescriptor::default()
+                };
+                let (mem, sp_mem) = sim_parts(sim);
+                d.run_mvin(mem, sp_mem, *addr, *sp)?;
+            }
+            FlatNodeKind::StoreDma { addr, sp, rows, cols, mm_stride, sp_stride } => {
+                let d = DmaDescriptor {
+                    rows: *rows,
+                    cols: *cols,
+                    mm_row_stride: *mm_stride,
+                    sp_row_stride: *sp_stride,
+                    ..DmaDescriptor::default()
+                };
+                let (mem, sp_mem) = sim_parts_mut(sim);
+                d.run_mvout(mem, sp_mem, *addr, *sp)?;
+            }
+            FlatNodeKind::Compute { kernel, args, .. } => {
+                if kernel == "barrier" {
+                    continue;
+                }
+                let program = model.kernels.get(kernel).ok_or_else(|| {
+                    Error::SimulationFault(format!("missing kernel {kernel}"))
+                })?;
+                for (i, reg) in [ARG0, ARG1, ARG2, ARG3].iter().enumerate() {
+                    sim.set_reg(*reg, args.get(i).copied().unwrap_or(0) as i64);
+                }
+                sim.run(program)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// Split borrows of the simulator for DMA execution.
+fn sim_parts(sim: &mut FuncSim) -> (&ptsim_funcsim::MainMemory, &mut ptsim_funcsim::Scratchpad) {
+    // SAFETY-free split: FuncSim exposes disjoint accessors; we go through a
+    // raw-pointer-free two-step by value of the borrow checker using the
+    // dedicated method below.
+    sim.memory_scratchpad_mut()
+}
+
+fn sim_parts_mut(
+    sim: &mut FuncSim,
+) -> (&mut ptsim_funcsim::MainMemory, &ptsim_funcsim::Scratchpad) {
+    sim.memory_mut_scratchpad()
+}

@@ -1,0 +1,918 @@
+//! NPU kernel code generation.
+//!
+//! This is the backend's code generator: it emits ISA tile kernels the way
+//! the paper's MLIR templates do (§3.6.2) — a GEMM template that drives the
+//! systolic array through `wvpush`/`ivpush`/`vpop` with optional fused
+//! epilogues, plus loop-level kernels for elementwise, softmax, layernorm,
+//! reduction, and cross-entropy-gradient operations on the vector units.
+//!
+//! Kernel ABI: operand scratchpad addresses are passed in argument registers
+//! `x10..x13`; `x5..x7` are scratch; `v7` holds zeros.
+
+use ptsim_common::{Error, Result};
+use ptsim_isa::instr::Instr;
+use ptsim_isa::program::Program;
+use ptsim_isa::reg::{Reg, VReg};
+
+/// First kernel argument register (`a0`).
+pub const ARG0: Reg = Reg::new(10);
+/// Second kernel argument register (`a1`).
+pub const ARG1: Reg = Reg::new(11);
+/// Third kernel argument register (`a2`).
+pub const ARG2: Reg = Reg::new(12);
+/// Fourth kernel argument register (`a3`).
+pub const ARG3: Reg = Reg::new(13);
+
+const SCRATCH_VL: Reg = Reg::new(5);
+const SCRATCH_ADDR: Reg = Reg::new(6);
+const SCRATCH_CONST: Reg = Reg::new(7);
+const VZERO: VReg = VReg::new(7);
+
+/// Fused epilogue applied to GEMM/CONV outputs (§3.6.3 operator fusion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Epilogue {
+    /// No epilogue.
+    #[default]
+    None,
+    /// ReLU only.
+    Relu,
+    /// GELU only.
+    Gelu,
+    /// Bias add only.
+    Bias,
+    /// Bias add then ReLU.
+    BiasRelu,
+    /// Bias add then GELU.
+    BiasGelu,
+}
+
+impl Epilogue {
+    /// True if the epilogue consumes a bias vector (passed in `x13`).
+    pub fn has_bias(self) -> bool {
+        matches!(self, Epilogue::Bias | Epilogue::BiasRelu | Epilogue::BiasGelu)
+    }
+
+    fn code(self) -> &'static str {
+        match self {
+            Epilogue::None => "n",
+            Epilogue::Relu => "r",
+            Epilogue::Gelu => "g",
+            Epilogue::Bias => "b",
+            Epilogue::BiasRelu => "br",
+            Epilogue::BiasGelu => "bg",
+        }
+    }
+}
+
+/// Elementwise operations on the vector units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EltOp {
+    /// Binary addition.
+    Add,
+    /// Binary subtraction.
+    Sub,
+    /// Binary multiplication.
+    Mul,
+    /// Binary division.
+    Div,
+    /// Unary ReLU.
+    Relu,
+    /// Unary GELU (tanh approximation).
+    Gelu,
+    /// Unary tanh.
+    Tanh,
+    /// Unary sigmoid.
+    Sigmoid,
+    /// Unary exponential.
+    Exp,
+    /// Unary scale by a constant.
+    Scale(f32),
+}
+
+impl EltOp {
+    /// True for two-operand operations.
+    pub fn is_binary(self) -> bool {
+        matches!(self, EltOp::Add | EltOp::Sub | EltOp::Mul | EltOp::Div)
+    }
+
+    fn code(self) -> String {
+        match self {
+            EltOp::Add => "add".into(),
+            EltOp::Sub => "sub".into(),
+            EltOp::Mul => "mul".into(),
+            EltOp::Div => "div".into(),
+            EltOp::Relu => "relu".into(),
+            EltOp::Gelu => "gelu".into(),
+            EltOp::Tanh => "tanh".into(),
+            EltOp::Sigmoid => "sigmoid".into(),
+            EltOp::Exp => "exp".into(),
+            EltOp::Scale(s) => format!("scale{:08x}", s.to_bits()),
+        }
+    }
+}
+
+/// Tracks emission state so redundant `vsetvl` pairs are elided.
+struct Emit {
+    instrs: Vec<Instr>,
+    vl: Option<usize>,
+}
+
+impl Emit {
+    fn new() -> Self {
+        Emit { instrs: Vec::new(), vl: None }
+    }
+
+    fn push(&mut self, i: Instr) {
+        self.instrs.push(i);
+    }
+
+    fn set_vl(&mut self, n: usize) {
+        if self.vl == Some(n) {
+            return;
+        }
+        self.push(Instr::Li { rd: SCRATCH_VL, imm: n as i32 });
+        self.push(Instr::Vsetvl { rd: Reg::ZERO, rs1: SCRATCH_VL });
+        self.vl = Some(n);
+    }
+
+    /// Returns a register holding `base + offset_bytes`.
+    fn addr(&mut self, base: Reg, offset_bytes: usize) -> Reg {
+        if offset_bytes == 0 {
+            base
+        } else {
+            self.push(Instr::Addi { rd: SCRATCH_ADDR, rs1: base, imm: offset_bytes as i32 });
+            SCRATCH_ADDR
+        }
+    }
+
+    /// Broadcasts an f32 constant into `vd` (at the current VL).
+    fn bcast_const(&mut self, vd: VReg, value: f32) {
+        self.push(Instr::Li { rd: SCRATCH_CONST, imm: value.to_bits() as i32 });
+        self.push(Instr::Vbcast { vd, rs1: SCRATCH_CONST });
+    }
+
+    /// GELU (tanh approximation) in place on `v`, clobbering v5/v6.
+    fn gelu(&mut self, v: VReg) {
+        let (t, c) = (VReg::new(6), VReg::new(5));
+        self.push(Instr::Vmul { vd: t, vs1: v, vs2: v }); // x^2
+        self.push(Instr::Vmul { vd: t, vs1: t, vs2: v }); // x^3
+        self.bcast_const(c, 0.044715);
+        self.push(Instr::Vmul { vd: t, vs1: t, vs2: c });
+        self.push(Instr::Vadd { vd: t, vs1: t, vs2: v });
+        self.bcast_const(c, (2.0f32 / std::f32::consts::PI).sqrt());
+        self.push(Instr::Vmul { vd: t, vs1: t, vs2: c });
+        self.push(Instr::Vtanh { vd: t, vs1: t });
+        self.bcast_const(c, 1.0);
+        self.push(Instr::Vadd { vd: t, vs1: t, vs2: c });
+        self.push(Instr::Vmul { vd: t, vs1: t, vs2: v });
+        self.bcast_const(c, 0.5);
+        self.push(Instr::Vmul { vd: v, vs1: t, vs2: c });
+    }
+
+    fn finish(mut self, name: String) -> Program {
+        self.push(Instr::Halt);
+        Program::new(name, self.instrs)
+    }
+}
+
+/// Kernel code generator for a particular core geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelGen {
+    /// Maximum vector length (units × lanes).
+    pub vlmax: usize,
+    /// Systolic array rows.
+    pub sa_rows: usize,
+    /// Logical systolic array columns (per-core arrays combined).
+    pub sa_cols: usize,
+}
+
+impl KernelGen {
+    /// Creates a generator from the NPU configuration.
+    pub fn new(cfg: &ptsim_common::config::NpuConfig) -> Self {
+        KernelGen {
+            vlmax: cfg.total_vector_lanes(),
+            sa_rows: cfg.systolic_rows,
+            sa_cols: cfg.logical_sa_cols(),
+        }
+    }
+
+    /// Output rows a single bulk pop chunk covers (`vlmax / sa_cols`).
+    pub fn rows_per_chunk(&self) -> usize {
+        (self.vlmax / self.sa_cols).max(1)
+    }
+
+    /// The canonical name for a GEMM tile kernel.
+    pub fn gemm_name(
+        tm: usize,
+        tk: usize,
+        tn: usize,
+        acc: bool,
+        epi: Epilogue,
+        load_weights: bool,
+    ) -> String {
+        format!("gemm_m{tm}_k{tk}_n{tn}_a{}_e{}_w{}", acc as u8, epi.code(), load_weights as u8)
+    }
+
+    /// Generates a GEMM tile kernel: `O[tm,tn] (+)= A[tm,tk] × W[tk,tn]`.
+    ///
+    /// ABI: `x10` = A (row-major, packed), `x11` = W (row-major, packed),
+    /// `x12` = O (row-major, packed), `x13` = bias (when the epilogue has
+    /// one; replicated [`KernelGen::rows_per_chunk`] times for full-width
+    /// tiles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] if the tile exceeds the array or the
+    /// array is wider than a vector register group.
+    pub fn gemm_tile(
+        &self,
+        tm: usize,
+        tk: usize,
+        tn: usize,
+        acc: bool,
+        epi: Epilogue,
+    ) -> Result<Program> {
+        self.gemm_tile_opt(tm, tk, tn, acc, epi, true)
+    }
+
+    /// [`KernelGen::gemm_tile`] with an explicit weight-load phase toggle.
+    /// Fine-grained DMA sub-computes (§3.6.3) reuse weights already in the
+    /// array: only the first sub-kernel of a tile loads them.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KernelGen::gemm_tile`].
+    pub fn gemm_tile_opt(
+        &self,
+        tm: usize,
+        tk: usize,
+        tn: usize,
+        acc: bool,
+        epi: Epilogue,
+        load_weights: bool,
+    ) -> Result<Program> {
+        if tk > self.sa_rows || tn > self.sa_cols {
+            return Err(Error::Unsupported(format!(
+                "gemm tile {tk}x{tn} exceeds array {}x{}",
+                self.sa_rows, self.sa_cols
+            )));
+        }
+        if self.sa_cols > self.vlmax || tm == 0 || tk == 0 || tn == 0 {
+            return Err(Error::Unsupported("degenerate gemm tile".into()));
+        }
+        let (r, c) = (self.sa_rows, self.sa_cols);
+        let mut e = Emit::new();
+        e.set_vl(self.vlmax);
+        e.push(Instr::Vbcast { vd: VZERO, rs1: Reg::ZERO });
+
+        // --- Weight load: push a row-major R x C matrix, zero-padded. ---
+        if !load_weights {
+            // Weights already resident (fine-grained DMA sub-kernel).
+        } else if tn == c {
+            // Bulk path: weight rows are contiguous in scratchpad.
+            let data = tk * c;
+            let mut off = 0;
+            while off < data {
+                let chunk = (data - off).min(self.vlmax);
+                e.set_vl(chunk);
+                let a = e.addr(ARG1, off * 4);
+                e.push(Instr::Vle { vd: VReg::new(0), rs1: a });
+                e.push(Instr::Wvpush { vs: VReg::new(0) });
+                off += chunk;
+            }
+            let mut pad = (r - tk) * c;
+            while pad > 0 {
+                let chunk = pad.min(self.vlmax);
+                e.set_vl(chunk);
+                e.push(Instr::Wvpush { vs: VZERO });
+                pad -= chunk;
+            }
+        } else {
+            // Narrow tile: per-row pushes with column padding — the
+            // underutilization cost that the CONV layout optimizations of
+            // Fig. 8b-c exist to avoid.
+            for row in 0..r {
+                if row < tk {
+                    e.set_vl(tn);
+                    let a = e.addr(ARG1, row * tn * 4);
+                    e.push(Instr::Vle { vd: VReg::new(0), rs1: a });
+                    e.push(Instr::Wvpush { vs: VReg::new(0) });
+                    if tn < c {
+                        e.set_vl(c - tn);
+                        e.push(Instr::Wvpush { vs: VZERO });
+                    }
+                } else {
+                    e.set_vl(c);
+                    e.push(Instr::Wvpush { vs: VZERO });
+                }
+            }
+        }
+
+        // Emits one bulk output drain step: pop `rows` rows starting at
+        // output row `done`, apply accumulate/epilogue, store.
+        let drain = |e: &mut Emit, done: usize, rows: usize| {
+            let n = rows * c;
+            e.set_vl(n);
+            e.push(Instr::Vpop { vd: VReg::new(2) });
+            if acc {
+                let a = e.addr(ARG2, done * c * 4);
+                e.push(Instr::Vle { vd: VReg::new(3), rs1: a });
+                e.push(Instr::Vadd { vd: VReg::new(2), vs1: VReg::new(2), vs2: VReg::new(3) });
+            }
+            self.emit_epilogue(e, epi, 0);
+            let a = e.addr(ARG2, done * c * 4);
+            e.push(Instr::Vse { vs: VReg::new(2), rs1: a });
+        };
+
+        if tk == r {
+            // Bulk input streaming. Draining is deliberately *not*
+            // interleaved: on the in-order core a stalled `vpop` (waiting
+            // out the array's fill/drain skew) would block subsequent
+            // `ivpush` issues and serialize the stream.
+            let data = tm * r;
+            let mut off = 0;
+            while off < data {
+                let chunk = (data - off).min(self.vlmax);
+                e.set_vl(chunk);
+                let a = e.addr(ARG0, off * 4);
+                e.push(Instr::Vle { vd: VReg::new(1), rs1: a });
+                e.push(Instr::Ivpush { vs: VReg::new(1) });
+                off += chunk;
+            }
+        } else {
+            for m in 0..tm {
+                e.set_vl(tk);
+                let a = e.addr(ARG0, m * tk * 4);
+                e.push(Instr::Vle { vd: VReg::new(1), rs1: a });
+                e.push(Instr::Ivpush { vs: VReg::new(1) });
+                e.set_vl(r - tk);
+                e.push(Instr::Ivpush { vs: VZERO });
+            }
+        }
+
+        // --- Drain outputs with accumulate/epilogue. ---
+        if tn == c {
+            let rpc = self.rows_per_chunk();
+            let mut done = 0;
+            while done < tm {
+                let rows = rpc.min(tm - done);
+                drain(&mut e, done, rows);
+                done += rows;
+            }
+        } else {
+            for m in 0..tm {
+                e.set_vl(c);
+                e.push(Instr::Vpop { vd: VReg::new(2) });
+                e.set_vl(tn);
+                if acc {
+                    let a = e.addr(ARG2, m * tn * 4);
+                    e.push(Instr::Vle { vd: VReg::new(3), rs1: a });
+                    e.push(Instr::Vadd { vd: VReg::new(2), vs1: VReg::new(2), vs2: VReg::new(3) });
+                }
+                self.emit_epilogue(&mut e, epi, 0);
+                let a = e.addr(ARG2, m * tn * 4);
+                e.push(Instr::Vse { vs: VReg::new(2), rs1: a });
+            }
+        }
+        Ok(e.finish(Self::gemm_name(tm, tk, tn, acc, epi, load_weights)))
+    }
+
+    fn emit_epilogue(&self, e: &mut Emit, epi: Epilogue, bias_off: usize) {
+        if epi.has_bias() {
+            let a = e.addr(ARG3, bias_off);
+            e.push(Instr::Vle { vd: VReg::new(4), rs1: a });
+            e.push(Instr::Vadd { vd: VReg::new(2), vs1: VReg::new(2), vs2: VReg::new(4) });
+        }
+        match epi {
+            Epilogue::Relu | Epilogue::BiasRelu => {
+                e.push(Instr::Vmax { vd: VReg::new(2), vs1: VReg::new(2), vs2: VZERO });
+            }
+            Epilogue::Gelu | Epilogue::BiasGelu => e.gelu(VReg::new(2)),
+            _ => {}
+        }
+    }
+
+    /// The canonical name for an elementwise tile kernel.
+    pub fn eltwise_name(op: EltOp, elems: usize) -> String {
+        format!("elt_{}_{elems}", op.code())
+    }
+
+    /// Generates an elementwise kernel over `elems` contiguous elements.
+    ///
+    /// ABI: `x10` = input 0, `x11` = input 1 (binary ops), `x12` = output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] for `elems == 0`.
+    pub fn eltwise_tile(&self, op: EltOp, elems: usize) -> Result<Program> {
+        if elems == 0 {
+            return Err(Error::Unsupported("empty elementwise tile".into()));
+        }
+        let mut e = Emit::new();
+        e.set_vl(self.vlmax);
+        e.push(Instr::Vbcast { vd: VZERO, rs1: Reg::ZERO });
+        let mut off = 0;
+        while off < elems {
+            let chunk = (elems - off).min(self.vlmax);
+            e.set_vl(chunk);
+            let a = e.addr(ARG0, off * 4);
+            e.push(Instr::Vle { vd: VReg::new(0), rs1: a });
+            if op.is_binary() {
+                let b = e.addr(ARG1, off * 4);
+                e.push(Instr::Vle { vd: VReg::new(1), rs1: b });
+            }
+            self.emit_elt(&mut e, op);
+            let o = e.addr(ARG2, off * 4);
+            e.push(Instr::Vse { vs: VReg::new(0), rs1: o });
+            off += chunk;
+        }
+        Ok(e.finish(Self::eltwise_name(op, elems)))
+    }
+
+    fn emit_elt(&self, e: &mut Emit, op: EltOp) {
+        let (d, a, b) = (VReg::new(0), VReg::new(0), VReg::new(1));
+        match op {
+            EltOp::Add => e.push(Instr::Vadd { vd: d, vs1: a, vs2: b }),
+            EltOp::Sub => e.push(Instr::Vsub { vd: d, vs1: a, vs2: b }),
+            EltOp::Mul => e.push(Instr::Vmul { vd: d, vs1: a, vs2: b }),
+            EltOp::Div => e.push(Instr::Vdiv { vd: d, vs1: a, vs2: b }),
+            EltOp::Relu => e.push(Instr::Vmax { vd: d, vs1: a, vs2: VZERO }),
+            EltOp::Gelu => e.gelu(d),
+            EltOp::Tanh => e.push(Instr::Vtanh { vd: d, vs1: a }),
+            EltOp::Exp => e.push(Instr::Vexp { vd: d, vs1: a }),
+            EltOp::Sigmoid => {
+                // 1 / (1 + exp(-x))
+                e.push(Instr::Vsub { vd: VReg::new(2), vs1: VZERO, vs2: a });
+                e.push(Instr::Vexp { vd: VReg::new(2), vs1: VReg::new(2) });
+                e.bcast_const(VReg::new(3), 1.0);
+                e.push(Instr::Vadd { vd: VReg::new(2), vs1: VReg::new(2), vs2: VReg::new(3) });
+                e.push(Instr::Vrecip { vd: d, vs1: VReg::new(2) });
+            }
+            EltOp::Scale(s) => {
+                e.bcast_const(VReg::new(1), s);
+                e.push(Instr::Vmul { vd: d, vs1: a, vs2: VReg::new(1) });
+            }
+        }
+    }
+
+    /// The canonical name for a row-wise broadcast kernel.
+    pub fn rowwise_name(op: EltOp, rows: usize, cols: usize) -> String {
+        format!("row_{}_r{rows}_c{cols}", op.code())
+    }
+
+    /// Generates a row-wise broadcast kernel: `out[r][c] = in0[r][c] op
+    /// in1[c]` (bias-add and friends).
+    ///
+    /// ABI: `x10` = matrix, `x11` = vector, `x12` = output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] if `cols > vlmax` or the op is unary.
+    pub fn rowwise_tile(&self, op: EltOp, rows: usize, cols: usize) -> Result<Program> {
+        if cols > self.vlmax || rows == 0 || cols == 0 {
+            return Err(Error::Unsupported(format!("rowwise tile {rows}x{cols}")));
+        }
+        if !op.is_binary() {
+            return Err(Error::Unsupported("rowwise needs a binary op".into()));
+        }
+        let mut e = Emit::new();
+        e.set_vl(cols);
+        e.push(Instr::Vle { vd: VReg::new(1), rs1: ARG1 });
+        for row in 0..rows {
+            let a = e.addr(ARG0, row * cols * 4);
+            e.push(Instr::Vle { vd: VReg::new(0), rs1: a });
+            self.emit_elt(&mut e, op);
+            let o = e.addr(ARG2, row * cols * 4);
+            e.push(Instr::Vse { vs: VReg::new(0), rs1: o });
+        }
+        Ok(e.finish(Self::rowwise_name(op, rows, cols)))
+    }
+
+    /// The canonical name for a softmax kernel.
+    pub fn softmax_name(rows: usize, cols: usize) -> String {
+        format!("softmax_r{rows}_c{cols}")
+    }
+
+    /// Generates a softmax-along-rows kernel.
+    ///
+    /// ABI: `x10` = input, `x12` = output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] if `cols > vlmax`.
+    pub fn softmax_tile(&self, rows: usize, cols: usize) -> Result<Program> {
+        if cols > self.vlmax || rows == 0 || cols == 0 {
+            return Err(Error::Unsupported(format!("softmax tile {rows}x{cols}")));
+        }
+        let mut e = Emit::new();
+        e.set_vl(cols);
+        for row in 0..rows {
+            let a = e.addr(ARG0, row * cols * 4);
+            e.push(Instr::Vle { vd: VReg::new(0), rs1: a });
+            self.emit_softmax_row(&mut e);
+            let o = e.addr(ARG2, row * cols * 4);
+            e.push(Instr::Vse { vs: VReg::new(0), rs1: o });
+        }
+        Ok(e.finish(Self::softmax_name(rows, cols)))
+    }
+
+    /// Numerically-stable softmax of v0 in place (clobbers v1, v2, x7).
+    fn emit_softmax_row(&self, e: &mut Emit) {
+        e.push(Instr::Vredmax { vd: VReg::new(1), vs1: VReg::new(0) });
+        e.push(Instr::Vmvxs { rd: SCRATCH_CONST, vs1: VReg::new(1) });
+        e.push(Instr::Vbcast { vd: VReg::new(2), rs1: SCRATCH_CONST });
+        e.push(Instr::Vsub { vd: VReg::new(0), vs1: VReg::new(0), vs2: VReg::new(2) });
+        e.push(Instr::Vexp { vd: VReg::new(0), vs1: VReg::new(0) });
+        e.push(Instr::Vredsum { vd: VReg::new(1), vs1: VReg::new(0) });
+        e.push(Instr::Vmvxs { rd: SCRATCH_CONST, vs1: VReg::new(1) });
+        e.push(Instr::Vbcast { vd: VReg::new(2), rs1: SCRATCH_CONST });
+        e.push(Instr::Vdiv { vd: VReg::new(0), vs1: VReg::new(0), vs2: VReg::new(2) });
+    }
+
+    /// The canonical name for a layer-norm kernel.
+    pub fn layernorm_name(rows: usize, cols: usize) -> String {
+        format!("layernorm_r{rows}_c{cols}")
+    }
+
+    /// Generates a layer-norm-along-rows kernel with affine parameters.
+    ///
+    /// ABI: `x10` = input, `x11` = gamma, `x12` = output, `x13` = beta.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] if `cols > vlmax`.
+    pub fn layernorm_tile(&self, rows: usize, cols: usize, eps: f32) -> Result<Program> {
+        if cols > self.vlmax || rows == 0 || cols == 0 {
+            return Err(Error::Unsupported(format!("layernorm tile {rows}x{cols}")));
+        }
+        let mut e = Emit::new();
+        e.set_vl(cols);
+        e.push(Instr::Vle { vd: VReg::new(5), rs1: ARG1 }); // gamma
+        e.push(Instr::Vle { vd: VReg::new(6), rs1: ARG3 }); // beta
+        e.bcast_const(VReg::new(4), 1.0 / cols as f32);
+        for row in 0..rows {
+            let a = e.addr(ARG0, row * cols * 4);
+            e.push(Instr::Vle { vd: VReg::new(0), rs1: a });
+            // mean
+            e.push(Instr::Vredsum { vd: VReg::new(1), vs1: VReg::new(0) });
+            e.push(Instr::Vmvxs { rd: SCRATCH_CONST, vs1: VReg::new(1) });
+            e.push(Instr::Vbcast { vd: VReg::new(1), rs1: SCRATCH_CONST });
+            e.push(Instr::Vmul { vd: VReg::new(1), vs1: VReg::new(1), vs2: VReg::new(4) });
+            e.push(Instr::Vsub { vd: VReg::new(0), vs1: VReg::new(0), vs2: VReg::new(1) });
+            // variance
+            e.push(Instr::Vmul { vd: VReg::new(2), vs1: VReg::new(0), vs2: VReg::new(0) });
+            e.push(Instr::Vredsum { vd: VReg::new(3), vs1: VReg::new(2) });
+            e.push(Instr::Vmvxs { rd: SCRATCH_CONST, vs1: VReg::new(3) });
+            e.push(Instr::Vbcast { vd: VReg::new(2), rs1: SCRATCH_CONST });
+            e.push(Instr::Vmul { vd: VReg::new(2), vs1: VReg::new(2), vs2: VReg::new(4) });
+            e.bcast_const(VReg::new(3), eps);
+            e.push(Instr::Vadd { vd: VReg::new(2), vs1: VReg::new(2), vs2: VReg::new(3) });
+            e.push(Instr::Vrsqrt { vd: VReg::new(2), vs1: VReg::new(2) });
+            e.push(Instr::Vmul { vd: VReg::new(0), vs1: VReg::new(0), vs2: VReg::new(2) });
+            // affine
+            e.push(Instr::Vmul { vd: VReg::new(0), vs1: VReg::new(0), vs2: VReg::new(5) });
+            e.push(Instr::Vadd { vd: VReg::new(0), vs1: VReg::new(0), vs2: VReg::new(6) });
+            let o = e.addr(ARG2, row * cols * 4);
+            e.push(Instr::Vse { vs: VReg::new(0), rs1: o });
+        }
+        Ok(e.finish(Self::layernorm_name(rows, cols)))
+    }
+
+    /// The canonical name for a row-reduction kernel.
+    pub fn reduce_name(rows: usize, cols: usize, scale: f32) -> String {
+        format!("reduce_r{rows}_c{cols}_s{:08x}", scale.to_bits())
+    }
+
+    /// Generates a column-wise sum over `rows` rows, scaled by `scale`:
+    /// `out[c] = scale · Σ_r in[r][c]`.
+    ///
+    /// ABI: `x10` = input matrix, `x12` = output vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] if `cols > vlmax`.
+    pub fn reduce_tile(&self, rows: usize, cols: usize, scale: f32) -> Result<Program> {
+        if cols > self.vlmax || rows == 0 || cols == 0 {
+            return Err(Error::Unsupported(format!("reduce tile {rows}x{cols}")));
+        }
+        let mut e = Emit::new();
+        e.set_vl(cols);
+        e.push(Instr::Vbcast { vd: VReg::new(0), rs1: Reg::ZERO }); // acc = 0
+        for row in 0..rows {
+            let a = e.addr(ARG0, row * cols * 4);
+            e.push(Instr::Vle { vd: VReg::new(1), rs1: a });
+            e.push(Instr::Vadd { vd: VReg::new(0), vs1: VReg::new(0), vs2: VReg::new(1) });
+        }
+        if scale != 1.0 {
+            e.bcast_const(VReg::new(1), scale);
+            e.push(Instr::Vmul { vd: VReg::new(0), vs1: VReg::new(0), vs2: VReg::new(1) });
+        }
+        e.push(Instr::Vse { vs: VReg::new(0), rs1: ARG2 });
+        Ok(e.finish(Self::reduce_name(rows, cols, scale)))
+    }
+
+    /// The canonical name for a cross-entropy-gradient kernel.
+    pub fn ce_grad_name(rows: usize, cols: usize) -> String {
+        format!("ce_grad_r{rows}_c{cols}")
+    }
+
+    /// Generates the fused cross-entropy gradient: `out = (softmax(logits) -
+    /// targets) / batch`, per row.
+    ///
+    /// ABI: `x10` = logits, `x11` = one-hot targets, `x12` = output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] if `cols > vlmax`.
+    pub fn ce_grad_tile(&self, rows: usize, cols: usize, batch: usize) -> Result<Program> {
+        if cols > self.vlmax || rows == 0 || cols == 0 {
+            return Err(Error::Unsupported(format!("ce_grad tile {rows}x{cols}")));
+        }
+        let mut e = Emit::new();
+        e.set_vl(cols);
+        for row in 0..rows {
+            let a = e.addr(ARG0, row * cols * 4);
+            e.push(Instr::Vle { vd: VReg::new(0), rs1: a });
+            self.emit_softmax_row(&mut e);
+            let t = e.addr(ARG1, row * cols * 4);
+            e.push(Instr::Vle { vd: VReg::new(1), rs1: t });
+            e.push(Instr::Vsub { vd: VReg::new(0), vs1: VReg::new(0), vs2: VReg::new(1) });
+            e.bcast_const(VReg::new(2), 1.0 / batch as f32);
+            e.push(Instr::Vmul { vd: VReg::new(0), vs1: VReg::new(0), vs2: VReg::new(2) });
+            let o = e.addr(ARG2, row * cols * 4);
+            e.push(Instr::Vse { vs: VReg::new(0), rs1: o });
+        }
+        Ok(e.finish(Self::ce_grad_name(rows, cols)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_common::config::NpuConfig;
+    use ptsim_funcsim::FuncSim;
+    use ptsim_tensor::{ops, Tensor};
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::tiny() // 8x8 array, 4 units x 4 lanes (vlmax 16)
+    }
+
+    fn kg() -> KernelGen {
+        KernelGen::new(&cfg())
+    }
+
+    /// Stage operands in scratchpad, run the kernel, read the output back.
+    fn run_kernel(
+        p: &Program,
+        stage: &[(u64, &[f32])],
+        args: [u64; 4],
+        out_addr: u64,
+        out_len: usize,
+    ) -> Vec<f32> {
+        let mut m = FuncSim::new(&cfg());
+        for (addr, data) in stage {
+            m.scratchpad_mut().write_slice(*addr, data).unwrap();
+        }
+        m.set_reg(ARG0, args[0] as i64);
+        m.set_reg(ARG1, args[1] as i64);
+        m.set_reg(ARG2, args[2] as i64);
+        m.set_reg(ARG3, args[3] as i64);
+        m.run(p).unwrap();
+        m.scratchpad().read_slice(out_addr, out_len).unwrap()
+    }
+
+    #[test]
+    fn gemm_full_tile_matches_matmul() {
+        let k = kg();
+        // Full 8x8 tile, tm = 5.
+        let p = k.gemm_tile(5, 8, 8, false, Epilogue::None).unwrap();
+        let a = Tensor::randn([5, 8], 1);
+        let w = Tensor::randn([8, 8], 2);
+        let got = run_kernel(
+            &p,
+            &[(0, a.data()), (1024, w.data())],
+            [0, 1024, 2048, 0],
+            2048,
+            40,
+        );
+        let expect = a.matmul(&w).unwrap();
+        let got = Tensor::from_vec(got, [5, 8]).unwrap();
+        assert!(got.allclose(&expect, 1e-4), "{got:?} vs {expect:?}");
+    }
+
+    #[test]
+    fn gemm_narrow_tile_pads_correctly() {
+        let k = kg();
+        // tk = 3, tn = 5 on an 8x8 array: padding paths.
+        let p = k.gemm_tile(4, 3, 5, false, Epilogue::None).unwrap();
+        let a = Tensor::randn([4, 3], 3);
+        let w = Tensor::randn([3, 5], 4);
+        let got = run_kernel(
+            &p,
+            &[(0, a.data()), (1024, w.data())],
+            [0, 1024, 2048, 0],
+            2048,
+            20,
+        );
+        let expect = a.matmul(&w).unwrap();
+        let got = Tensor::from_vec(got, [4, 5]).unwrap();
+        assert!(got.allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn gemm_accumulate_adds_to_existing_output() {
+        let k = kg();
+        let p = k.gemm_tile(2, 8, 8, true, Epilogue::None).unwrap();
+        let a = Tensor::randn([2, 8], 5);
+        let w = Tensor::randn([8, 8], 6);
+        let prior = Tensor::randn([2, 8], 7);
+        let got = run_kernel(
+            &p,
+            &[(0, a.data()), (1024, w.data()), (2048, prior.data())],
+            [0, 1024, 2048, 0],
+            2048,
+            16,
+        );
+        let expect = a.matmul(&w).unwrap().add(&prior).unwrap();
+        let got = Tensor::from_vec(got, [2, 8]).unwrap();
+        assert!(got.allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn gemm_bias_relu_epilogue() {
+        let k = kg();
+        let p = k.gemm_tile(4, 8, 8, false, Epilogue::BiasRelu).unwrap();
+        let a = Tensor::randn([4, 8], 8);
+        let w = Tensor::randn([8, 8], 9);
+        let bias = Tensor::randn([8], 10);
+        // Full-width tile: bias must be replicated rows_per_chunk times.
+        let rpc = k.rows_per_chunk();
+        let mut rep = Vec::new();
+        for _ in 0..rpc {
+            rep.extend_from_slice(bias.data());
+        }
+        let got = run_kernel(
+            &p,
+            &[(0, a.data()), (1024, w.data()), (3072, &rep)],
+            [0, 1024, 2048, 3072],
+            2048,
+            32,
+        );
+        let expect = ops::relu(&a.matmul(&w).unwrap().add(&bias).unwrap());
+        let got = Tensor::from_vec(got, [4, 8]).unwrap();
+        assert!(got.allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn gemm_gelu_epilogue_close_to_reference() {
+        let k = kg();
+        let p = k.gemm_tile(2, 8, 8, false, Epilogue::Gelu).unwrap();
+        let a = Tensor::randn([2, 8], 11);
+        let w = Tensor::randn([8, 8], 12);
+        let got = run_kernel(
+            &p,
+            &[(0, a.data()), (1024, w.data())],
+            [0, 1024, 2048, 0],
+            2048,
+            16,
+        );
+        let expect = ops::gelu(&a.matmul(&w).unwrap());
+        let got = Tensor::from_vec(got, [2, 8]).unwrap();
+        assert!(got.allclose(&expect, 1e-3));
+    }
+
+    #[test]
+    fn oversized_tiles_are_rejected() {
+        let k = kg();
+        assert!(k.gemm_tile(4, 9, 8, false, Epilogue::None).is_err());
+        assert!(k.gemm_tile(4, 8, 9, false, Epilogue::None).is_err());
+        assert!(k.gemm_tile(0, 8, 8, false, Epilogue::None).is_err());
+    }
+
+    #[test]
+    fn eltwise_ops_match_tensor_ops() {
+        let k = kg();
+        let x = Tensor::randn([40], 20);
+        let y = Tensor::randn([40], 21).map(|v| v + 2.5); // avoid /0
+        let cases: Vec<(EltOp, Tensor)> = vec![
+            (EltOp::Add, x.add(&y).unwrap()),
+            (EltOp::Sub, x.sub(&y).unwrap()),
+            (EltOp::Mul, x.mul(&y).unwrap()),
+            (EltOp::Div, x.div(&y).unwrap()),
+            (EltOp::Relu, ops::relu(&x)),
+            (EltOp::Tanh, ops::tanh(&x)),
+            (EltOp::Exp, ops::exp(&x)),
+            (EltOp::Sigmoid, ops::sigmoid(&x)),
+            (EltOp::Gelu, ops::gelu(&x)),
+            (EltOp::Scale(-1.5), x.scale(-1.5)),
+        ];
+        for (op, expect) in cases {
+            let p = k.eltwise_tile(op, 40).unwrap();
+            let got = run_kernel(
+                &p,
+                &[(0, x.data()), (512, y.data())],
+                [0, 512, 1024, 0],
+                1024,
+                40,
+            );
+            let got = Tensor::from_vec(got, [40]).unwrap();
+            assert!(got.allclose(&expect, 1e-3), "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn rowwise_add_broadcasts_vector() {
+        let k = kg();
+        let p = k.rowwise_tile(EltOp::Add, 3, 8).unwrap();
+        let m = Tensor::randn([3, 8], 30);
+        let v = Tensor::randn([8], 31);
+        let got =
+            run_kernel(&p, &[(0, m.data()), (512, v.data())], [0, 512, 1024, 0], 1024, 24);
+        let expect = m.add(&v).unwrap();
+        assert!(Tensor::from_vec(got, [3, 8]).unwrap().allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn softmax_kernel_matches_reference() {
+        let k = kg();
+        let p = k.softmax_tile(4, 16).unwrap();
+        let x = Tensor::randn([4, 16], 40);
+        let got = run_kernel(&p, &[(0, x.data())], [0, 0, 1024, 0], 1024, 64);
+        let expect = ops::softmax(&x).unwrap();
+        assert!(Tensor::from_vec(got, [4, 16]).unwrap().allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn layernorm_kernel_matches_reference() {
+        let k = kg();
+        let p = k.layernorm_tile(3, 16, 1e-5).unwrap();
+        let x = Tensor::randn([3, 16], 50);
+        let gamma = Tensor::randn([16], 51);
+        let beta = Tensor::randn([16], 52);
+        let got = run_kernel(
+            &p,
+            &[(0, x.data()), (512, gamma.data()), (768, beta.data())],
+            [0, 512, 1024, 768],
+            1024,
+            48,
+        );
+        let expect = ops::layernorm(&x, &gamma, &beta, 1e-5).unwrap();
+        assert!(Tensor::from_vec(got, [3, 16]).unwrap().allclose(&expect, 1e-3));
+    }
+
+    #[test]
+    fn reduce_kernel_sums_columns() {
+        let k = kg();
+        let p = k.reduce_tile(5, 8, 0.5).unwrap();
+        let x = Tensor::randn([5, 8], 60);
+        let got = run_kernel(&p, &[(0, x.data())], [0, 0, 1024, 0], 1024, 8);
+        let expect = x.sum_axis(0).unwrap().scale(0.5);
+        assert!(Tensor::from_vec(got, [8]).unwrap().allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn ce_grad_kernel_matches_reference() {
+        let k = kg();
+        let p = k.ce_grad_tile(4, 8, 4).unwrap();
+        let logits = Tensor::randn([4, 8], 70);
+        let targets = ops::one_hot(&[0, 3, 5, 7], 8).unwrap();
+        let got = run_kernel(
+            &p,
+            &[(0, logits.data()), (512, targets.data())],
+            [0, 512, 1024, 0],
+            1024,
+            32,
+        );
+        let (_, expect) = ops::cross_entropy_with_grad(&logits, &targets).unwrap();
+        assert!(Tensor::from_vec(got, [4, 8]).unwrap().allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn kernels_have_stable_names() {
+        assert_eq!(
+            KernelGen::gemm_name(8, 8, 8, true, Epilogue::BiasRelu, true),
+            "gemm_m8_k8_n8_a1_ebr_w1"
+        );
+        assert_eq!(KernelGen::softmax_name(2, 4), "softmax_r2_c4");
+    }
+
+    #[test]
+    fn kernels_are_timeable() {
+        // Every generated kernel must run to completion on the timing model.
+        let k = kg();
+        let sim = ptsim_timingsim::TimingSim::new(&cfg());
+        let kernels = vec![
+            k.gemm_tile(5, 8, 8, false, Epilogue::None).unwrap(),
+            k.gemm_tile(4, 3, 5, true, Epilogue::BiasRelu).unwrap(),
+            k.eltwise_tile(EltOp::Gelu, 40).unwrap(),
+            k.softmax_tile(4, 16).unwrap(),
+            k.layernorm_tile(3, 16, 1e-5).unwrap(),
+            k.reduce_tile(5, 8, 1.0).unwrap(),
+            k.ce_grad_tile(4, 8, 4).unwrap(),
+        ];
+        for p in kernels {
+            let lat = sim.measure(&p).unwrap();
+            assert!(lat.cycles > 0, "kernel {}", p.name);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! DRAM memory layout for graph values.
+//!
+//! The paper reuses PyTorch's GPU memory allocator (§3.10); here a simple
+//! aligned bump allocator assigns every graph value (inputs, parameters,
+//! constants, intermediates) a region of simulated DRAM.
+
+use ptsim_common::util::align_up;
+use ptsim_graph::{Graph, ValueId};
+use std::collections::HashMap;
+
+/// Alignment of every tensor allocation, bytes (one DRAM transaction).
+pub const TENSOR_ALIGN: u64 = 256;
+
+/// The DRAM placement of every value of a graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryLayout {
+    regions: HashMap<ValueId, (u64, u64)>,
+    total: u64,
+}
+
+impl MemoryLayout {
+    /// Allocates a region for every node of `graph`, in node order,
+    /// starting at `base`.
+    pub fn for_graph(graph: &Graph, base: u64) -> Self {
+        let mut regions = HashMap::new();
+        let mut cursor = align_up(base, TENSOR_ALIGN);
+        for (idx, node) in graph.nodes().iter().enumerate() {
+            let bytes = align_up((node.shape.numel() as u64) * 4, TENSOR_ALIGN);
+            regions.insert(ValueId(idx), (cursor, bytes));
+            cursor += bytes;
+        }
+        MemoryLayout { regions, total: cursor - base }
+    }
+
+    /// DRAM base address of a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` was not allocated (a compiler bug).
+    pub fn addr(&self, value: ValueId) -> u64 {
+        self.regions[&value].0
+    }
+
+    /// Region size in bytes of a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` was not allocated.
+    pub fn bytes(&self, value: ValueId) -> u64 {
+        self.regions[&value].1
+    }
+
+    /// Total footprint in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of allocated regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True if nothing was allocated.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_graph::GraphBuilder;
+
+    #[test]
+    fn regions_are_disjoint_and_aligned() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", [4, 4]);
+        let y = g.relu(x).unwrap();
+        g.output(y);
+        let graph = g.finish();
+        let layout = MemoryLayout::for_graph(&graph, 0x1000);
+        assert_eq!(layout.len(), 2);
+        let (ax, bx) = (layout.addr(x), layout.bytes(x));
+        let (ay, _) = (layout.addr(y), layout.bytes(y));
+        assert_eq!(ax % TENSOR_ALIGN, 0);
+        assert!(ay >= ax + bx);
+        assert!(layout.total_bytes() >= 2 * 64);
+    }
+}

@@ -1,0 +1,75 @@
+//! Compiler options controlling the optimizations studied in §5.3.
+
+use ptsim_common::config::DmaGranularity;
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the NPU compiler backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompilerOptions {
+    /// DMA decomposition strategy (Fig. 8a: CG vs FG vs SFG).
+    pub dma: DmaGranularity,
+    /// Tensors larger than this (bytes) keep coarse-grained DMA under
+    /// [`DmaGranularity::SelectiveFine`], recovering DRAM row locality for
+    /// large GEMMs (the GEMM(2048) effect in Fig. 8a).
+    pub sfg_threshold_bytes: u64,
+    /// Fuse elementwise epilogues (bias add, ReLU, GELU) into the preceding
+    /// GEMM/CONV kernel (§3.6.3).
+    pub fuse_epilogue: bool,
+    /// Apply the CONV layout optimizations for batch = 1 and small input
+    /// channel counts (§3.6.3, Fig. 8b–c).
+    pub conv_layout_opt: bool,
+    /// Upper bound on the M dimension of a GEMM tile, rows.
+    pub max_m_tile: usize,
+    /// Input-channel count below which the HNWC small-C layout is used.
+    pub small_c_threshold: usize,
+    /// Autotune the GEMM M-tile by measuring candidate kernels offline
+    /// (§3.6.3: "Inductor's autotuning for choosing tile sizes").
+    pub autotune: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            dma: DmaGranularity::SelectiveFine,
+            sfg_threshold_bytes: 8 * 1024 * 1024,
+            fuse_epilogue: true,
+            conv_layout_opt: true,
+            max_m_tile: 512,
+            small_c_threshold: 16,
+            autotune: false,
+        }
+    }
+}
+
+impl CompilerOptions {
+    /// A baseline configuration with every optimization off, for ablations.
+    pub fn unoptimized() -> Self {
+        CompilerOptions {
+            dma: DmaGranularity::Coarse,
+            fuse_epilogue: false,
+            conv_layout_opt: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_paper_optimizations() {
+        let o = CompilerOptions::default();
+        assert_eq!(o.dma, DmaGranularity::SelectiveFine);
+        assert!(o.fuse_epilogue);
+        assert!(o.conv_layout_opt);
+    }
+
+    #[test]
+    fn unoptimized_disables_everything() {
+        let o = CompilerOptions::unoptimized();
+        assert_eq!(o.dma, DmaGranularity::Coarse);
+        assert!(!o.fuse_epilogue);
+        assert!(!o.conv_layout_opt);
+    }
+}

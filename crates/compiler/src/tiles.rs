@@ -1,0 +1,230 @@
+//! Tiling heuristics and CONV→GEMM layout mapping (§3.6.3).
+
+use crate::options::CompilerOptions;
+use ptsim_common::config::NpuConfig;
+use ptsim_graph::ConvGeom;
+
+/// Tile sizes of a blocked GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmTiling {
+    /// Rows of the A/output tile.
+    pub tm: usize,
+    /// Reduction-dimension tile (≤ systolic rows).
+    pub tk: usize,
+    /// Columns of the W/output tile (≤ logical systolic columns).
+    pub tn: usize,
+}
+
+impl GemmTiling {
+    /// The Gemmini-style heuristic: maximize the K and N tile up to the
+    /// array dimensions, then grow M until double-buffered tiles fill the
+    /// scratchpad (§3.6.3: "maximizes the utilization of scratchpad
+    /// memory"), capped by `opts.max_m_tile`.
+    pub fn plan(cfg: &NpuConfig, opts: &CompilerOptions, m: usize, k: usize, n: usize) -> Self {
+        let tk = k.min(cfg.systolic_rows).max(1);
+        let tn = n.min(cfg.logical_sa_cols()).max(1);
+        // 2·(tm·tk + tk·tn + tm·tn)·4 + bias ≤ scratchpad
+        let sp_words = (cfg.scratchpad_bytes / 4) as usize;
+        let budget = sp_words.saturating_sub(2 * tk * tn + 4 * tn);
+        let tm_max = budget / (2 * (tk + tn)).max(1);
+        let rpc = (cfg.total_vector_lanes() / cfg.logical_sa_cols()).max(1);
+        let mut tm = tm_max.min(opts.max_m_tile).min(m).max(1);
+        // Round to the bulk pop granularity where possible.
+        if tm > rpc {
+            tm -= tm % rpc;
+        }
+        GemmTiling { tm, tk, tn }
+    }
+
+    /// Tile counts `(mt, kt, nt)` for a full GEMM of the given size.
+    pub fn grid(&self, m: usize, k: usize, n: usize) -> (usize, usize, usize) {
+        (m.div_ceil(self.tm), k.div_ceil(self.tk), n.div_ceil(self.tn))
+    }
+}
+
+/// Which tensor layout the CONV lowering selected (§3.6.3, Fig. 8b–c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvLayout {
+    /// Default: HWNC tiles — M granule is the batch dimension, K granule is
+    /// the channel dimension.
+    Hwnc,
+    /// Batch-1 optimization: HWC layout with W×C input tiles — M granule is
+    /// the output width.
+    Hwc,
+    /// Small-channel optimization: HNWC with N×(Kw·C) input tiles — the K
+    /// granule folds the filter width in.
+    Hnwc,
+}
+
+/// The CONV-as-GEMM mapping produced by layout selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvMapping {
+    /// Chosen layout.
+    pub layout: ConvLayout,
+    /// Total GEMM rows (output positions × batch).
+    pub gemm_m: usize,
+    /// GEMM columns (output channels).
+    pub gemm_n: usize,
+    /// Reduction elements handled per accumulation pass.
+    pub k_per_pass: usize,
+    /// Number of accumulation passes (filter taps not folded into K).
+    pub passes: usize,
+    /// Smallest indivisible group of GEMM rows a tile must align to.
+    pub m_granule: usize,
+    /// Whether multiple granules may be grouped into one tile.
+    pub group: bool,
+    /// Maximum granules per tile. The default HWNC mapping coalesces only a
+    /// bounded run of N×C position blocks per transfer, so batch-1 tiles
+    /// stay small — the SA underutilization Fig. 8b measures; the optimized
+    /// layouts group freely.
+    pub group_cap: usize,
+}
+
+impl ConvMapping {
+    /// Chooses the layout for a convolution per the paper's rules: HWC when
+    /// the batch is 1, HNWC when the input channel count is small, HWNC
+    /// otherwise. With `opts.conv_layout_opt` disabled, always HWNC.
+    #[allow(clippy::too_many_arguments)] // one argument per convolution dimension
+    pub fn choose(
+        opts: &CompilerOptions,
+        batch: usize,
+        c_in: usize,
+        k_out: usize,
+        h_out: usize,
+        w_out: usize,
+        kh: usize,
+        kw: usize,
+        _geom: ConvGeom,
+    ) -> Self {
+        let gemm_m = batch * h_out * w_out;
+        let small_c = c_in < opts.small_c_threshold;
+        if opts.conv_layout_opt && batch == 1 {
+            // W×C tiles; with small C the filter width folds into K too.
+            ConvMapping {
+                layout: ConvLayout::Hwc,
+                gemm_m,
+                gemm_n: k_out,
+                k_per_pass: if small_c { kw * c_in } else { c_in },
+                passes: if small_c { kh } else { kh * kw },
+                m_granule: w_out.max(1),
+                group: true,
+                group_cap: usize::MAX,
+            }
+        } else if opts.conv_layout_opt && small_c {
+            ConvMapping {
+                layout: ConvLayout::Hnwc,
+                gemm_m,
+                gemm_n: k_out,
+                k_per_pass: kw * c_in,
+                passes: kh,
+                m_granule: batch.max(1),
+                group: true,
+                group_cap: usize::MAX,
+            }
+        } else {
+            ConvMapping {
+                layout: ConvLayout::Hwnc,
+                gemm_m,
+                gemm_n: k_out,
+                k_per_pass: c_in,
+                passes: kh * kw,
+                m_granule: batch.max(1),
+                group: true,
+                group_cap: 32,
+            }
+        }
+    }
+
+    /// The M tile: as many granules as fit under `max_m_tile` and the
+    /// layout's grouping cap.
+    pub fn m_tile(&self, opts: &CompilerOptions) -> usize {
+        let g = self.m_granule.min(self.gemm_m).max(1);
+        if !self.group {
+            return g;
+        }
+        let groups = (opts.max_m_tile / g).clamp(1, self.group_cap);
+        (g * groups).min(self.gemm_m).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::tpu_v3()
+    }
+
+    #[test]
+    fn gemm_tiling_respects_array_and_scratchpad() {
+        let opts = CompilerOptions::default();
+        let t = GemmTiling::plan(&cfg(), &opts, 4096, 4096, 4096);
+        assert_eq!(t.tk, 128);
+        assert_eq!(t.tn, 256);
+        assert!(t.tm <= opts.max_m_tile);
+        assert!(t.tm >= 128);
+        // Double-buffered tiles must fit the scratchpad.
+        let bytes = 2 * (t.tm * t.tk + t.tk * t.tn + t.tm * t.tn) * 4;
+        assert!(bytes as u64 <= cfg().scratchpad_bytes);
+    }
+
+    #[test]
+    fn small_gemms_get_small_tiles() {
+        let opts = CompilerOptions::default();
+        let t = GemmTiling::plan(&cfg(), &opts, 8, 16, 32);
+        assert_eq!(t.tm, 8);
+        assert_eq!(t.tk, 16);
+        assert_eq!(t.tn, 32);
+        assert_eq!(t.grid(8, 16, 32), (1, 1, 1));
+    }
+
+    #[test]
+    fn grid_covers_remainders() {
+        let t = GemmTiling { tm: 100, tk: 128, tn: 256 };
+        assert_eq!(t.grid(250, 300, 600), (3, 3, 3));
+    }
+
+    #[test]
+    fn conv_layout_selection_follows_paper_rules() {
+        let opts = CompilerOptions::default();
+        let g = ConvGeom::new(1, 1);
+        // Batch 1 -> HWC with W-granule rows.
+        let m = ConvMapping::choose(&opts, 1, 64, 64, 56, 56, 3, 3, g);
+        assert_eq!(m.layout, ConvLayout::Hwc);
+        assert_eq!(m.m_granule, 56);
+        assert_eq!(m.passes, 9);
+        // Small C (e.g. RGB input) -> HNWC folding Kw into K.
+        let m = ConvMapping::choose(&opts, 64, 3, 64, 112, 112, 7, 7, g);
+        assert_eq!(m.layout, ConvLayout::Hnwc);
+        assert_eq!(m.k_per_pass, 21);
+        assert_eq!(m.passes, 7);
+        assert!(m.group);
+        // Large batch, large C -> default HWNC.
+        let m = ConvMapping::choose(&opts, 64, 128, 128, 28, 28, 3, 3, g);
+        assert_eq!(m.layout, ConvLayout::Hwnc);
+        assert_eq!(m.m_granule, 64);
+    }
+
+    #[test]
+    fn disabling_layout_opt_forces_hwnc() {
+        let opts = CompilerOptions::unoptimized();
+        let g = ConvGeom::new(1, 1);
+        let m = ConvMapping::choose(&opts, 1, 64, 64, 56, 56, 3, 3, g);
+        assert_eq!(m.layout, ConvLayout::Hwnc);
+        // Batch 1 under the default layout means 1-row GEMM tiles — the
+        // SA underutilization that Fig. 8b quantifies.
+        assert_eq!(m.m_granule, 1);
+        // Bounded coalescing: at most group_cap rows per tile.
+        assert_eq!(m.m_tile(&opts), 32);
+    }
+
+    #[test]
+    fn m_tile_is_granule_aligned() {
+        let opts = CompilerOptions::default();
+        let g = ConvGeom::new(1, 1);
+        let m = ConvMapping::choose(&opts, 1, 64, 64, 56, 56, 3, 3, g);
+        let tile = m.m_tile(&opts);
+        assert_eq!(tile % 56, 0);
+        assert!(tile <= opts.max_m_tile + 56);
+    }
+}

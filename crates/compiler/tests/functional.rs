@@ -1,0 +1,329 @@
+//! End-to-end functional validation of the compiler: every ISA-path
+//! operator executed through compiled kernels on the functional NPU must
+//! reproduce the eager reference bit-for-bit (within float tolerance) —
+//! the paper's §4.1 functional-correctness methodology.
+
+use ptsim_common::config::{DmaGranularity, NpuConfig, SimConfig};
+use ptsim_compiler::{execute_functional, Compiler, CompilerOptions};
+use ptsim_graph::{exec, Graph, GraphBuilder, ValueId};
+use ptsim_tensor::ops::one_hot;
+use ptsim_tensor::Tensor;
+
+fn tiny_cfg() -> SimConfig {
+    SimConfig::tiny()
+}
+
+/// Compiles and runs `graph` both ways, asserting closeness of outputs.
+fn check(graph: &Graph, inputs: &[Tensor], params: &[Tensor], cfg: &SimConfig, tol: f32) {
+    check_opts(graph, inputs, params, cfg, &CompilerOptions::default(), tol);
+}
+
+fn check_opts(
+    graph: &Graph,
+    inputs: &[Tensor],
+    params: &[Tensor],
+    cfg: &SimConfig,
+    opts: &CompilerOptions,
+    tol: f32,
+) {
+    let model = Compiler::new(cfg.clone(), opts.clone()).compile(graph, "test", 1).unwrap();
+    let got = execute_functional(&model, &cfg.npu, inputs, params).unwrap();
+    let reference = exec::execute(graph, inputs, params).unwrap();
+    let expect = reference.outputs();
+    assert_eq!(got.len(), expect.len());
+    for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+        assert!(
+            g.allclose(e, tol),
+            "output {i} differs: max abs diff {}",
+            g.max_abs_diff(e).unwrap_or(f32::NAN)
+        );
+    }
+}
+
+fn matmul_graph(m: usize, k: usize, n: usize) -> Graph {
+    let mut g = GraphBuilder::new();
+    let x = g.input("x", [m, k]);
+    let w = g.parameter("w", [k, n]);
+    let y = g.matmul(x, w).unwrap();
+    g.output(y);
+    g.finish()
+}
+
+#[test]
+fn single_tile_matmul() {
+    let g = matmul_graph(4, 8, 8);
+    check(&g, &[Tensor::randn([4, 8], 1)], &[Tensor::randn([8, 8], 2)], &tiny_cfg(), 1e-3);
+}
+
+#[test]
+fn multi_tile_matmul_with_edges() {
+    // Crosses tile boundaries in every dimension on the tiny (8x8) array.
+    let g = matmul_graph(20, 19, 13);
+    check(&g, &[Tensor::randn([20, 19], 3)], &[Tensor::randn([19, 13], 4)], &tiny_cfg(), 1e-3);
+}
+
+#[test]
+fn deep_reduction_matmul_accumulates() {
+    let g = matmul_graph(8, 70, 8);
+    check(&g, &[Tensor::randn([8, 70], 5)], &[Tensor::randn([70, 8], 6)], &tiny_cfg(), 1e-3);
+}
+
+#[test]
+fn fine_grained_dma_is_functionally_identical() {
+    let g = matmul_graph(40, 8, 8);
+    let x = Tensor::randn([40, 8], 7);
+    let w = Tensor::randn([8, 8], 8);
+    for dma in [DmaGranularity::Coarse, DmaGranularity::Fine, DmaGranularity::SelectiveFine] {
+        let opts = CompilerOptions { dma, ..CompilerOptions::default() };
+        check_opts(&g, std::slice::from_ref(&x), std::slice::from_ref(&w), &tiny_cfg(), &opts, 1e-3);
+    }
+}
+
+#[test]
+fn multi_core_partitioning_is_functionally_identical() {
+    let mut cfg = tiny_cfg();
+    cfg.npu.cores = 3;
+    let g = matmul_graph(30, 10, 9);
+    check(&g, &[Tensor::randn([30, 10], 9)], &[Tensor::randn([10, 9], 10)], &cfg, 1e-3);
+}
+
+#[test]
+fn fused_linear_relu_matches_reference() {
+    let mut g = GraphBuilder::new();
+    let x = g.input("x", [12, 16]);
+    let w = g.parameter("w", [16, 10]);
+    let b = g.parameter("b", [10]);
+    let lin = g.linear(x, w, b).unwrap();
+    let y = g.relu(lin).unwrap();
+    g.output(y);
+    let graph = g.finish();
+    let inputs = [Tensor::randn([12, 16], 11)];
+    let params = [Tensor::randn([16, 10], 12), Tensor::randn([10], 13)];
+    // With fusion on...
+    check(&graph, &inputs, &params, &tiny_cfg(), 1e-3);
+    // ...and with fusion off (separate rowwise-add and relu kernels).
+    let opts = CompilerOptions { fuse_epilogue: false, ..CompilerOptions::default() };
+    check_opts(&graph, &inputs, &params, &tiny_cfg(), &opts, 1e-3);
+}
+
+#[test]
+fn fusion_reduces_tog_nodes() {
+    let mut g = GraphBuilder::new();
+    let x = g.input("x", [8, 8]);
+    let w = g.parameter("w", [8, 8]);
+    let b = g.parameter("b", [8]);
+    let lin = g.linear(x, w, b).unwrap();
+    let y = g.relu(lin).unwrap();
+    g.output(y);
+    let graph = g.finish();
+    let fused = Compiler::new(tiny_cfg(), CompilerOptions::default())
+        .compile(&graph, "f", 1)
+        .unwrap();
+    let unfused = Compiler::new(tiny_cfg(), CompilerOptions::unoptimized())
+        .compile(&graph, "u", 1)
+        .unwrap();
+    assert!(fused.stats.fused_ops >= 2, "stats {:?}", fused.stats);
+    assert!(fused.tog.nodes.len() < unfused.tog.nodes.len());
+}
+
+#[test]
+fn elementwise_chain_matches_reference() {
+    let mut g = GraphBuilder::new();
+    let x = g.input("x", [6, 7]);
+    let y = g.input("y", [6, 7]);
+    let s = g.add(x, y).unwrap();
+    let t = g.mul(s, x).unwrap();
+    let u = g.gelu(t).unwrap();
+    let v = g.scale(u, 0.5).unwrap();
+    g.output(v);
+    check(
+        &g.finish(),
+        &[Tensor::randn([6, 7], 20), Tensor::randn([6, 7], 21)],
+        &[],
+        &tiny_cfg(),
+        1e-3,
+    );
+}
+
+#[test]
+fn softmax_and_layernorm_match_reference() {
+    let mut g = GraphBuilder::new();
+    let x = g.input("x", [9, 16]);
+    let gamma = g.parameter("gamma", [16]);
+    let beta = g.parameter("beta", [16]);
+    let ln = g.layernorm(x, gamma, beta).unwrap();
+    let sm = g.softmax(ln).unwrap();
+    g.output(sm);
+    check(
+        &g.finish(),
+        &[Tensor::randn([9, 16], 30)],
+        &[Tensor::randn([16], 31), Tensor::randn([16], 32)],
+        &tiny_cfg(),
+        1e-3,
+    );
+}
+
+#[test]
+fn conv_runs_hybrid_and_matches_reference() {
+    use ptsim_graph::ConvGeom;
+    let mut g = GraphBuilder::new();
+    let x = g.input("x", [2, 3, 8, 8]);
+    let w = g.parameter("w", [4, 3, 3, 3]);
+    let y = g.conv2d(x, w, ConvGeom::new(1, 1)).unwrap();
+    let z = g.relu(y).unwrap();
+    g.output(z);
+    check(
+        &g.finish(),
+        &[Tensor::randn([2, 3, 8, 8], 40)],
+        &[Tensor::randn([4, 3, 3, 3], 41)],
+        &tiny_cfg(),
+        1e-3,
+    );
+}
+
+#[test]
+fn reshape_aliases_storage() {
+    let mut g = GraphBuilder::new();
+    let x = g.input("x", [4, 6]);
+    let r = g.reshape(x, [2, 12]).unwrap();
+    let y = g.relu(r).unwrap();
+    g.output(y);
+    check(&g.finish(), &[Tensor::randn([4, 6], 50)], &[], &tiny_cfg(), 1e-4);
+}
+
+#[test]
+fn mlp_training_step_matches_reference() {
+    // Forward + backward through autodiff, executed functionally.
+    let mut g = GraphBuilder::new();
+    let x = g.input("x", [4, 8]);
+    let t = g.input("t", [4, 3]);
+    let w1 = g.parameter("w1", [8, 16]);
+    let b1 = g.parameter("b1", [16]);
+    let w2 = g.parameter("w2", [16, 3]);
+    let b2 = g.parameter("b2", [3]);
+    let h = g.linear(x, w1, b1).unwrap();
+    let h = g.relu(h).unwrap();
+    let logits = g.linear(h, w2, b2).unwrap();
+    let loss = g.cross_entropy(logits, t).unwrap();
+    g.output(loss);
+    let forward = g.finish();
+    let train = ptsim_graph::autodiff::build_training_graph(&forward, loss).unwrap();
+
+    let inputs = [Tensor::randn([4, 8], 60), one_hot(&[0, 1, 2, 1], 3).unwrap()];
+    let params = [
+        Tensor::randn([8, 16], 61).scale(0.4),
+        Tensor::randn([16], 62).scale(0.1),
+        Tensor::randn([16, 3], 63).scale(0.4),
+        Tensor::randn([3], 64).scale(0.1),
+    ];
+    check(&train, &inputs, &params, &tiny_cfg(), 5e-3);
+}
+
+#[test]
+fn compiled_model_records_plans_for_every_node() {
+    let g = matmul_graph(8, 8, 8);
+    let model = Compiler::new(tiny_cfg(), CompilerOptions::default())
+        .compile(&g, "plans", 1)
+        .unwrap();
+    assert_eq!(model.op_plans.len(), g.len());
+    for (i, plan) in model.op_plans.iter().enumerate() {
+        assert_eq!(plan.value, ValueId(i));
+    }
+    // TOG validates topologically.
+    model.tog.validate().unwrap();
+    assert!(model.tog.total_dma_bytes() > 0);
+    assert!(model.tog.total_compute_cycles() > 0);
+}
+
+#[test]
+fn tpu_config_compiles_large_gemm_quickly() {
+    // The TPUv3 config with a 512-square GEMM: ensures kernel measurement
+    // and TOG emission stay tractable at realistic scale.
+    let g = matmul_graph(512, 512, 512);
+    let model = Compiler::new(SimConfig::tpu_v3(), CompilerOptions::default())
+        .compile(&g, "gemm512", 1)
+        .unwrap();
+    assert!(model.tog.nodes.len() > 10);
+    // DMA traffic at least the size of all three matrices.
+    assert!(model.tog.total_dma_bytes() >= 3 * 512 * 512 * 4);
+}
+
+#[test]
+fn npu_config_tiny_validates() {
+    NpuConfig::tiny().validate().unwrap();
+}
+
+#[test]
+fn autotuned_compilation_is_functionally_identical_and_not_slower() {
+    let cfg = SimConfig::tpu_v3_single_core();
+    let spec_graph = matmul_graph(200, 128, 256);
+    let x = Tensor::randn([200, 128], 80);
+    let w = Tensor::randn([128, 256], 81);
+    let plain = CompilerOptions::default();
+    let tuned = CompilerOptions { autotune: true, ..CompilerOptions::default() };
+    // Same function...
+    check_opts(&spec_graph, std::slice::from_ref(&x), std::slice::from_ref(&w), &SimConfig::tiny(), &CompilerOptions { autotune: true, ..CompilerOptions::default() }, 1e-3);
+    // ...and the tuned TOG must not be degenerate on the big config.
+    let a = Compiler::new(cfg.clone(), plain).compile(&spec_graph, "p", 1).unwrap();
+    let b = Compiler::new(cfg, tuned).compile(&spec_graph, "t", 1).unwrap();
+    assert!(b.tog.total_compute_cycles() <= 2 * a.tog.total_compute_cycles());
+}
+
+#[test]
+fn compiled_models_stay_within_scratchpad() {
+    // Every op class, on both the tiny and the TPUv3 configurations.
+    let graphs = vec![
+        matmul_graph(20, 19, 13),
+        {
+            let mut g = GraphBuilder::new();
+            let x = g.input("x", [9, 16]);
+            let gamma = g.parameter("gamma", [16]);
+            let beta = g.parameter("beta", [16]);
+            let ln = g.layernorm(x, gamma, beta).unwrap();
+            let sm = g.softmax(ln).unwrap();
+            g.output(sm);
+            g.finish()
+        },
+        {
+            use ptsim_graph::ConvGeom;
+            let mut g = GraphBuilder::new();
+            let x = g.input("x", [2, 3, 8, 8]);
+            let w = g.parameter("w", [4, 3, 3, 3]);
+            let y = g.conv2d(x, w, ConvGeom::new(1, 1)).unwrap();
+            g.output(y);
+            g.finish()
+        },
+    ];
+    for cfg in [SimConfig::tiny(), SimConfig::tpu_v3_single_core()] {
+        for (i, graph) in graphs.iter().enumerate() {
+            let model = Compiler::new(cfg.clone(), CompilerOptions::default())
+                .compile(graph, &format!("sp{i}"), 1)
+                .unwrap();
+            model.validate_scratchpad(&cfg.npu).unwrap_or_else(|e| {
+                panic!("graph {i} on {} cores: {e}", cfg.npu.cores)
+            });
+        }
+    }
+}
+
+#[test]
+fn scratchpad_validator_catches_overflow() {
+    use ptsim_tog::{FlatNode, FlatNodeKind};
+    let mut model = Compiler::new(SimConfig::tiny(), CompilerOptions::default())
+        .compile(&matmul_graph(8, 8, 8), "ok", 1)
+        .unwrap();
+    model.tog.nodes.push(FlatNode {
+        kind: FlatNodeKind::LoadDma {
+            addr: 0,
+            sp: 1 << 30, // far beyond the 64 KiB tiny scratchpad
+            rows: 1,
+            cols: 16,
+            mm_stride: 64,
+            sp_stride: 64,
+            transpose: false,
+        },
+        deps: vec![],
+        core: 0,
+    });
+    assert!(model.validate_scratchpad(&SimConfig::tiny().npu).is_err());
+}

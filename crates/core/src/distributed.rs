@@ -1,0 +1,210 @@
+//! Multi-NPU data-parallel training — the §3.9.3 extension.
+//!
+//! The paper leaves multi-NPU systems as future work but sketches the
+//! approach: instantiate multiple NPU models and exploit that data-parallel
+//! training needs only coarse-grained communication (an all-reduce of the
+//! gradients between iterations), so per-NPU simulations synchronize
+//! infrequently. This module implements exactly that: each NPU's
+//! per-iteration time comes from its own TOGSim run over the sharded batch,
+//! and the gradient all-reduce is modelled with the standard ring-collective
+//! cost over the inter-NPU links.
+
+use ptsim_common::config::SimConfig;
+use ptsim_common::cycles::ns_to_cycles;
+use ptsim_common::{Error, Result};
+use ptsim_models::ModelSpec;
+
+use crate::training::TrainingSim;
+
+/// The inter-NPU fabric of a multi-NPU system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of NPUs.
+    pub npus: usize,
+    /// Per-link bandwidth, GB/s (e.g. inter-chip interconnect).
+    pub link_gbps: f64,
+    /// Per-hop link latency, ns.
+    pub link_latency_ns: f64,
+}
+
+impl ClusterConfig {
+    /// A TPU-pod-like fabric: 4 NPUs on 100 GB/s links, 1 µs hops.
+    pub fn pod_of(npus: usize) -> Self {
+        ClusterConfig { npus: npus.max(1), link_gbps: 100.0, link_latency_ns: 1000.0 }
+    }
+}
+
+/// Timing of one data-parallel training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterIteration {
+    /// Per-NPU compute cycles (forward + backward on the local shard).
+    pub compute_cycles: u64,
+    /// Gradient all-reduce cycles (ring collective).
+    pub allreduce_cycles: u64,
+}
+
+impl ClusterIteration {
+    /// Total iteration time in cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.allreduce_cycles
+    }
+
+    /// Fraction of the iteration spent computing.
+    pub fn compute_fraction(&self) -> f64 {
+        self.compute_cycles as f64 / self.total_cycles().max(1) as f64
+    }
+}
+
+/// Data-parallel scaling results across NPU counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingReport {
+    /// `(npus, iteration)` per configuration.
+    pub points: Vec<(usize, ClusterIteration)>,
+}
+
+impl ScalingReport {
+    /// Scaling efficiency of the `i`-th point vs the first, in [0, 1]:
+    /// achieved speedup over ideal linear speedup.
+    pub fn efficiency(&self, i: usize) -> f64 {
+        let (n0, it0) = &self.points[0];
+        let (ni, iti) = &self.points[i];
+        let ideal = *ni as f64 / *n0 as f64;
+        let achieved = it0.total_cycles() as f64 / iti.total_cycles() as f64;
+        achieved / ideal
+    }
+}
+
+/// Simulates data-parallel training over a cluster of identical NPUs.
+pub struct ClusterSim {
+    npu: SimConfig,
+    cluster: ClusterConfig,
+}
+
+impl ClusterSim {
+    /// Creates a cluster of `cluster.npus` NPUs of configuration `npu`.
+    pub fn new(npu: SimConfig, cluster: ClusterConfig) -> Self {
+        ClusterSim { npu, cluster }
+    }
+
+    /// Ring all-reduce cycles for `bytes` of gradients: each NPU sends
+    /// `2·(N−1)/N · bytes` over its link, in `2·(N−1)` latency-bearing
+    /// steps.
+    pub fn allreduce_cycles(&self, bytes: u64) -> u64 {
+        let n = self.cluster.npus as u64;
+        if n <= 1 {
+            return 0;
+        }
+        let freq = self.npu.npu.freq_mhz;
+        let bytes_per_cycle = self.cluster.link_gbps * 1e9 / (freq * 1e6);
+        let volume = 2 * (n - 1) * bytes / n;
+        let transfer = (volume as f64 / bytes_per_cycle).ceil() as u64;
+        let latency = 2 * (n - 1) * ns_to_cycles(self.cluster.link_latency_ns, freq);
+        transfer + latency
+    }
+
+    /// Times one data-parallel iteration of `global_batch` split evenly
+    /// across the NPUs (the per-shard forward+backward runs on TOGSim; the
+    /// gradient volume is the model's parameter bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the batch does not split evenly, the model is
+    /// not trainable, or compilation fails.
+    pub fn iteration(
+        &self,
+        make_model: impl Fn(usize) -> ModelSpec,
+        global_batch: usize,
+    ) -> Result<ClusterIteration> {
+        let n = self.cluster.npus;
+        if !global_batch.is_multiple_of(n) || global_batch == 0 {
+            return Err(Error::InvalidConfig(format!(
+                "global batch {global_batch} does not split across {n} NPUs"
+            )));
+        }
+        let shard = global_batch / n;
+        let spec = make_model(shard);
+        let sim = TrainingSim::new(self.npu.clone());
+        let compute_cycles = sim.iteration_cycles(&spec)?;
+        let grad_bytes = (spec.param_count() * 4) as u64;
+        Ok(ClusterIteration {
+            compute_cycles,
+            allreduce_cycles: self.allreduce_cycles(grad_bytes),
+        })
+    }
+
+    /// Sweeps NPU counts for a fixed global batch, producing the
+    /// weak/strong-scaling profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates iteration errors.
+    pub fn scaling(
+        npu: SimConfig,
+        base: ClusterConfig,
+        npu_counts: &[usize],
+        make_model: impl Fn(usize) -> ModelSpec + Copy,
+        global_batch: usize,
+    ) -> Result<ScalingReport> {
+        let mut points = Vec::new();
+        for &n in npu_counts {
+            let sim =
+                ClusterSim::new(npu.clone(), ClusterConfig { npus: n, ..base });
+            points.push((n, sim.iteration(make_model, global_batch)?));
+        }
+        Ok(ScalingReport { points })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_models::mlp;
+
+    fn tiny() -> SimConfig {
+        SimConfig::tiny()
+    }
+
+    #[test]
+    fn single_npu_has_no_allreduce() {
+        let sim = ClusterSim::new(tiny(), ClusterConfig { npus: 1, ..ClusterConfig::pod_of(1) });
+        assert_eq!(sim.allreduce_cycles(1 << 20), 0);
+        let it = sim.iteration(|b| mlp(b, 32), 16).unwrap();
+        assert_eq!(it.allreduce_cycles, 0);
+        assert!(it.compute_cycles > 0);
+    }
+
+    #[test]
+    fn allreduce_grows_with_gradient_size_and_npus() {
+        let four = ClusterSim::new(tiny(), ClusterConfig::pod_of(4));
+        let eight = ClusterSim::new(tiny(), ClusterConfig::pod_of(8));
+        assert!(four.allreduce_cycles(64 << 20) > four.allreduce_cycles(1 << 20));
+        // Per-NPU volume saturates at 2x bytes, so 8 NPUs ≈ 4 NPUs on
+        // volume but pays more latency steps.
+        assert!(eight.allreduce_cycles(1024) > four.allreduce_cycles(1024));
+    }
+
+    #[test]
+    fn strong_scaling_shrinks_compute_but_not_allreduce() {
+        let report = ClusterSim::scaling(
+            tiny(),
+            ClusterConfig::pod_of(1),
+            &[1, 2, 4],
+            |b| mlp(b, 32),
+            16,
+        )
+        .unwrap();
+        let c: Vec<u64> = report.points.iter().map(|(_, it)| it.compute_cycles).collect();
+        assert!(c[0] > c[1] && c[1] > c[2], "compute must shrink: {c:?}");
+        let a: Vec<u64> = report.points.iter().map(|(_, it)| it.allreduce_cycles).collect();
+        assert!(a[1] <= a[2], "allreduce must not shrink: {a:?}");
+        // Efficiency decays with scale.
+        assert!(report.efficiency(1) <= 1.01);
+        assert!(report.efficiency(2) <= report.efficiency(1) + 1e-9);
+    }
+
+    #[test]
+    fn uneven_batches_are_rejected() {
+        let sim = ClusterSim::new(tiny(), ClusterConfig::pod_of(3));
+        assert!(sim.iteration(|b| mlp(b, 32), 16).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! PyTorchSim-rs — a comprehensive, fast, and accurate NPU simulation
+//! framework, reproducing *PyTorchSim* (MICRO 2025) in pure Rust.
+//!
+//! The [`Simulator`] facade ties the full stack together:
+//!
+//! 1. models are captured as computation graphs ([`ptsim_graph`], the
+//!    PyTorch-2 frontend analog) with ahead-of-time autodiff for training;
+//! 2. the compiler backend ([`ptsim_compiler`]) tiles each operator,
+//!    generates RISC-V-flavoured NPU kernels ([`ptsim_isa`]), measures
+//!    their deterministic latencies on the cycle-accurate core model
+//!    ([`ptsim_timingsim`], the Gem5 analog), and emits a Tile Operation
+//!    Graph ([`ptsim_tog`]);
+//! 3. TOGSim ([`ptsim_togsim`]) replays the TOG at tile granularity while
+//!    DRAM ([`ptsim_dram`]) and the interconnect ([`ptsim_noc`]) are
+//!    simulated cycle-accurately online — the paper's Tile-Level
+//!    Simulation;
+//! 4. the functional simulator ([`ptsim_funcsim`], the Spike analog)
+//!    validates compiled kernels against the eager reference and extracts
+//!    data-dependent latencies for sparse tiles ([`ptsim_sparse`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use ptsim_common::config::SimConfig;
+//! use pytorchsim::Simulator;
+//!
+//! let mut sim = Simulator::new(SimConfig::tiny());
+//! let report = sim.run_inference(&ptsim_models::gemm(32))?;
+//! assert!(report.total_cycles > 0);
+//! # Ok::<(), ptsim_common::Error>(())
+//! ```
+
+pub mod distributed;
+pub mod simulator;
+pub mod training;
+
+pub use distributed::{ClusterConfig, ClusterIteration, ClusterSim, ScalingReport};
+pub use simulator::Simulator;
+pub use training::{TrainingRun, TrainingSim};
+
+// Re-export the workspace's public surface for downstream users.
+pub use ptsim_baselines as baselines;
+pub use ptsim_common as common;
+pub use ptsim_compiler as compiler;
+pub use ptsim_dram as dram;
+pub use ptsim_funcsim as funcsim;
+pub use ptsim_graph as graph;
+pub use ptsim_isa as isa;
+pub use ptsim_models as models;
+pub use ptsim_noc as noc;
+pub use ptsim_scheduler as scheduler;
+pub use ptsim_sparse as sparse;
+pub use ptsim_tensor as tensor;
+pub use ptsim_timingsim as timingsim;
+pub use ptsim_tog as tog;
+pub use ptsim_togsim as togsim;

@@ -1,0 +1,186 @@
+//! The top-level simulator facade.
+
+use ptsim_common::config::SimConfig;
+use ptsim_common::{Cycle, Result};
+use ptsim_compiler::{execute_functional, CompiledModel, Compiler, CompilerOptions};
+use ptsim_models::ModelSpec;
+use ptsim_tensor::Tensor;
+use ptsim_togsim::{Fidelity, JobSpec, SimReport, TogSim};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A complete PyTorchSim instance: compiler, caches, and simulators for a
+/// fixed NPU configuration.
+///
+/// Compiled models are cached by name (the §3.10 TOG cache): recompilation
+/// happens only the first time a (model, batch) combination is seen.
+pub struct Simulator {
+    cfg: SimConfig,
+    compiler: Compiler,
+    cache: HashMap<String, Arc<CompiledModel>>,
+}
+
+impl Simulator {
+    /// Creates a simulator with default compiler options.
+    pub fn new(cfg: SimConfig) -> Self {
+        Self::with_options(cfg, CompilerOptions::default())
+    }
+
+    /// Creates a simulator with explicit compiler options (for the §5.3
+    /// optimization studies).
+    pub fn with_options(cfg: SimConfig, opts: CompilerOptions) -> Self {
+        Simulator { compiler: Compiler::new(cfg.clone(), opts), cfg, cache: HashMap::new() }
+    }
+
+    /// The NPU configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Compiles (or fetches from the cache) a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if lowering fails.
+    pub fn compile(&mut self, spec: &ModelSpec) -> Result<Arc<CompiledModel>> {
+        if let Some(hit) = self.cache.get(&spec.name) {
+            return Ok(Arc::clone(hit));
+        }
+        let model = Arc::new(self.compiler.compile(&spec.graph, &spec.name, 1)?);
+        self.cache.insert(spec.name.clone(), Arc::clone(&model));
+        Ok(model)
+    }
+
+    /// Number of cached compiled models.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Runs one inference of `spec` with Tile-Level Simulation on the full
+    /// NPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if compilation or simulation fails.
+    pub fn run_inference(&mut self, spec: &ModelSpec) -> Result<SimReport> {
+        let model = self.compile(spec)?;
+        let mut sim = TogSim::new(&self.cfg);
+        sim.add_shared_job(Arc::new(model.tog.clone()), JobSpec::default());
+        sim.run()
+    }
+
+    /// Runs one inference at instruction-level fidelity: every tile
+    /// kernel's machine code is re-executed on the core timing model (the
+    /// slow ILS mode of Fig. 6, and the high-fidelity reference of Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if compilation or simulation fails.
+    pub fn run_inference_ils(&mut self, spec: &ModelSpec) -> Result<SimReport> {
+        self.run_ils_inner(spec, true)
+    }
+
+    /// ILS with functional execution disabled: same simulated cycles (the
+    /// timing reference of Fig. 5) at a fraction of the wall-clock cost,
+    /// since functional execution affects only how long the *simulator*
+    /// takes, never the simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if compilation or simulation fails.
+    pub fn run_inference_ils_timing(&mut self, spec: &ModelSpec) -> Result<SimReport> {
+        self.run_ils_inner(spec, false)
+    }
+
+    fn run_ils_inner(&mut self, spec: &ModelSpec, functional: bool) -> Result<SimReport> {
+        let model = self.compile(spec)?;
+        let kernels = Arc::new(model.kernels.clone());
+        let mut sim = TogSim::new(&self.cfg)
+            .with_fidelity(Fidelity::Ils { per_tile_overhead: 24, functional });
+        sim.add_shared_job(
+            Arc::new(model.tog.clone()),
+            JobSpec { kernels: Some(kernels), ..JobSpec::default() },
+        );
+        sim.run()
+    }
+
+    /// Runs several compiled models concurrently (multi-model tenancy,
+    /// §5.2). Each entry is `(model, core_offset, cores, tag, arrival)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if simulation deadlocks.
+    pub fn run_tenants(
+        &mut self,
+        tenants: &[(Arc<CompiledModel>, usize, usize, u32, Cycle)],
+    ) -> Result<SimReport> {
+        let mut sim = TogSim::new(&self.cfg);
+        for (model, core_offset, cores, tag, start_at) in tenants {
+            sim.add_shared_job(
+                Arc::new(model.tog.clone()),
+                JobSpec {
+                    core_offset: *core_offset,
+                    cores: *cores,
+                    tag: *tag,
+                    start_at: *start_at,
+                    kernels: None,
+                },
+            );
+        }
+        sim.run()
+    }
+
+    /// Executes `spec` functionally on the NPU (compiled kernels +
+    /// functional simulator, with host fallback for unsupported operators),
+    /// returning the graph outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on binding mismatches or kernel faults.
+    pub fn execute(
+        &mut self,
+        spec: &ModelSpec,
+        inputs: &[Tensor],
+        params: &[Tensor],
+    ) -> Result<Vec<Tensor>> {
+        let model = self.compile(spec)?;
+        execute_functional(&model, &self.cfg.npu, inputs, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_models::gemm;
+
+    #[test]
+    fn compile_cache_hits_by_name() {
+        let mut sim = Simulator::new(SimConfig::tiny());
+        let spec = gemm(16);
+        let a = sim.compile(&spec).unwrap();
+        let b = sim.compile(&spec).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(sim.cache_len(), 1);
+    }
+
+    #[test]
+    fn inference_produces_nonzero_cycles_and_traffic() {
+        let mut sim = Simulator::new(SimConfig::tiny());
+        let r = sim.run_inference(&gemm(32)).unwrap();
+        assert!(r.total_cycles > 0);
+        assert!(r.dram.bytes >= 3 * 32 * 32 * 4);
+    }
+
+    #[test]
+    fn ils_simulated_cycles_close_to_tls() {
+        // TLS is derived from the same kernels measured offline, so the
+        // simulated cycle counts must be close (the error is the per-tile
+        // overhead ILS adds) — this is the heart of the TLS argument.
+        let mut sim = Simulator::new(SimConfig::tiny());
+        let spec = gemm(48);
+        let tls = sim.run_inference(&spec).unwrap().total_cycles;
+        let ils = sim.run_inference_ils(&spec).unwrap().total_cycles;
+        let err = (tls as f64 - ils as f64).abs() / ils as f64;
+        assert!(err < 0.35, "tls {tls} vs ils {ils} ({:.1}% error)", err * 100.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! DNN training simulation (§5.5).
+//!
+//! Training couples the timing and functional models (§3.1, Table 2): the
+//! per-iteration NPU time comes from TOGSim executing the compiled
+//! forward+backward TOG, while the loss trajectory — which determines how
+//! many iterations a training run needs — comes from functional execution.
+//! Loss curves here use the eager reference for speed (bit-equivalent to
+//! the ISA path, which `tests/integration.rs` verifies on sample
+//! iterations), matching the paper's observation that functional outputs
+//! can be computed on the host.
+
+use ptsim_common::config::SimConfig;
+use ptsim_common::{Error, Result};
+use ptsim_compiler::{Compiler, CompilerOptions};
+use ptsim_graph::autodiff::build_training_graph;
+use ptsim_graph::exec::execute;
+use ptsim_graph::train::Sgd;
+use ptsim_models::{ModelSpec, SyntheticMnist};
+use ptsim_tensor::Tensor;
+use ptsim_togsim::{JobSpec, TogSim};
+
+/// The result of a simulated training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingRun {
+    /// Loss after each iteration.
+    pub losses: Vec<f32>,
+    /// Simulated NPU cycles per training iteration.
+    pub cycles_per_iteration: u64,
+    /// Total simulated cycles (iterations × per-iteration).
+    pub total_cycles: u64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final training-set accuracy in [0, 1].
+    pub final_accuracy: f64,
+}
+
+impl TrainingRun {
+    /// First iteration whose loss drops below `target`, if any.
+    pub fn iterations_to_loss(&self, target: f32) -> Option<usize> {
+        self.losses.iter().position(|&l| l < target).map(|i| i + 1)
+    }
+}
+
+/// Simulates training of a trainable [`ModelSpec`] on a synthetic dataset.
+pub struct TrainingSim {
+    cfg: SimConfig,
+    opts: CompilerOptions,
+}
+
+impl TrainingSim {
+    /// Creates a training simulator.
+    pub fn new(cfg: SimConfig) -> Self {
+        TrainingSim { cfg, opts: CompilerOptions::default() }
+    }
+
+    /// Per-iteration NPU cycles for the model's forward+backward pass,
+    /// from the compiled training TOG on TOGSim.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model has no loss or compilation fails.
+    pub fn iteration_cycles(&self, spec: &ModelSpec) -> Result<u64> {
+        let loss = spec
+            .loss
+            .ok_or_else(|| Error::InvalidGraph(format!("model {} has no loss", spec.name)))?;
+        let train_graph = build_training_graph(&spec.graph, loss)?;
+        let compiled = Compiler::new(self.cfg.clone(), self.opts.clone()).compile(
+            &train_graph,
+            &format!("{}_train", spec.name),
+            1,
+        )?;
+        let mut sim = TogSim::new(&self.cfg);
+        sim.add_job(compiled.tog.clone(), JobSpec::default());
+        Ok(sim.run()?.total_cycles)
+    }
+
+    /// Trains `spec` (whose inputs must be `[x, one-hot t]`) with SGD on a
+    /// synthetic dataset, combining the functional loss trajectory with the
+    /// per-iteration timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model is not trainable or execution fails.
+    pub fn train_mlp(
+        &self,
+        spec: &ModelSpec,
+        batch: usize,
+        dataset: &SyntheticMnist,
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Result<TrainingRun> {
+        let loss_value = spec
+            .loss
+            .ok_or_else(|| Error::InvalidGraph(format!("model {} has no loss", spec.name)))?;
+        let train_graph = build_training_graph(&spec.graph, loss_value)?;
+        let cycles_per_iteration = self.iteration_cycles(spec)?;
+
+        let mut params = spec.init_params(seed);
+        let opt = Sgd::new(lr);
+        let iters_per_epoch = (dataset.len() / batch).max(1);
+        let mut losses = Vec::new();
+        for epoch in 0..epochs {
+            for it in 0..iters_per_epoch {
+                let (x, t, _) = dataset.batch(epoch * iters_per_epoch + it, batch);
+                let exec = execute(&train_graph, &[x, t], &params)?;
+                let outs = exec.outputs();
+                losses.push(outs[0].data()[0]);
+                let grads: Vec<Tensor> = outs[1..].iter().map(|&g| g.clone()).collect();
+                opt.step(&mut params, &grads)?;
+            }
+        }
+
+        // Final accuracy over one sweep of the dataset.
+        let mut correct = 0.0;
+        let evals = iters_per_epoch;
+        for it in 0..evals {
+            let (x, t, _) = dataset.batch(it, batch);
+            let exec = execute(&spec.graph, &[x, t], &params)?;
+            correct += dataset.accuracy(exec.outputs()[0], it, batch);
+        }
+        let iterations = losses.len();
+        Ok(TrainingRun {
+            losses,
+            cycles_per_iteration,
+            total_cycles: cycles_per_iteration * iterations as u64,
+            iterations,
+            final_accuracy: correct / evals as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_models::mlp;
+
+    #[test]
+    fn iteration_cycles_scale_with_batch() {
+        let sim = TrainingSim::new(SimConfig::tiny());
+        let small = sim.iteration_cycles(&mlp(4, 32)).unwrap();
+        let large = sim.iteration_cycles(&mlp(32, 32)).unwrap();
+        assert!(large > small, "{small} vs {large}");
+        // ...but sub-linearly: larger batches amortize weight loads.
+        assert!(large < 8 * small, "{small} vs {large}");
+    }
+
+    #[test]
+    fn training_reduces_loss_and_reaches_accuracy() {
+        let sim = TrainingSim::new(SimConfig::tiny());
+        let data = SyntheticMnist::generate(256, 11);
+        let run = sim.train_mlp(&mlp(16, 32), 16, &data, 3, 0.05, 1).unwrap();
+        assert_eq!(run.iterations, 48);
+        let first = run.losses[0];
+        let last = *run.losses.last().unwrap();
+        assert!(last < 0.5 * first, "loss {first} -> {last}");
+        assert!(run.final_accuracy > 0.8, "accuracy {}", run.final_accuracy);
+        assert!(run.total_cycles > 0);
+        assert!(run.iterations_to_loss(first * 0.8).is_some());
+    }
+
+    #[test]
+    fn untrainable_models_are_rejected() {
+        let sim = TrainingSim::new(SimConfig::tiny());
+        assert!(sim.iteration_cycles(&ptsim_models::gemm(8)).is_err());
+    }
+}

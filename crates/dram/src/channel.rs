@@ -1,0 +1,272 @@
+//! One DRAM channel: request queue, banks, scheduler, and data bus.
+
+use crate::stats::DramStats;
+use ptsim_common::config::{DramConfig, MemSchedulerPolicy};
+use ptsim_common::{Cycle, RequestId};
+
+/// One transaction-granularity memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Caller-chosen identity, echoed on completion.
+    pub id: RequestId,
+    /// Byte address (transaction aligned is recommended).
+    pub addr: u64,
+    /// Transfer size in bytes (one transaction).
+    pub bytes: u64,
+    /// True for writes.
+    pub is_write: bool,
+    /// Free-form source tag (core, tenant) for bandwidth accounting.
+    pub tag: u32,
+}
+
+impl MemRequest {
+    /// A read transaction.
+    pub fn read(id: RequestId, addr: u64, bytes: u64, tag: u32) -> Self {
+        MemRequest { id, addr, bytes, is_write: false, tag }
+    }
+
+    /// A write transaction.
+    pub fn write(id: RequestId, addr: u64, bytes: u64, tag: u32) -> Self {
+        MemRequest { id, addr, bytes, is_write: true, tag }
+    }
+}
+
+/// What a request did to the row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// Row already open: only tCL.
+    Hit,
+    /// Bank idle: tRCD + tCL.
+    Miss,
+    /// Another row open: tRP + tRCD + tCL (after tRAS of the old row).
+    Conflict,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    /// Cycle at which the open row was activated (for tRAS).
+    activated_at: u64,
+    /// Cycle until which the bank is busy with the current access.
+    busy_until: u64,
+    /// Earliest cycle a precharge may complete (write recovery).
+    write_recovery_until: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Queued {
+    req: MemRequest,
+    arrival: u64,
+}
+
+/// Derived timing, in core cycles.
+#[derive(Debug, Clone, Copy)]
+struct Timing {
+    t_cl: u64,
+    t_rcd: u64,
+    t_ras: u64,
+    t_wr: u64,
+    t_rp: u64,
+    burst: u64,
+}
+
+/// One DRAM channel.
+#[derive(Debug, Clone)]
+pub(crate) struct Channel {
+    queue: Vec<Queued>,
+    banks: Vec<Bank>,
+    timing: Timing,
+    policy: MemSchedulerPolicy,
+    queue_depth: usize,
+    blocks_per_row: u64,
+    channels: u64,
+    tx_bytes: u64,
+    /// Scheduling frontier: everything before this is decided.
+    time: u64,
+    /// Data-bus free time.
+    bus_free: u64,
+    /// Scheduled requests whose data has not yet been delivered, as
+    /// `(finish_cycle, request id)` in a min-heap.
+    inflight: std::collections::BinaryHeap<std::cmp::Reverse<(u64, RequestId)>>,
+    stats: DramStats,
+}
+
+impl Channel {
+    pub(crate) fn new(cfg: &DramConfig, freq_mhz: f64) -> Self {
+        let t = |ns: f64| cfg.timing_cycles(ns, freq_mhz);
+        Channel {
+            queue: Vec::new(),
+            banks: vec![Bank::default(); cfg.banks_per_channel],
+            timing: Timing {
+                t_cl: t(cfg.t_cl_ns),
+                t_rcd: t(cfg.t_rcd_ns),
+                t_ras: t(cfg.t_ras_ns),
+                t_wr: t(cfg.t_wr_ns),
+                t_rp: t(cfg.t_rp_ns),
+                burst: (cfg.transaction_bytes / cfg.bytes_per_cycle_per_channel).max(1),
+            },
+            policy: cfg.scheduler,
+            queue_depth: cfg.queue_depth,
+            blocks_per_row: (cfg.row_bytes / cfg.transaction_bytes).max(1),
+            channels: cfg.channels as u64,
+            tx_bytes: cfg.transaction_bytes,
+            time: 0,
+            bus_free: 0,
+            inflight: std::collections::BinaryHeap::new(),
+            stats: DramStats::default(),
+        }
+    }
+
+    fn bank_and_row(&self, addr: u64) -> (usize, u64) {
+        // Block-interleaved across channels; low column bits within a row
+        // for sequential-stream row locality (RoBaCoCh-style mapping).
+        let block = addr / self.tx_bytes;
+        let in_channel = block / self.channels;
+        let bank = ((in_channel / self.blocks_per_row) % self.banks.len() as u64) as usize;
+        let row = in_channel / self.blocks_per_row / self.banks.len() as u64;
+        (bank, row)
+    }
+
+    pub(crate) fn try_enqueue(&mut self, req: MemRequest, now: Cycle) -> bool {
+        if self.queue.len() >= self.queue_depth {
+            return false;
+        }
+        self.queue.push(Queued { req, arrival: now.raw() });
+        true
+    }
+
+    pub(crate) fn busy(&self) -> bool {
+        !self.queue.is_empty() || !self.inflight.is_empty()
+    }
+
+    pub(crate) fn free_slots(&self) -> usize {
+        self.queue_depth - self.queue.len()
+    }
+
+    pub(crate) fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Earliest future time at which this channel has work to report:
+    /// either a scheduled request's data delivery (exact) or, when nothing
+    /// is in flight, a lower bound for scheduling a queued request.
+    pub(crate) fn next_event(&self) -> Option<Cycle> {
+        if let Some(&std::cmp::Reverse((finish, _))) = self.inflight.peek() {
+            return Some(Cycle::new(finish));
+        }
+        if self.queue.is_empty() {
+            return None;
+        }
+        let arrival = self.queue.iter().map(|q| q.arrival).min().expect("non-empty");
+        Some(Cycle::new(arrival.max(self.time) + 1))
+    }
+
+    /// Schedules requests with service starting no later than `to` and
+    /// retires those whose data delivery completes by `to`.
+    pub(crate) fn advance(&mut self, to: Cycle, completed: &mut Vec<(RequestId, Cycle)>) {
+        let horizon = to.raw();
+        self.schedule(horizon);
+        while let Some(&std::cmp::Reverse((finish, rid))) = self.inflight.peek() {
+            if finish > horizon {
+                break;
+            }
+            self.inflight.pop();
+            completed.push((rid, Cycle::new(finish)));
+        }
+    }
+
+    /// Picks and timestamps requests whose service can start by `horizon`.
+    fn schedule(&mut self, horizon: u64) {
+        loop {
+            if self.queue.is_empty() {
+                self.time = self.time.max(horizon);
+                return;
+            }
+            // Only consider requests that have arrived by the frontier.
+            let arrived: Vec<usize> = (0..self.queue.len())
+                .filter(|&i| self.queue[i].arrival <= self.time)
+                .collect();
+            if arrived.is_empty() {
+                // Jump the frontier to the next arrival if within range.
+                let next_arrival =
+                    self.queue.iter().map(|q| q.arrival).min().expect("non-empty");
+                if next_arrival > horizon {
+                    self.time = horizon;
+                    return;
+                }
+                self.time = next_arrival;
+                continue;
+            }
+            let pick = match self.policy {
+                MemSchedulerPolicy::FrFcfs => {
+                    // Oldest row-hit first, else oldest.
+                    arrived
+                        .iter()
+                        .copied()
+                        .find(|&i| {
+                            let (bank, row) = self.bank_and_row(self.queue[i].req.addr);
+                            self.banks[bank].open_row == Some(row)
+                        })
+                        .unwrap_or(arrived[0])
+                }
+                MemSchedulerPolicy::Fcfs => arrived[0],
+            };
+            let q = self.queue[pick].clone();
+            let (bank_idx, row) = self.bank_and_row(q.req.addr);
+            let bank = self.banks[bank_idx];
+            let start = self.time.max(bank.busy_until);
+            if start > horizon {
+                // Cannot start anything new inside this window.
+                self.time = horizon;
+                return;
+            }
+            // Row-buffer outcome and resulting latency.
+            let (outcome, data_at) = match bank.open_row {
+                Some(r) if r == row => (RowOutcome::Hit, start + self.timing.t_cl),
+                Some(_) => {
+                    // Precharge the old row (respecting tRAS and write
+                    // recovery), activate the new one, then CAS.
+                    let pre_start = start
+                        .max(bank.activated_at + self.timing.t_ras)
+                        .max(bank.write_recovery_until);
+                    (
+                        RowOutcome::Conflict,
+                        pre_start + self.timing.t_rp + self.timing.t_rcd + self.timing.t_cl,
+                    )
+                }
+                None => (RowOutcome::Miss, start + self.timing.t_rcd + self.timing.t_cl),
+            };
+            // Data transfer occupies the bus.
+            let xfer_start = data_at.max(self.bus_free);
+            let finish = xfer_start + self.timing.burst;
+
+            let b = &mut self.banks[bank_idx];
+            // Column accesses to an open row pipeline back-to-back (the data
+            // bus is the throughput limiter); activations/precharges occupy
+            // the bank until the row is open.
+            match outcome {
+                RowOutcome::Hit => {
+                    b.busy_until = start + 1;
+                }
+                RowOutcome::Miss => {
+                    b.activated_at = start + self.timing.t_rcd;
+                    b.busy_until = b.activated_at;
+                }
+                RowOutcome::Conflict => {
+                    b.activated_at = finish - self.timing.t_cl - self.timing.burst;
+                    b.busy_until = b.activated_at;
+                }
+            }
+            b.open_row = Some(row);
+            if q.req.is_write {
+                b.write_recovery_until = finish + self.timing.t_wr;
+            }
+            self.bus_free = finish;
+            self.time = start + 1;
+
+            self.stats.record(&q.req, outcome, finish.saturating_sub(q.arrival));
+            self.inflight.push(std::cmp::Reverse((finish, q.req.id)));
+            self.queue.remove(pick);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Functional NPU simulator — the Spike analog (§3.8).
+//!
+//! This crate interprets compiled NPU kernels instruction by instruction,
+//! modelling the architectural state only: scalar and vector register
+//! files, the software-managed scratchpad, sparse main memory, the tensor
+//! DMA engine (with transpose and 4D iteration), and a functional
+//! weight-stationary systolic array fed through VCIX-style FIFOs.
+//!
+//! Its two roles mirror the paper's use of Spike:
+//!
+//! 1. **Correctness validation** — kernel outputs are compared against the
+//!    eager executor in `ptsim-graph` ("real CPU").
+//! 2. **Data-dependent latency extraction** — for sparse tiles, per-tile
+//!    work counts are measured offline and attached to the TOG (§3.7).
+//!
+//! # Examples
+//!
+//! ```
+//! use ptsim_common::config::NpuConfig;
+//! use ptsim_funcsim::FuncSim;
+//!
+//! let sim = FuncSim::new(&NpuConfig::tpu_v3());
+//! // TPUv3: 128 vector units x 16 lanes.
+//! assert_eq!(sim.vlmax(), 2048);
+//! ```
+
+pub mod dma;
+pub mod machine;
+pub mod mem;
+pub mod systolic;
+
+pub use dma::DmaDescriptor;
+pub use machine::{ExecStats, FuncSim};
+pub use mem::{MainMemory, Scratchpad};
+pub use systolic::SystolicArray;

@@ -1,0 +1,594 @@
+//! The instruction-set interpreter (the Spike analog's core loop).
+
+use crate::dma::DmaDescriptor;
+use crate::mem::{MainMemory, Scratchpad};
+use crate::systolic::SystolicArray;
+use ptsim_common::config::NpuConfig;
+use ptsim_common::{Error, Result};
+use ptsim_isa::instr::{DmaField, Instr};
+use ptsim_isa::program::Program;
+use ptsim_isa::reg::Reg;
+
+/// Instruction-mix and activity counters from one kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Total instructions retired.
+    pub instructions: u64,
+    /// Scalar (base-ISA) instructions.
+    pub scalar: u64,
+    /// Vector instructions (including SFU and dataflow-interface).
+    pub vector: u64,
+    /// SFU instructions.
+    pub sfu: u64,
+    /// DMA instructions (`config`/`mvin`/`mvout`/`fence`).
+    pub dma: u64,
+    /// Dataflow-unit instructions (`wvpush`/`ivpush`/`vpop`).
+    pub dataflow: u64,
+    /// Bytes moved by DMA in either direction.
+    pub dma_bytes: u64,
+    /// Multiply-accumulates performed by the systolic array.
+    pub sa_macs: u64,
+}
+
+/// The functional NPU core model: scalar/vector register files, scratchpad,
+/// main memory, DMA engine, and the systolic array, driven by the ISA
+/// interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use ptsim_common::config::NpuConfig;
+/// use ptsim_funcsim::FuncSim;
+/// use ptsim_isa::instr::Instr;
+/// use ptsim_isa::program::Program;
+/// use ptsim_isa::reg::Reg;
+///
+/// let mut sim = FuncSim::new(&NpuConfig::tiny());
+/// let p = Program::new("live", vec![
+///     Instr::Li { rd: Reg::new(1), imm: 21 },
+///     Instr::Add { rd: Reg::new(2), rs1: Reg::new(1), rs2: Reg::new(1) },
+///     Instr::Halt,
+/// ]);
+/// sim.run(&p)?;
+/// assert_eq!(sim.reg(Reg::new(2)), 42);
+/// # Ok::<(), ptsim_common::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuncSim {
+    regs: [i64; 32],
+    vregs: Vec<Vec<f32>>,
+    vl: usize,
+    vlmax: usize,
+    scratchpad: Scratchpad,
+    memory: MainMemory,
+    dma: DmaDescriptor,
+    sa: SystolicArray,
+    stats: ExecStats,
+    max_steps: u64,
+}
+
+impl FuncSim {
+    /// Creates a fresh machine for the given NPU configuration.
+    pub fn new(cfg: &NpuConfig) -> Self {
+        let vlmax = cfg.total_vector_lanes();
+        FuncSim {
+            regs: [0; 32],
+            vregs: vec![vec![0.0; vlmax]; 32],
+            vl: vlmax,
+            vlmax,
+            scratchpad: Scratchpad::new(cfg.scratchpad_bytes),
+            memory: MainMemory::new(),
+            dma: DmaDescriptor::default(),
+            sa: SystolicArray::new(cfg.systolic_rows, cfg.logical_sa_cols()),
+            stats: ExecStats::default(),
+            max_steps: 500_000_000,
+        }
+    }
+
+    /// Overrides the runaway-loop guard (default 5×10⁸ instructions).
+    pub fn set_max_steps(&mut self, max_steps: u64) {
+        self.max_steps = max_steps;
+    }
+
+    /// Reads a scalar register.
+    pub fn reg(&self, r: Reg) -> i64 {
+        if r == Reg::ZERO {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a scalar register (writes to `x0` are ignored).
+    pub fn set_reg(&mut self, r: Reg, value: i64) {
+        if r != Reg::ZERO {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// The machine's main memory.
+    pub fn memory(&self) -> &MainMemory {
+        &self.memory
+    }
+
+    /// Mutable access to main memory, for staging tensors before a run.
+    pub fn memory_mut(&mut self) -> &mut MainMemory {
+        &mut self.memory
+    }
+
+    /// The core's scratchpad.
+    pub fn scratchpad(&self) -> &Scratchpad {
+        &self.scratchpad
+    }
+
+    /// Mutable access to the scratchpad.
+    pub fn scratchpad_mut(&mut self) -> &mut Scratchpad {
+        &mut self.scratchpad
+    }
+
+    /// Preloads an all-zero weight matrix into the systolic array, so
+    /// sub-kernels that reuse previously-loaded weights (fine-grained DMA
+    /// bodies) can execute standalone.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a partial input vector is in flight.
+    pub fn preload_zero_weights(&mut self) -> Result<()> {
+        let n = self.sa.rows() * self.sa.cols();
+        self.sa.push_weights(&vec![0.0; n])
+    }
+
+    /// Split borrow for host-driven DMA: read-only main memory plus
+    /// mutable scratchpad.
+    pub fn memory_scratchpad_mut(&mut self) -> (&MainMemory, &mut Scratchpad) {
+        (&self.memory, &mut self.scratchpad)
+    }
+
+    /// Split borrow for host-driven DMA: mutable main memory plus
+    /// read-only scratchpad.
+    pub fn memory_mut_scratchpad(&mut self) -> (&mut MainMemory, &Scratchpad) {
+        (&mut self.memory, &self.scratchpad)
+    }
+
+    /// Accumulated execution statistics.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// The maximum vector length (vector units × lanes).
+    pub fn vlmax(&self) -> usize {
+        self.vlmax
+    }
+
+    /// Runs a program from PC 0 until `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IsaFault`] on any architectural fault (bad address,
+    /// FIFO underflow, branch out of range, missing `halt`, step budget
+    /// exhausted).
+    pub fn run(&mut self, program: &Program) -> Result<ExecStats> {
+        let before = self.stats;
+        let mut pc: usize = 0;
+        let mut steps: u64 = 0;
+        loop {
+            let instr = *program.instrs.get(pc).ok_or_else(|| {
+                Error::IsaFault(format!("pc {pc} past end of kernel {}", program.name))
+            })?;
+            steps += 1;
+            if steps > self.max_steps {
+                return Err(Error::IsaFault(format!(
+                    "kernel {} exceeded {} steps",
+                    program.name, self.max_steps
+                )));
+            }
+            self.count(&instr);
+            match self.step(&instr, pc)? {
+                Some(next) => pc = next,
+                None => break,
+            }
+        }
+        Ok(ExecStats {
+            instructions: self.stats.instructions - before.instructions,
+            scalar: self.stats.scalar - before.scalar,
+            vector: self.stats.vector - before.vector,
+            sfu: self.stats.sfu - before.sfu,
+            dma: self.stats.dma - before.dma,
+            dataflow: self.stats.dataflow - before.dataflow,
+            dma_bytes: self.stats.dma_bytes - before.dma_bytes,
+            sa_macs: self.sa.macs() - before.sa_macs,
+        })
+    }
+
+    fn count(&mut self, instr: &Instr) {
+        self.stats.instructions += 1;
+        if instr.is_dma() {
+            self.stats.dma += 1;
+        } else if instr.is_vector() {
+            self.stats.vector += 1;
+            if instr.is_sfu() {
+                self.stats.sfu += 1;
+            }
+            if instr.is_dataflow() {
+                self.stats.dataflow += 1;
+            }
+        } else {
+            self.stats.scalar += 1;
+        }
+    }
+
+    /// Executes one instruction; returns the next PC or `None` on halt.
+    fn step(&mut self, instr: &Instr, pc: usize) -> Result<Option<usize>> {
+        let next = pc + 1;
+        match *instr {
+            Instr::Li { rd, imm } => self.set_reg(rd, imm as i64),
+            Instr::Addi { rd, rs1, imm } => {
+                let v = self.reg(rs1).wrapping_add(imm as i64);
+                self.set_reg(rd, v);
+            }
+            Instr::Add { rd, rs1, rs2 } => {
+                let v = self.reg(rs1).wrapping_add(self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Instr::Sub { rd, rs1, rs2 } => {
+                let v = self.reg(rs1).wrapping_sub(self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Instr::Mul { rd, rs1, rs2 } => {
+                let v = self.reg(rs1).wrapping_mul(self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Instr::Lw { rd, rs1, imm } => {
+                let addr = (self.reg(rs1) + imm as i64) as u64;
+                let v = self.scratchpad.read(addr)?;
+                self.set_reg(rd, v.to_bits() as i64);
+            }
+            Instr::Sw { rs1, rs2, imm } => {
+                let addr = (self.reg(rs1) + imm as i64) as u64;
+                let v = f32::from_bits(self.reg(rs2) as u32);
+                self.scratchpad.write(addr, v)?;
+            }
+            Instr::Bne { rs1, rs2, offset } => {
+                if self.reg(rs1) != self.reg(rs2) {
+                    return self.branch(pc, offset);
+                }
+            }
+            Instr::Blt { rs1, rs2, offset } => {
+                if self.reg(rs1) < self.reg(rs2) {
+                    return self.branch(pc, offset);
+                }
+            }
+            Instr::Halt => return Ok(None),
+            Instr::Vsetvl { rd, rs1 } => {
+                let requested = self.reg(rs1).max(0) as usize;
+                self.vl = requested.min(self.vlmax);
+                self.set_reg(rd, self.vl as i64);
+            }
+            Instr::Vle { vd, rs1 } => {
+                let base = self.reg(rs1) as u64;
+                let data = self.scratchpad.read_slice(base, self.vl)?;
+                self.vregs[vd.index()][..self.vl].copy_from_slice(&data);
+            }
+            Instr::Vse { vs, rs1 } => {
+                let base = self.reg(rs1) as u64;
+                let data = self.vregs[vs.index()][..self.vl].to_vec();
+                self.scratchpad.write_slice(base, &data)?;
+            }
+            Instr::Vlse { vd, rs1, rs2 } => {
+                let base = self.reg(rs1) as u64;
+                let stride = self.reg(rs2) as u64;
+                for i in 0..self.vl {
+                    self.vregs[vd.index()][i] = self.scratchpad.read(base + i as u64 * stride)?;
+                }
+            }
+            Instr::Vsse { vs, rs1, rs2 } => {
+                let base = self.reg(rs1) as u64;
+                let stride = self.reg(rs2) as u64;
+                for i in 0..self.vl {
+                    self.scratchpad.write(base + i as u64 * stride, self.vregs[vs.index()][i])?;
+                }
+            }
+            Instr::Vbcast { vd, rs1 } => {
+                let v = f32::from_bits(self.reg(rs1) as u32);
+                for e in &mut self.vregs[vd.index()][..self.vl] {
+                    *e = v;
+                }
+            }
+            Instr::Vadd { vd, vs1, vs2 } => self.vv(vd, vs1, vs2, |a, b| a + b),
+            Instr::Vsub { vd, vs1, vs2 } => self.vv(vd, vs1, vs2, |a, b| a - b),
+            Instr::Vmul { vd, vs1, vs2 } => self.vv(vd, vs1, vs2, |a, b| a * b),
+            Instr::Vdiv { vd, vs1, vs2 } => self.vv(vd, vs1, vs2, |a, b| a / b),
+            Instr::Vmax { vd, vs1, vs2 } => self.vv(vd, vs1, vs2, f32::max),
+            Instr::Vmacc { vd, vs1, vs2 } => {
+                for i in 0..self.vl {
+                    let prod = self.vregs[vs1.index()][i] * self.vregs[vs2.index()][i];
+                    self.vregs[vd.index()][i] += prod;
+                }
+            }
+            Instr::Vredsum { vd, vs1 } => {
+                let s: f32 = self.vregs[vs1.index()][..self.vl].iter().sum();
+                self.vregs[vd.index()][0] = s;
+            }
+            Instr::Vredmax { vd, vs1 } => {
+                let m = self.vregs[vs1.index()][..self.vl]
+                    .iter()
+                    .copied()
+                    .fold(f32::NEG_INFINITY, f32::max);
+                self.vregs[vd.index()][0] = m;
+            }
+            Instr::Vmvxs { rd, vs1 } => {
+                let bits = self.vregs[vs1.index()][0].to_bits();
+                self.set_reg(rd, bits as i64);
+            }
+            Instr::Vexp { vd, vs1 } => self.v1(vd, vs1, f32::exp),
+            Instr::Vtanh { vd, vs1 } => self.v1(vd, vs1, f32::tanh),
+            Instr::Vrecip { vd, vs1 } => self.v1(vd, vs1, |a| 1.0 / a),
+            Instr::Vrsqrt { vd, vs1 } => self.v1(vd, vs1, |a| 1.0 / a.sqrt()),
+            Instr::ConfigDma { field, rs1, rs2 } => {
+                let (a, b) = (self.reg(rs1) as u64, self.reg(rs2) as u64);
+                match field {
+                    DmaField::Shape2d => {
+                        self.dma.rows = a;
+                        self.dma.cols = b;
+                    }
+                    DmaField::StrideMm => self.dma.mm_row_stride = a,
+                    DmaField::StrideSp => self.dma.sp_row_stride = a,
+                    DmaField::Flags => self.dma.transpose = a & 1 != 0,
+                    DmaField::OuterShape => self.dma.outer = [a.max(1), b.max(1)],
+                    DmaField::OuterStrideMm => self.dma.outer_mm_stride = [a, b],
+                    DmaField::OuterStrideSp => self.dma.outer_sp_stride = [a, b],
+                }
+            }
+            Instr::Mvin { rs_mm, rs_sp } => {
+                let (mm_base, sp_base) = (self.reg(rs_mm) as u64, self.reg(rs_sp) as u64);
+                let bytes =
+                    self.dma.run_mvin(&self.memory, &mut self.scratchpad, mm_base, sp_base)?;
+                self.stats.dma_bytes += bytes;
+            }
+            Instr::Mvout { rs_mm, rs_sp } => {
+                let (mm_base, sp_base) = (self.reg(rs_mm) as u64, self.reg(rs_sp) as u64);
+                let bytes =
+                    self.dma.run_mvout(&mut self.memory, &self.scratchpad, mm_base, sp_base)?;
+                self.stats.dma_bytes += bytes;
+            }
+            // DMAs complete synchronously in the functional model; the
+            // fence exists for the timing model.
+            Instr::DmaFence => {}
+            Instr::Wvpush { vs } => {
+                let data = self.vregs[vs.index()][..self.vl].to_vec();
+                self.sa.push_weights(&data)?;
+            }
+            Instr::Ivpush { vs } => {
+                let data = self.vregs[vs.index()][..self.vl].to_vec();
+                self.sa.push_inputs(&data)?;
+            }
+            Instr::Vpop { vd } => {
+                let data = self.sa.pop_outputs(self.vl)?;
+                self.vregs[vd.index()][..self.vl].copy_from_slice(&data);
+            }
+            // `Instr` is non-exhaustive to leave encoding space for ISA
+            // extensions (§3.4); anything this model does not know is a
+            // fault, like an illegal-instruction trap.
+            other => {
+                return Err(Error::IsaFault(format!("unimplemented instruction {other}")));
+            }
+        }
+        Ok(Some(next))
+    }
+
+    fn branch(&self, pc: usize, offset: i32) -> Result<Option<usize>> {
+        let target = pc as i64 + offset as i64;
+        if target < 0 {
+            return Err(Error::IsaFault(format!("branch to negative pc from {pc}")));
+        }
+        Ok(Some(target as usize))
+    }
+
+    fn vv(
+        &mut self,
+        vd: ptsim_isa::reg::VReg,
+        vs1: ptsim_isa::reg::VReg,
+        vs2: ptsim_isa::reg::VReg,
+        f: impl Fn(f32, f32) -> f32,
+    ) {
+        for i in 0..self.vl {
+            self.vregs[vd.index()][i] = f(self.vregs[vs1.index()][i], self.vregs[vs2.index()][i]);
+        }
+    }
+
+    fn v1(
+        &mut self,
+        vd: ptsim_isa::reg::VReg,
+        vs1: ptsim_isa::reg::VReg,
+        f: impl Fn(f32) -> f32,
+    ) {
+        for i in 0..self.vl {
+            self.vregs[vd.index()][i] = f(self.vregs[vs1.index()][i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_isa::program::ProgramBuilder;
+    use ptsim_isa::reg::VReg;
+
+    fn tiny() -> FuncSim {
+        FuncSim::new(&NpuConfig::tiny())
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut m = tiny();
+        let p = Program::new("z", vec![Instr::Li { rd: Reg::ZERO, imm: 5 }, Instr::Halt]);
+        m.run(&p).unwrap();
+        assert_eq!(m.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn loop_sums_integers() {
+        // sum = 0; for i in 1..=10 { sum += i }
+        let mut b = ProgramBuilder::new("sum");
+        let (i, n, sum) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        b.emit(Instr::Li { rd: i, imm: 1 });
+        b.emit(Instr::Li { rd: n, imm: 11 });
+        let top = b.new_label();
+        b.bind(top).unwrap();
+        b.emit(Instr::Add { rd: sum, rs1: sum, rs2: i });
+        b.emit(Instr::Addi { rd: i, rs1: i, imm: 1 });
+        b.blt(i, n, top);
+        b.emit(Instr::Halt);
+        let mut m = tiny();
+        let stats = m.run(&b.finish().unwrap()).unwrap();
+        assert_eq!(m.reg(Reg::new(3)), 55);
+        assert!(stats.scalar > 10);
+        assert_eq!(stats.vector, 0);
+    }
+
+    #[test]
+    fn vector_add_kernel() {
+        let mut m = tiny(); // vlmax = 16
+        m.scratchpad_mut().write_slice(0, &[1.0; 16]).unwrap();
+        m.scratchpad_mut().write_slice(64, &[2.0; 16]).unwrap();
+        let p = Program::new(
+            "vadd",
+            vec![
+                Instr::Li { rd: Reg::new(1), imm: 16 },
+                Instr::Vsetvl { rd: Reg::new(2), rs1: Reg::new(1) },
+                Instr::Li { rd: Reg::new(3), imm: 0 },
+                Instr::Li { rd: Reg::new(4), imm: 64 },
+                Instr::Li { rd: Reg::new(5), imm: 128 },
+                Instr::Vle { vd: VReg::new(0), rs1: Reg::new(3) },
+                Instr::Vle { vd: VReg::new(1), rs1: Reg::new(4) },
+                Instr::Vadd { vd: VReg::new(2), vs1: VReg::new(0), vs2: VReg::new(1) },
+                Instr::Vse { vs: VReg::new(2), rs1: Reg::new(5) },
+                Instr::Halt,
+            ],
+        );
+        let stats = m.run(&p).unwrap();
+        assert_eq!(m.scratchpad().read_slice(128, 16).unwrap(), vec![3.0; 16]);
+        assert!(stats.vector >= 4);
+    }
+
+    #[test]
+    fn vsetvl_clamps_to_vlmax() {
+        let mut m = tiny();
+        let p = Program::new(
+            "vl",
+            vec![
+                Instr::Li { rd: Reg::new(1), imm: 9999 },
+                Instr::Vsetvl { rd: Reg::new(2), rs1: Reg::new(1) },
+                Instr::Halt,
+            ],
+        );
+        m.run(&p).unwrap();
+        assert_eq!(m.reg(Reg::new(2)), m.vlmax() as i64);
+    }
+
+    #[test]
+    fn sfu_exp_works() {
+        let mut m = tiny();
+        m.scratchpad_mut().write_slice(0, &[0.0, 1.0, 2.0, 3.0]).unwrap();
+        let p = Program::new(
+            "exp",
+            vec![
+                Instr::Li { rd: Reg::new(1), imm: 4 },
+                Instr::Vsetvl { rd: Reg::ZERO, rs1: Reg::new(1) },
+                Instr::Li { rd: Reg::new(2), imm: 0 },
+                Instr::Vle { vd: VReg::new(0), rs1: Reg::new(2) },
+                Instr::Vexp { vd: VReg::new(1), vs1: VReg::new(0) },
+                Instr::Vse { vs: VReg::new(1), rs1: Reg::new(2) },
+                Instr::Halt,
+            ],
+        );
+        let stats = m.run(&p).unwrap();
+        assert_eq!(stats.sfu, 1);
+        let out = m.scratchpad().read_slice(0, 2).unwrap();
+        assert!((out[1] - std::f32::consts::E).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dma_and_systolic_gemv_end_to_end() {
+        // DRAM holds a 4x4 weight matrix and a 4-vector; kernel DMAs them
+        // in, runs them through the systolic array, and DMAs the result out.
+        let cfg = NpuConfig { systolic_rows: 4, systolic_cols: 4, ..NpuConfig::tiny() };
+        let mut m = FuncSim::new(&cfg);
+        let w: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let x = [1.0f32, 0.5, -1.0, 2.0];
+        m.memory_mut().write_slice(0x1000, &w).unwrap();
+        m.memory_mut().write_slice(0x2000, &x).unwrap();
+
+        let mut b = ProgramBuilder::new("gemv");
+        let (t0, t1, t2) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        // config 4x4 tile, contiguous strides.
+        b.emit(Instr::Li { rd: t0, imm: 4 });
+        b.emit(Instr::Li { rd: t1, imm: 4 });
+        b.emit(Instr::ConfigDma { field: DmaField::Shape2d, rs1: t0, rs2: t1 });
+        b.emit(Instr::Li { rd: t0, imm: 16 });
+        b.emit(Instr::ConfigDma { field: DmaField::StrideMm, rs1: t0, rs2: Reg::ZERO });
+        b.emit(Instr::ConfigDma { field: DmaField::StrideSp, rs1: t0, rs2: Reg::ZERO });
+        // mvin weights to sp 0.
+        b.emit(Instr::Li { rd: t0, imm: 0x1000 });
+        b.emit(Instr::Li { rd: t1, imm: 0 });
+        b.emit(Instr::Mvin { rs_mm: t0, rs_sp: t1 });
+        // mvin x to sp 256 (1x4 tile).
+        b.emit(Instr::Li { rd: t0, imm: 1 });
+        b.emit(Instr::Li { rd: t1, imm: 4 });
+        b.emit(Instr::ConfigDma { field: DmaField::Shape2d, rs1: t0, rs2: t1 });
+        b.emit(Instr::Li { rd: t0, imm: 0x2000 });
+        b.emit(Instr::Li { rd: t1, imm: 256 });
+        b.emit(Instr::Mvin { rs_mm: t0, rs_sp: t1 });
+        b.emit(Instr::DmaFence);
+        // vl = 16, load weights, push.
+        b.emit(Instr::Li { rd: t2, imm: 16 });
+        b.emit(Instr::Vsetvl { rd: Reg::ZERO, rs1: t2 });
+        b.emit(Instr::Li { rd: t0, imm: 0 });
+        b.emit(Instr::Vle { vd: VReg::new(0), rs1: t0 });
+        b.emit(Instr::Wvpush { vs: VReg::new(0) });
+        // vl = 4, load x, push, pop, store to sp 512.
+        b.emit(Instr::Li { rd: t2, imm: 4 });
+        b.emit(Instr::Vsetvl { rd: Reg::ZERO, rs1: t2 });
+        b.emit(Instr::Li { rd: t0, imm: 256 });
+        b.emit(Instr::Vle { vd: VReg::new(1), rs1: t0 });
+        b.emit(Instr::Ivpush { vs: VReg::new(1) });
+        b.emit(Instr::Vpop { vd: VReg::new(2) });
+        b.emit(Instr::Li { rd: t0, imm: 512 });
+        b.emit(Instr::Vse { vs: VReg::new(2), rs1: t0 });
+        // mvout result (1x4) to 0x3000.
+        b.emit(Instr::Li { rd: t0, imm: 0x3000 });
+        b.emit(Instr::Li { rd: t1, imm: 512 });
+        b.emit(Instr::Mvout { rs_mm: t0, rs_sp: t1 });
+        b.emit(Instr::Halt);
+
+        let stats = m.run(&b.finish().unwrap()).unwrap();
+        assert_eq!(stats.sa_macs, 16);
+        assert!(stats.dma_bytes >= (16 + 4 + 4) * 4);
+        let got = m.memory().read_slice(0x3000, 4).unwrap();
+        // Expected: x^T W.
+        let expect: Vec<f32> = (0..4)
+            .map(|c| (0..4).map(|r| x[r] * w[r * 4 + c]).sum())
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn step_budget_catches_infinite_loops() {
+        let mut b = ProgramBuilder::new("spin");
+        let top = b.new_label();
+        b.bind(top).unwrap();
+        b.emit(Instr::Addi { rd: Reg::new(1), rs1: Reg::new(1), imm: 1 });
+        b.bne(Reg::new(1), Reg::ZERO, top);
+        b.emit(Instr::Halt);
+        let mut m = tiny();
+        m.set_max_steps(1000);
+        assert!(m.run(&b.finish().unwrap()).is_err());
+    }
+
+    #[test]
+    fn missing_halt_is_a_fault() {
+        let mut m = tiny();
+        let p = Program::new("nohalt", vec![Instr::Li { rd: Reg::new(1), imm: 1 }]);
+        assert!(m.run(&p).is_err());
+    }
+}

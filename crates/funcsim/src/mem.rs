@@ -1,0 +1,192 @@
+//! Sparse main memory and the scratchpad.
+
+use ptsim_common::{Error, Result};
+use std::collections::HashMap;
+
+const PAGE_WORDS: usize = 1024; // 4 KiB pages of f32
+
+/// Byte-addressed, sparsely-allocated main memory holding f32 words.
+///
+/// DRAM contents are only materialized for pages that are touched, so
+/// simulating models with multi-GB address spaces costs memory proportional
+/// to the data actually used.
+#[derive(Debug, Clone, Default)]
+pub struct MainMemory {
+    pages: HashMap<u64, Box<[f32; PAGE_WORDS]>>,
+}
+
+impl MainMemory {
+    /// Creates an empty memory (all zeros).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn split(addr: u64) -> Result<(u64, usize)> {
+        if !addr.is_multiple_of(4) {
+            return Err(Error::IsaFault(format!("unaligned main-memory access at {addr:#x}")));
+        }
+        let word = addr / 4;
+        Ok((word / PAGE_WORDS as u64, (word % PAGE_WORDS as u64) as usize))
+    }
+
+    /// Reads one f32 word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IsaFault`] if `addr` is not 4-byte aligned.
+    pub fn read(&self, addr: u64) -> Result<f32> {
+        let (page, offset) = Self::split(addr)?;
+        Ok(self.pages.get(&page).map_or(0.0, |p| p[offset]))
+    }
+
+    /// Writes one f32 word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IsaFault`] if `addr` is not 4-byte aligned.
+    pub fn write(&mut self, addr: u64, value: f32) -> Result<()> {
+        let (page, offset) = Self::split(addr)?;
+        self.pages.entry(page).or_insert_with(|| Box::new([0.0; PAGE_WORDS]))[offset] = value;
+        Ok(())
+    }
+
+    /// Bulk write starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IsaFault`] on misalignment.
+    pub fn write_slice(&mut self, addr: u64, data: &[f32]) -> Result<()> {
+        for (i, &v) in data.iter().enumerate() {
+            self.write(addr + 4 * i as u64, v)?;
+        }
+        Ok(())
+    }
+
+    /// Bulk read of `len` words starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IsaFault`] on misalignment.
+    pub fn read_slice(&self, addr: u64, len: usize) -> Result<Vec<f32>> {
+        (0..len).map(|i| self.read(addr + 4 * i as u64)).collect()
+    }
+
+    /// Number of resident 4 KiB pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// The software-managed scratchpad of one NPU core (§3.3.3).
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    words: Vec<f32>,
+}
+
+impl Scratchpad {
+    /// Creates a zeroed scratchpad of `bytes` capacity.
+    pub fn new(bytes: u64) -> Self {
+        Scratchpad { words: vec![0.0; (bytes / 4) as usize] }
+    }
+
+    /// Capacity in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.words.len() as u64 * 4
+    }
+
+    fn index(&self, addr: u64) -> Result<usize> {
+        if !addr.is_multiple_of(4) {
+            return Err(Error::IsaFault(format!("unaligned scratchpad access at {addr:#x}")));
+        }
+        let idx = (addr / 4) as usize;
+        if idx >= self.words.len() {
+            return Err(Error::IsaFault(format!(
+                "scratchpad access at {addr:#x} beyond capacity {:#x}",
+                self.bytes()
+            )));
+        }
+        Ok(idx)
+    }
+
+    /// Reads one f32 word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IsaFault`] on misalignment or out-of-range address.
+    pub fn read(&self, addr: u64) -> Result<f32> {
+        Ok(self.words[self.index(addr)?])
+    }
+
+    /// Writes one f32 word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IsaFault`] on misalignment or out-of-range address.
+    pub fn write(&mut self, addr: u64, value: f32) -> Result<()> {
+        let idx = self.index(addr)?;
+        self.words[idx] = value;
+        Ok(())
+    }
+
+    /// Bulk write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IsaFault`] if the range is invalid.
+    pub fn write_slice(&mut self, addr: u64, data: &[f32]) -> Result<()> {
+        for (i, &v) in data.iter().enumerate() {
+            self.write(addr + 4 * i as u64, v)?;
+        }
+        Ok(())
+    }
+
+    /// Bulk read of `len` words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IsaFault`] if the range is invalid.
+    pub fn read_slice(&self, addr: u64, len: usize) -> Result<Vec<f32>> {
+        (0..len).map(|i| self.read(addr + 4 * i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_memory_is_zero_initialized_and_sparse() {
+        let mut m = MainMemory::new();
+        assert_eq!(m.read(0x10_0000).unwrap(), 0.0);
+        assert_eq!(m.resident_pages(), 0);
+        m.write(0x10_0000, 1.5).unwrap();
+        assert_eq!(m.read(0x10_0000).unwrap(), 1.5);
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn main_memory_rejects_unaligned() {
+        let m = MainMemory::new();
+        assert!(m.read(2).is_err());
+    }
+
+    #[test]
+    fn scratchpad_bounds_are_enforced() {
+        let mut sp = Scratchpad::new(64);
+        sp.write(60, 2.0).unwrap();
+        assert_eq!(sp.read(60).unwrap(), 2.0);
+        assert!(sp.write(64, 1.0).is_err());
+        assert!(sp.read(2).is_err());
+    }
+
+    #[test]
+    fn slices_round_trip() {
+        let mut m = MainMemory::new();
+        let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        m.write_slice(4096, &data).unwrap();
+        assert_eq!(m.read_slice(4096, 100).unwrap(), data);
+        let mut sp = Scratchpad::new(4096);
+        sp.write_slice(0, &data).unwrap();
+        assert_eq!(sp.read_slice(0, 100).unwrap(), data);
+    }
+}

@@ -1,0 +1,218 @@
+//! Functional model of the weight-stationary systolic array (§3.5).
+//!
+//! The array is fed through serializer FIFOs and drained through a
+//! deserializer FIFO. Functionally, pushing `rows × cols` weight elements
+//! loads a weight matrix; every complete group of `rows` input elements
+//! forms one input vector whose matrix-vector product (`cols` outputs) is
+//! appended to the output FIFO. MAC operations are triggered implicitly by
+//! pushing inputs, exactly as in the paper ("their compute operations can be
+//! implicitly triggered by pushing input and weight tensors").
+
+use ptsim_common::{Error, Result};
+use std::collections::VecDeque;
+
+/// Functional state of one systolic array.
+#[derive(Debug, Clone)]
+pub struct SystolicArray {
+    rows: usize,
+    cols: usize,
+    /// Weight elements pushed but not yet forming a complete matrix.
+    weight_buf: Vec<f32>,
+    /// The active weight matrix, row-major `[rows][cols]`, if loaded.
+    weights: Option<Vec<f32>>,
+    /// Input elements pushed but not yet forming a complete vector.
+    input_buf: Vec<f32>,
+    /// Completed outputs awaiting `vpop`.
+    output_fifo: VecDeque<f32>,
+    /// Total MACs performed (instrumentation).
+    macs: u64,
+}
+
+impl SystolicArray {
+    /// Creates an idle array of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero (a configuration bug).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "systolic array must be non-empty");
+        SystolicArray {
+            rows,
+            cols,
+            weight_buf: Vec::new(),
+            weights: None,
+            input_buf: Vec::new(),
+            output_fifo: VecDeque::new(),
+            macs: 0,
+        }
+    }
+
+    /// Array rows (the reduction dimension).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns (the output dimension).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total multiply-accumulates performed so far.
+    pub fn macs(&self) -> u64 {
+        self.macs
+    }
+
+    /// Outputs currently waiting in the deserializer FIFO.
+    pub fn pending_outputs(&self) -> usize {
+        self.output_fifo.len()
+    }
+
+    /// Pushes weight elements (the `wvpush` semantics). When `rows × cols`
+    /// elements have accumulated, they become the active weight matrix.
+    ///
+    /// The compiler schedules all inputs for a weight set before pushing the
+    /// next set, so an in-flight partial input vector at swap time is a
+    /// kernel bug.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IsaFault`] if weights are swapped while a partial
+    /// input vector is buffered.
+    pub fn push_weights(&mut self, elems: &[f32]) -> Result<()> {
+        self.weight_buf.extend_from_slice(elems);
+        let needed = self.rows * self.cols;
+        while self.weight_buf.len() >= needed {
+            if !self.input_buf.is_empty() {
+                return Err(Error::IsaFault(
+                    "weight swap while a partial input vector is in flight".into(),
+                ));
+            }
+            let rest = self.weight_buf.split_off(needed);
+            self.weights = Some(std::mem::replace(&mut self.weight_buf, rest));
+        }
+        Ok(())
+    }
+
+    /// Pushes input elements (the `ivpush` semantics), implicitly firing a
+    /// matrix-vector product per complete `rows`-element vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IsaFault`] if no weight matrix is loaded when a
+    /// vector completes.
+    pub fn push_inputs(&mut self, elems: &[f32]) -> Result<()> {
+        self.input_buf.extend_from_slice(elems);
+        while self.input_buf.len() >= self.rows {
+            let rest = self.input_buf.split_off(self.rows);
+            let x = std::mem::replace(&mut self.input_buf, rest);
+            let w = self
+                .weights
+                .as_ref()
+                .ok_or_else(|| Error::IsaFault("ivpush with no weights loaded".into()))?;
+            for c in 0..self.cols {
+                let mut acc = 0.0f32;
+                for (r, &xv) in x.iter().enumerate() {
+                    acc += xv * w[r * self.cols + c];
+                }
+                self.output_fifo.push_back(acc);
+            }
+            self.macs += (self.rows * self.cols) as u64;
+        }
+        Ok(())
+    }
+
+    /// Pops `n` output elements (the `vpop` semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IsaFault`] if fewer than `n` outputs are available —
+    /// in hardware this would be a stall, but the functional model executes
+    /// in order, so missing data indicates a mis-scheduled kernel.
+    pub fn pop_outputs(&mut self, n: usize) -> Result<Vec<f32>> {
+        if self.output_fifo.len() < n {
+            return Err(Error::IsaFault(format!(
+                "vpop of {n} with only {} outputs ready",
+                self.output_fifo.len()
+            )));
+        }
+        Ok(self.output_fifo.drain(..n).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_tensor::Tensor;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gemv_through_the_array_matches_matmul() {
+        let mut sa = SystolicArray::new(4, 3);
+        // W is 4x3 row-major.
+        let w: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        sa.push_weights(&w).unwrap();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        sa.push_inputs(&x).unwrap();
+        let y = sa.pop_outputs(3).unwrap();
+        // y = x^T W.
+        let xt = Tensor::from_vec(x.to_vec(), [1, 4]).unwrap();
+        let wt = Tensor::from_vec(w, [4, 3]).unwrap();
+        let expect = xt.matmul(&wt).unwrap();
+        assert_eq!(y, expect.data());
+        assert_eq!(sa.macs(), 12);
+    }
+
+    #[test]
+    fn inputs_without_weights_fault() {
+        let mut sa = SystolicArray::new(2, 2);
+        assert!(sa.push_inputs(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn pop_underflow_faults() {
+        let mut sa = SystolicArray::new(2, 2);
+        sa.push_weights(&[1.0; 4]).unwrap();
+        sa.push_inputs(&[1.0, 1.0]).unwrap();
+        assert!(sa.pop_outputs(3).is_err());
+        assert_eq!(sa.pop_outputs(2).unwrap(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn partial_pushes_accumulate() {
+        let mut sa = SystolicArray::new(2, 2);
+        sa.push_weights(&[1.0, 0.0]).unwrap();
+        sa.push_weights(&[0.0, 1.0]).unwrap(); // identity loaded now
+        sa.push_inputs(&[5.0]).unwrap();
+        assert_eq!(sa.pending_outputs(), 0);
+        sa.push_inputs(&[7.0]).unwrap();
+        assert_eq!(sa.pop_outputs(2).unwrap(), vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn weight_swap_mid_vector_faults() {
+        let mut sa = SystolicArray::new(2, 2);
+        sa.push_weights(&[1.0; 4]).unwrap();
+        sa.push_inputs(&[1.0]).unwrap(); // partial vector
+        assert!(sa.push_weights(&[2.0; 4]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn streaming_gemm_matches_tensor_matmul(
+            m in 1usize..5, k in 1usize..6, n in 1usize..6, seed in 0u64..20
+        ) {
+            let a = Tensor::randn([m, k], seed);
+            let b = Tensor::randn([k, n], seed + 99);
+            let mut sa = SystolicArray::new(k, n);
+            sa.push_weights(b.data()).unwrap();
+            let mut out = Vec::new();
+            for row in 0..m {
+                sa.push_inputs(&a.data()[row * k..(row + 1) * k]).unwrap();
+                out.extend(sa.pop_outputs(n).unwrap());
+            }
+            let got = Tensor::from_vec(out, [m, n]).unwrap();
+            let expect = a.matmul(&b).unwrap();
+            prop_assert!(got.allclose(&expect, 1e-4));
+        }
+    }
+}

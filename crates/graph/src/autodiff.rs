@@ -1,0 +1,402 @@
+//! Reverse-mode automatic differentiation as a graph-to-graph
+//! transformation — the AOTAutograd analog (§2.2).
+//!
+//! [`build_training_graph`] takes a forward graph whose designated loss is a
+//! scalar and returns a single extended graph computing the loss *and* the
+//! gradient of every declared parameter, ahead of time. The backward pass is
+//! therefore visible to the compiler exactly like the forward pass, which is
+//! what enables training simulation (§5.5).
+
+use crate::graph::{Graph, GraphBuilder, ValueId};
+use crate::op::Op;
+use ptsim_common::{Error, Result};
+use ptsim_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+
+/// Extends `forward` with a backward pass for the scalar value `loss`.
+///
+/// The returned graph has the same inputs and parameters; its outputs are
+/// `[loss, dparam_0, dparam_1, ...]` in parameter declaration order.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidGraph`] if `loss` is not scalar, or
+/// [`Error::Unsupported`] if some operator on the path from parameters to
+/// the loss has no registered gradient rule.
+pub fn build_training_graph(forward: &Graph, loss: ValueId) -> Result<Graph> {
+    forward.validate()?;
+    if loss.index() >= forward.len() {
+        return Err(Error::InvalidGraph(format!("loss value {loss} does not exist")));
+    }
+    if forward.node(loss).shape != Shape::scalar() {
+        return Err(Error::InvalidGraph(format!(
+            "loss must be scalar, got {}",
+            forward.node(loss).shape
+        )));
+    }
+
+    let mut b = GraphBuilder::from_graph(forward);
+    let mut grads: HashMap<ValueId, ValueId> = HashMap::new();
+    let one = b.constant("grad_seed", Tensor::from_vec(vec![1.0], Shape::scalar())?);
+    grads.insert(loss, one);
+
+    // Reverse topological order over the *forward* nodes only.
+    for idx in (0..forward.len()).rev() {
+        let id = ValueId(idx);
+        let Some(&dy) = grads.get(&id) else { continue };
+        let node = forward.node(id).clone();
+        let ins = node.inputs.clone();
+        match node.op {
+            Op::Input | Op::Parameter | Op::Constant(_) => {}
+            Op::MatMul => {
+                let bt = b.transpose2(ins[1])?;
+                let da = b.matmul(dy, bt)?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+                let at = b.transpose2(ins[0])?;
+                let db = b.matmul(at, dy)?;
+                accumulate(&mut b, &mut grads, ins[1], db)?;
+            }
+            Op::BatchMatMul => {
+                let bt = b.push(Op::TransposeLast2, &[ins[1]])?;
+                let da = b.batch_matmul(dy, bt)?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+                let at = b.push(Op::TransposeLast2, &[ins[0]])?;
+                let db = b.batch_matmul(at, dy)?;
+                accumulate(&mut b, &mut grads, ins[1], db)?;
+            }
+            Op::Conv2d(geom) => {
+                let x_shape = b.shape_of(ins[0]).clone();
+                let w_shape = b.shape_of(ins[1]).clone();
+                let dx = b.push(
+                    Op::Conv2dBackwardInput { geom, input_shape: x_shape },
+                    &[ins[1], dy],
+                )?;
+                accumulate(&mut b, &mut grads, ins[0], dx)?;
+                let dw = b.push(
+                    Op::Conv2dBackwardWeight { geom, weight_shape: w_shape },
+                    &[ins[0], dy],
+                )?;
+                accumulate(&mut b, &mut grads, ins[1], dw)?;
+            }
+            Op::Add => {
+                for &operand in &ins {
+                    let g = reduce_to_shape(&mut b, dy, operand)?;
+                    accumulate(&mut b, &mut grads, operand, g)?;
+                }
+            }
+            Op::Sub => {
+                let ga = reduce_to_shape(&mut b, dy, ins[0])?;
+                accumulate(&mut b, &mut grads, ins[0], ga)?;
+                let neg = b.scale(dy, -1.0)?;
+                let gb = reduce_to_shape(&mut b, neg, ins[1])?;
+                accumulate(&mut b, &mut grads, ins[1], gb)?;
+            }
+            Op::Mul => {
+                let da_full = b.mul(dy, ins[1])?;
+                let da = reduce_to_shape(&mut b, da_full, ins[0])?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+                let db_full = b.mul(dy, ins[0])?;
+                let db = reduce_to_shape(&mut b, db_full, ins[1])?;
+                accumulate(&mut b, &mut grads, ins[1], db)?;
+            }
+            Op::Div => {
+                let da_full = b.push(Op::Div, &[dy, ins[1]])?;
+                let da = reduce_to_shape(&mut b, da_full, ins[0])?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+                let num = b.mul(dy, ins[0])?;
+                let b2 = b.mul(ins[1], ins[1])?;
+                let frac = b.push(Op::Div, &[num, b2])?;
+                let neg = b.scale(frac, -1.0)?;
+                let db = reduce_to_shape(&mut b, neg, ins[1])?;
+                accumulate(&mut b, &mut grads, ins[1], db)?;
+            }
+            Op::Scale(s) => {
+                let da = b.scale(dy, s)?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+            }
+            Op::Relu => {
+                let mask = b.push(Op::ReluGradMask, &[ins[0]])?;
+                let da = b.mul(mask, dy)?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+            }
+            Op::Gelu => {
+                let da = b.push(Op::GeluGrad, &[ins[0], dy])?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+            }
+            Op::Tanh => {
+                let da = b.push(Op::TanhGrad, &[ins[0], dy])?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+            }
+            Op::Sigmoid => {
+                let da = b.push(Op::SigmoidGrad, &[ins[0], dy])?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+            }
+            Op::Exp => {
+                // d/dx exp(x) = exp(x), which is this node's own output.
+                let da = b.mul(id, dy)?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+            }
+            Op::Softmax => {
+                let da = b.push(Op::SoftmaxGrad, &[id, dy])?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+            }
+            Op::LayerNorm { eps } => {
+                let dx = b.push(Op::LayerNormGradX { eps }, &[ins[0], ins[1], dy])?;
+                accumulate(&mut b, &mut grads, ins[0], dx)?;
+                let dgamma = b.push(Op::LayerNormGradGamma { eps }, &[ins[0], dy])?;
+                accumulate(&mut b, &mut grads, ins[1], dgamma)?;
+                let dbeta = reduce_to_shape(&mut b, dy, ins[2])?;
+                accumulate(&mut b, &mut grads, ins[2], dbeta)?;
+            }
+            Op::MaxPool2d { k } => {
+                let dx = b.push(Op::MaxPool2dBackward { k }, &[ins[0], dy])?;
+                accumulate(&mut b, &mut grads, ins[0], dx)?;
+            }
+            Op::GlobalAvgPool => {
+                let x_shape = b.shape_of(ins[0]).clone();
+                let dims = x_shape.dims().to_vec();
+                let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+                let scaled = b.scale(dy, 1.0 / (h * w) as f32)?;
+                let reshaped = b.reshape(scaled, [n, c, 1, 1])?;
+                let zeros = b.constant("gavg_zeros", Tensor::zeros([n, c, h, w]));
+                let dx = b.add(zeros, reshaped)?;
+                accumulate(&mut b, &mut grads, ins[0], dx)?;
+            }
+            Op::Reshape(_) => {
+                let orig = b.shape_of(ins[0]).clone();
+                let da = b.reshape(dy, orig)?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+            }
+            Op::Transpose2 => {
+                let da = b.transpose2(dy)?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+            }
+            Op::TransposeLast2 => {
+                let da = b.push(Op::TransposeLast2, &[dy])?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+            }
+            Op::Permute(ref perm) => {
+                let mut inverse = vec![0usize; perm.len()];
+                for (i, &p) in perm.iter().enumerate() {
+                    inverse[p] = i;
+                }
+                let da = b.permute(dy, inverse)?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+            }
+            Op::SumAxis { axis } => {
+                let orig = b.shape_of(ins[0]).clone();
+                let mut keep = orig.dims().to_vec();
+                keep[axis] = 1;
+                let reshaped = b.reshape(dy, keep)?;
+                let zeros = b.constant("sum_axis_zeros", Tensor::zeros(orig));
+                let da = b.add(zeros, reshaped)?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+            }
+            Op::ReduceTo(_) => {
+                let orig = b.shape_of(ins[0]).clone();
+                let zeros = b.constant("reduce_to_zeros", Tensor::zeros(orig));
+                let da = b.add(zeros, dy)?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+            }
+            Op::CrossEntropyLoss => {
+                let raw = b.push(Op::CrossEntropyGrad, &[ins[0], ins[1]])?;
+                let da = b.mul(raw, dy)?;
+                accumulate(&mut b, &mut grads, ins[0], da)?;
+                // No gradient flows to the (one-hot) targets.
+            }
+            ref other => {
+                return Err(Error::Unsupported(format!(
+                    "no gradient rule for {}",
+                    other.mnemonic()
+                )));
+            }
+        }
+    }
+
+    b.output(loss);
+    let params = b.as_graph().parameters().to_vec();
+    for param in params {
+        let g = match grads.get(&param) {
+            Some(&g) => g,
+            None => {
+                // Parameter unused by the loss: its gradient is zero.
+                let shape = b.shape_of(param).clone();
+                b.constant("zero_grad", Tensor::zeros(shape))
+            }
+        };
+        b.output(g);
+    }
+    let graph = b.finish();
+    graph.validate()?;
+    Ok(graph)
+}
+
+fn reduce_to_shape(b: &mut GraphBuilder, grad: ValueId, target: ValueId) -> Result<ValueId> {
+    let target_shape = b.shape_of(target).clone();
+    if b.shape_of(grad) == &target_shape {
+        Ok(grad)
+    } else {
+        b.push(Op::ReduceTo(target_shape), &[grad])
+    }
+}
+
+fn accumulate(
+    b: &mut GraphBuilder,
+    grads: &mut HashMap<ValueId, ValueId>,
+    target: ValueId,
+    contribution: ValueId,
+) -> Result<()> {
+    match grads.get(&target) {
+        Some(&existing) => {
+            let sum = b.add(existing, contribution)?;
+            grads.insert(target, sum);
+        }
+        None => {
+            grads.insert(target, contribution);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use ptsim_tensor::ops::one_hot;
+
+    /// Builds an MLP classifier graph and returns (graph, loss id).
+    fn mlp_graph(batch: usize) -> (Graph, ValueId) {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", [batch, 8]);
+        let t = g.input("t", [batch, 3]);
+        let w1 = g.parameter("w1", [8, 16]);
+        let b1 = g.parameter("b1", [16]);
+        let w2 = g.parameter("w2", [16, 3]);
+        let b2 = g.parameter("b2", [3]);
+        let h = g.linear(x, w1, b1).unwrap();
+        let h = g.relu(h).unwrap();
+        let logits = g.linear(h, w2, b2).unwrap();
+        let loss = g.cross_entropy(logits, t).unwrap();
+        g.output(loss);
+        (g.finish(), loss)
+    }
+
+    #[test]
+    fn training_graph_outputs_loss_and_param_grads() {
+        let (fwd, loss) = mlp_graph(4);
+        let train = build_training_graph(&fwd, loss).unwrap();
+        assert_eq!(train.outputs().len(), 1 + fwd.parameters().len());
+        assert_eq!(train.node(train.outputs()[0]).shape, Shape::scalar());
+        // Gradient shapes match parameter shapes.
+        for (i, &p) in fwd.parameters().iter().enumerate() {
+            assert_eq!(
+                train.node(train.outputs()[1 + i]).shape,
+                fwd.node(p).shape,
+                "grad {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let (fwd, loss) = mlp_graph(4);
+        let train = build_training_graph(&fwd, loss).unwrap();
+        let x = Tensor::randn([4, 8], 1);
+        let t = one_hot(&[0, 1, 2, 1], 3).unwrap();
+        let params = vec![
+            Tensor::randn([8, 16], 2).scale(0.5),
+            Tensor::randn([16], 3).scale(0.1),
+            Tensor::randn([16, 3], 4).scale(0.5),
+            Tensor::randn([3], 5).scale(0.1),
+        ];
+        let exec = execute(&train, &[x.clone(), t.clone()], &params).unwrap();
+        let outs = exec.outputs();
+        let loss0 = outs[0].data()[0];
+        assert!(loss0 > 0.0);
+
+        let h = 1e-2;
+        for (pi, param) in params.iter().enumerate() {
+            let grad = outs[1 + pi].clone();
+            for ei in (0..param.numel()).step_by((param.numel() / 5).max(1)) {
+                let mut plus = params.clone();
+                plus[pi].data_mut()[ei] += h;
+                let mut minus = params.clone();
+                minus[pi].data_mut()[ei] -= h;
+                let lp = execute(&train, &[x.clone(), t.clone()], &plus).unwrap().outputs()[0]
+                    .data()[0];
+                let lm = execute(&train, &[x.clone(), t.clone()], &minus).unwrap().outputs()
+                    [0]
+                .data()[0];
+                let fd = (lp - lm) / (2.0 * h);
+                let ad = grad.data()[ei];
+                assert!(
+                    (fd - ad).abs() < 2e-2 + 0.05 * fd.abs(),
+                    "param {pi} elem {ei}: fd {fd} vs ad {ad}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_on_training_graph_reduces_loss() {
+        let (fwd, loss) = mlp_graph(8);
+        let train = build_training_graph(&fwd, loss).unwrap();
+        let x = Tensor::randn([8, 8], 10);
+        let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();
+        let t = one_hot(&labels, 3).unwrap();
+        let mut params = vec![
+            Tensor::randn([8, 16], 11).scale(0.3),
+            Tensor::zeros([16]),
+            Tensor::randn([16, 3], 12).scale(0.3),
+            Tensor::zeros([3]),
+        ];
+        let mut losses = Vec::new();
+        for _ in 0..30 {
+            let exec = execute(&train, &[x.clone(), t.clone()], &params).unwrap();
+            let outs = exec.outputs();
+            losses.push(outs[0].data()[0]);
+            let grads: Vec<Tensor> = outs[1..].iter().map(|&g| g.clone()).collect();
+            for (p, g) in params.iter_mut().zip(&grads) {
+                let update = g.scale(0.5);
+                *p = p.sub(&update).unwrap();
+            }
+        }
+        assert!(
+            losses[29] < 0.5 * losses[0],
+            "loss did not drop: {} -> {}",
+            losses[0],
+            losses[29]
+        );
+    }
+
+    #[test]
+    fn non_scalar_loss_is_rejected() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", [2, 2]);
+        let y = g.relu(x).unwrap();
+        g.output(y);
+        let graph = g.finish();
+        assert!(build_training_graph(&graph, y).is_err());
+    }
+
+    #[test]
+    fn unused_parameter_gets_zero_gradient() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", [2, 3]);
+        let t = g.input("t", [2, 3]);
+        let _unused = g.parameter("unused", [4, 4]);
+        let loss = g.cross_entropy(x, t).unwrap();
+        g.output(loss);
+        let graph = g.finish();
+        let train = build_training_graph(&graph, loss).unwrap();
+        let exec = execute(
+            &train,
+            &[Tensor::randn([2, 3], 0), one_hot(&[0, 1], 3).unwrap()],
+            &[Tensor::randn([4, 4], 1)],
+        )
+        .unwrap();
+        let grad = exec.outputs()[1];
+        assert_eq!(grad.dims(), &[4, 4]);
+        assert_eq!(grad.sum(), 0.0);
+    }
+}

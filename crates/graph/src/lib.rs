@@ -1,0 +1,36 @@
+//! Computation-graph capture, shape inference, autodiff, and optimization.
+//!
+//! This crate is the PyTorch-2-frontend analog of the framework (§2.2): a
+//! model is *captured* as a [`Graph`] of [`op::Op`] nodes through
+//! [`GraphBuilder`] (TorchDynamo/FX), a backward pass is generated ahead of
+//! time by [`autodiff::build_training_graph`] (AOTAutograd), whole-graph
+//! cleanups run in [`optimize`] (Inductor's graph passes), and the
+//! [`exec`] module provides the golden eager semantics ("real CPU") used
+//! for functional validation.
+//!
+//! # Examples
+//!
+//! ```
+//! use ptsim_graph::{exec, GraphBuilder};
+//! use ptsim_tensor::Tensor;
+//!
+//! let mut g = GraphBuilder::new();
+//! let x = g.input("x", [1, 4]);
+//! let w = g.parameter("w", [4, 2]);
+//! let y = g.matmul(x, w)?;
+//! g.output(y);
+//! let graph = g.finish();
+//! let out = exec::execute(&graph, &[Tensor::ones([1, 4])], &[Tensor::ones([4, 2])])?;
+//! assert_eq!(out.outputs()[0].data(), &[4.0, 4.0]);
+//! # Ok::<(), ptsim_common::Error>(())
+//! ```
+
+pub mod autodiff;
+pub mod exec;
+pub mod graph;
+pub mod op;
+pub mod optimize;
+pub mod train;
+
+pub use graph::{Graph, GraphBuilder, GraphNode, ValueId};
+pub use op::{ConvGeom, Op};

@@ -1,0 +1,243 @@
+//! Graph-level optimizations: dead code elimination and constant folding.
+//!
+//! These are the Inductor-style whole-graph passes (§2.2: "different
+//! optimizations, including dead code elimination, constant folding, and
+//! operation fusion can be applied"). Operation *fusion* is performed later,
+//! in the compiler backend, where tiling decisions live.
+
+use crate::exec;
+use crate::graph::{Graph, GraphBuilder, ValueId};
+use crate::op::Op;
+use ptsim_common::Result;
+use std::collections::HashMap;
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    /// Nodes removed as dead code.
+    pub dead_nodes_removed: usize,
+    /// Nodes folded into constants.
+    pub nodes_folded: usize,
+}
+
+/// Removes nodes that no output (transitively) depends on.
+///
+/// Declared inputs and parameters are always kept, so the binding interface
+/// of the graph is unchanged.
+///
+/// # Errors
+///
+/// Returns an error if the input graph is invalid.
+pub fn dead_code_elimination(graph: &Graph) -> Result<(Graph, OptimizeStats)> {
+    graph.validate()?;
+    let mut live = vec![false; graph.len()];
+    let mut stack: Vec<ValueId> = graph.outputs().to_vec();
+    while let Some(id) = stack.pop() {
+        if live[id.index()] {
+            continue;
+        }
+        live[id.index()] = true;
+        stack.extend(graph.node(id).inputs.iter().copied());
+    }
+    for &id in graph.inputs().iter().chain(graph.parameters()) {
+        live[id.index()] = true;
+    }
+
+    let mut b = GraphBuilder::new();
+    let mut remap: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut removed = 0usize;
+    for (idx, node) in graph.nodes().iter().enumerate() {
+        let old = ValueId(idx);
+        if !live[idx] {
+            removed += 1;
+            continue;
+        }
+        let new = match node.op {
+            Op::Input => b.input(node.name.clone(), node.shape.clone()),
+            Op::Parameter => b.parameter(node.name.clone(), node.shape.clone()),
+            _ => {
+                let inputs: Vec<ValueId> =
+                    node.inputs.iter().map(|v| remap[v]).collect();
+                b.push(node.op.clone(), &inputs)?
+            }
+        };
+        remap.insert(old, new);
+    }
+    for &out in graph.outputs() {
+        b.output(remap[&out]);
+    }
+    Ok((b.finish(), OptimizeStats { dead_nodes_removed: removed, nodes_folded: 0 }))
+}
+
+/// Evaluates nodes whose transitive operands are all [`Op::Constant`] and
+/// replaces them with constants.
+///
+/// # Errors
+///
+/// Returns an error if the graph is invalid or a fold fails numerically.
+pub fn constant_folding(graph: &Graph) -> Result<(Graph, OptimizeStats)> {
+    graph.validate()?;
+    // A node is foldable if it is a Constant, or all operands are foldable
+    // and it is not an interface node.
+    let mut foldable = vec![false; graph.len()];
+    for (idx, node) in graph.nodes().iter().enumerate() {
+        foldable[idx] = match node.op {
+            Op::Constant(_) => true,
+            Op::Input | Op::Parameter => false,
+            _ => !node.inputs.is_empty() && node.inputs.iter().all(|v| foldable[v.index()]),
+        };
+    }
+
+    // Evaluate foldable, non-constant nodes that have at least one
+    // non-foldable consumer or are outputs (fold frontiers).
+    let counts = graph.use_counts();
+    let mut b = GraphBuilder::new();
+    let mut remap: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut folded = 0usize;
+    for (idx, node) in graph.nodes().iter().enumerate() {
+        let old = ValueId(idx);
+        let new = if foldable[idx] && !matches!(node.op, Op::Constant(_)) {
+            // Evaluate this node by executing the subgraph up to it. The
+            // executor needs no inputs because the subgraph is all-constant.
+            let value = fold_value(graph, old)?;
+            folded += 1;
+            let _ = counts; // frontier pruning is handled by a later DCE run
+            b.constant(format!("folded_{}", node.name), value)
+        } else {
+            match node.op {
+                Op::Input => b.input(node.name.clone(), node.shape.clone()),
+                Op::Parameter => b.parameter(node.name.clone(), node.shape.clone()),
+                _ => {
+                    let inputs: Vec<ValueId> =
+                        node.inputs.iter().map(|v| remap[v]).collect();
+                    b.push(node.op.clone(), &inputs)?
+                }
+            }
+        };
+        remap.insert(old, new);
+    }
+    for &out in graph.outputs() {
+        b.output(remap[&out]);
+    }
+    // Folding leaves the original constant feeders dead; clean them up.
+    let (clean, dce_stats) = dead_code_elimination(&b.finish())?;
+    Ok((
+        clean,
+        OptimizeStats { dead_nodes_removed: dce_stats.dead_nodes_removed, nodes_folded: folded },
+    ))
+}
+
+/// Runs the standard pipeline: constant folding then DCE.
+///
+/// # Errors
+///
+/// Returns an error if the graph is invalid.
+pub fn optimize(graph: &Graph) -> Result<(Graph, OptimizeStats)> {
+    let (g1, s1) = constant_folding(graph)?;
+    let (g2, s2) = dead_code_elimination(&g1)?;
+    Ok((
+        g2,
+        OptimizeStats {
+            dead_nodes_removed: s1.dead_nodes_removed + s2.dead_nodes_removed,
+            nodes_folded: s1.nodes_folded,
+        },
+    ))
+}
+
+fn fold_value(graph: &Graph, id: ValueId) -> Result<ptsim_tensor::Tensor> {
+    // Build a minimal graph containing the constant cone of `id`.
+    let mut b = GraphBuilder::new();
+    let mut remap: HashMap<ValueId, ValueId> = HashMap::new();
+    fold_clone(graph, id, &mut b, &mut remap)?;
+    b.output(remap[&id]);
+    let sub = b.finish();
+    let execution = exec::execute(&sub, &[], &[])?;
+    Ok(execution.outputs()[0].clone())
+}
+
+fn fold_clone(
+    graph: &Graph,
+    id: ValueId,
+    b: &mut GraphBuilder,
+    remap: &mut HashMap<ValueId, ValueId>,
+) -> Result<()> {
+    if remap.contains_key(&id) {
+        return Ok(());
+    }
+    let node = graph.node(id);
+    for &input in &node.inputs {
+        fold_clone(graph, input, b, remap)?;
+    }
+    let inputs: Vec<ValueId> = node.inputs.iter().map(|v| remap[v]).collect();
+    let new = b.push(node.op.clone(), &inputs)?;
+    remap.insert(id, new);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_tensor::Tensor;
+
+    #[test]
+    fn dce_removes_unreachable_nodes() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", [2, 2]);
+        let used = g.relu(x).unwrap();
+        let _dead = g.sub(x, x).unwrap();
+        let _dead2 = g.scale(_dead, 3.0).unwrap();
+        g.output(used);
+        let graph = g.finish();
+        let (opt, stats) = dead_code_elimination(&graph).unwrap();
+        assert_eq!(stats.dead_nodes_removed, 2);
+        assert_eq!(opt.len(), 2);
+        opt.validate().unwrap();
+        assert_eq!(opt.inputs().len(), 1);
+    }
+
+    #[test]
+    fn dce_keeps_interface_nodes_even_when_dead() {
+        let mut g = GraphBuilder::new();
+        let _x = g.input("x", [2, 2]);
+        let p = g.parameter("p", [2, 2]);
+        let y = g.relu(p).unwrap();
+        g.output(y);
+        let graph = g.finish();
+        let (opt, _) = dead_code_elimination(&graph).unwrap();
+        assert_eq!(opt.inputs().len(), 1);
+        assert_eq!(opt.parameters().len(), 1);
+    }
+
+    #[test]
+    fn constant_folding_collapses_constant_cones() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", [2, 2]);
+        let a = g.constant("a", Tensor::ones([2, 2]));
+        let bb = g.constant("b", Tensor::ones([2, 2]));
+        let sum = g.add(a, bb).unwrap(); // foldable -> constant 2s
+        let y = g.mul(x, sum).unwrap();
+        g.output(y);
+        let graph = g.finish();
+        let (opt, stats) = optimize(&graph).unwrap();
+        assert!(stats.nodes_folded >= 1);
+        // The folded graph must compute the same function.
+        let input = Tensor::randn([2, 2], 3);
+        let before = exec::execute(&graph, std::slice::from_ref(&input), &[]).unwrap();
+        let after = exec::execute(&opt, &[input], &[]).unwrap();
+        assert!(before.outputs()[0].allclose(after.outputs()[0], 1e-6));
+        // And it must be smaller.
+        assert!(opt.len() < graph.len());
+    }
+
+    #[test]
+    fn optimize_is_identity_for_already_lean_graphs() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", [2, 2]);
+        let y = g.relu(x).unwrap();
+        g.output(y);
+        let graph = g.finish();
+        let (opt, stats) = optimize(&graph).unwrap();
+        assert_eq!(stats.nodes_folded, 0);
+        assert_eq!(opt.len(), graph.len());
+    }
+}

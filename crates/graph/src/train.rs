@@ -1,0 +1,125 @@
+//! Training utilities: SGD and a cached training session.
+//!
+//! The session pairs a forward graph with its autodiff-extended training
+//! graph, the way the paper's scheduler keeps compiled artifacts in a cache
+//! keyed by model and batch size (§3.10).
+
+use crate::autodiff::build_training_graph;
+use crate::exec::execute;
+use crate::graph::{Graph, ValueId};
+use ptsim_common::Result;
+use ptsim_tensor::Tensor;
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates an optimizer with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// Applies `params[i] -= lr * grads[i]` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if a gradient does not match its parameter.
+    pub fn step(&self, params: &mut [Tensor], grads: &[Tensor]) -> Result<()> {
+        for (p, g) in params.iter_mut().zip(grads) {
+            *p = p.sub(&g.scale(self.lr))?;
+        }
+        Ok(())
+    }
+}
+
+/// A forward graph paired with its ahead-of-time backward extension.
+#[derive(Debug, Clone)]
+pub struct TrainSession {
+    forward: Graph,
+    training: Graph,
+}
+
+impl TrainSession {
+    /// Builds the training graph for `forward` with scalar loss `loss`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if autodiff fails (non-scalar loss, unsupported op).
+    pub fn new(forward: Graph, loss: ValueId) -> Result<Self> {
+        let training = build_training_graph(&forward, loss)?;
+        Ok(TrainSession { forward, training })
+    }
+
+    /// The forward-only graph.
+    pub fn forward_graph(&self) -> &Graph {
+        &self.forward
+    }
+
+    /// The combined forward+backward graph
+    /// (outputs `[loss, dparam...]`).
+    pub fn training_graph(&self) -> &Graph {
+        &self.training
+    }
+
+    /// Runs one optimization step, returning the loss before the update.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if execution fails or shapes are inconsistent.
+    pub fn step(&self, inputs: &[Tensor], params: &mut [Tensor], opt: &Sgd) -> Result<f32> {
+        let exec = execute(&self.training, inputs, params)?;
+        let outs = exec.outputs();
+        let loss = outs[0].data()[0];
+        let grads: Vec<Tensor> = outs[1..].iter().map(|&g| g.clone()).collect();
+        opt.step(params, &grads)?;
+        Ok(loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use ptsim_tensor::ops::one_hot;
+
+    #[test]
+    fn session_trains_a_linear_classifier() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", [6, 4]);
+        let t = g.input("t", [6, 2]);
+        let w = g.parameter("w", [4, 2]);
+        let b = g.parameter("b", [2]);
+        let logits = g.linear(x, w, b).unwrap();
+        let loss = g.cross_entropy(logits, t).unwrap();
+        g.output(loss);
+        let session = TrainSession::new(g.finish(), loss).unwrap();
+
+        let xs = Tensor::randn([6, 4], 0);
+        let labels: Vec<usize> = xs
+            .data()
+            .chunks(4)
+            .map(|row| if row[0] + row[1] > 0.0 { 0 } else { 1 })
+            .collect();
+        let ts = one_hot(&labels, 2).unwrap();
+        let mut params = vec![Tensor::zeros([4, 2]), Tensor::zeros([2])];
+        let opt = Sgd::new(1.0);
+        let first = session.step(&[xs.clone(), ts.clone()], &mut params, &opt).unwrap();
+        let mut last = first;
+        for _ in 0..40 {
+            last = session.step(&[xs.clone(), ts.clone()], &mut params, &opt).unwrap();
+        }
+        assert!(last < 0.3 * first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn sgd_step_validates_shapes() {
+        let opt = Sgd::new(0.1);
+        let mut params = vec![Tensor::zeros([2, 2])];
+        let bad = vec![Tensor::zeros([3])];
+        assert!(opt.step(&mut params, &bad).is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! Textual assembler for the NPU ISA.
+//!
+//! Parses the same syntax [`Instr`]'s `Display` implementation prints, so
+//! `parse(display(p)) == p` for every program. Useful for writing kernels
+//! by hand, inspecting compiler output, and round-trip testing.
+//!
+//! # Examples
+//!
+//! ```
+//! use ptsim_isa::asm::parse_program;
+//!
+//! let p = parse_program("double", r"
+//!     li x1, 21
+//!     add x2, x1, x1
+//!     halt
+//! ")?;
+//! assert_eq!(p.len(), 3);
+//! # Ok::<(), ptsim_common::Error>(())
+//! ```
+
+use crate::instr::{DmaField, Instr};
+use crate::program::Program;
+use crate::reg::{Reg, VReg};
+use ptsim_common::{Error, Result};
+
+fn err(line_no: usize, msg: impl std::fmt::Display) -> Error {
+    Error::IsaFault(format!("asm line {line_no}: {msg}"))
+}
+
+fn parse_reg(token: &str, line_no: usize) -> Result<Reg> {
+    let raw = token
+        .strip_prefix('x')
+        .ok_or_else(|| err(line_no, format!("expected scalar register, got `{token}`")))?;
+    let idx: u8 =
+        raw.parse().map_err(|_| err(line_no, format!("bad register `{token}`")))?;
+    if idx >= 32 {
+        return Err(err(line_no, format!("register `{token}` out of range")));
+    }
+    Ok(Reg::new(idx))
+}
+
+fn parse_vreg(token: &str, line_no: usize) -> Result<VReg> {
+    let raw = token
+        .strip_prefix('v')
+        .ok_or_else(|| err(line_no, format!("expected vector register, got `{token}`")))?;
+    let idx: u8 =
+        raw.parse().map_err(|_| err(line_no, format!("bad register `{token}`")))?;
+    if idx >= 32 {
+        return Err(err(line_no, format!("register `{token}` out of range")));
+    }
+    Ok(VReg::new(idx))
+}
+
+fn parse_imm(token: &str, line_no: usize) -> Result<i32> {
+    let parsed = if let Some(hex) = token.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).map(|v| v as i32).ok()
+    } else if let Some(hex) = token.strip_prefix("-0x") {
+        u32::from_str_radix(hex, 16).map(|v| -(v as i32)).ok()
+    } else {
+        token.parse::<i32>().ok()
+    };
+    parsed.ok_or_else(|| err(line_no, format!("bad immediate `{token}`")))
+}
+
+/// Parses `imm(xN)` memory-operand syntax into `(imm, reg)`.
+fn parse_mem(token: &str, line_no: usize) -> Result<(i32, Reg)> {
+    let open = token
+        .find('(')
+        .ok_or_else(|| err(line_no, format!("expected `imm(reg)`, got `{token}`")))?;
+    let close = token
+        .strip_suffix(')')
+        .ok_or_else(|| err(line_no, format!("missing `)` in `{token}`")))?;
+    let imm = if open == 0 { 0 } else { parse_imm(&token[..open], line_no)? };
+    let reg = parse_reg(&close[open + 1..], line_no)?;
+    Ok((imm, reg))
+}
+
+fn parse_dma_field(token: &str, line_no: usize) -> Result<DmaField> {
+    Ok(match token.to_ascii_lowercase().as_str() {
+        "shape2d" => DmaField::Shape2d,
+        "stridemm" => DmaField::StrideMm,
+        "stridesp" => DmaField::StrideSp,
+        "flags" => DmaField::Flags,
+        "outershape" => DmaField::OuterShape,
+        "outerstridemm" => DmaField::OuterStrideMm,
+        "outerstridesp" => DmaField::OuterStrideSp,
+        other => return Err(err(line_no, format!("unknown dma field `{other}`"))),
+    })
+}
+
+/// Parses one instruction line (no comments, already trimmed).
+///
+/// # Errors
+///
+/// Returns [`Error::IsaFault`] with the offending line number on any
+/// syntax error.
+pub fn parse_instr(line: &str, line_no: usize) -> Result<Instr> {
+    let cleaned = line.replace(',', " ");
+    let mut it = cleaned.split_whitespace();
+    let mnemonic = it.next().ok_or_else(|| err(line_no, "empty instruction"))?;
+    let args: Vec<&str> = it.collect();
+    let need = |n: usize| -> Result<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(line_no, format!("`{mnemonic}` expects {n} operands, got {}", args.len())))
+        }
+    };
+    let instr = match mnemonic {
+        "li" => {
+            need(2)?;
+            Instr::Li { rd: parse_reg(args[0], line_no)?, imm: parse_imm(args[1], line_no)? }
+        }
+        "addi" => {
+            need(3)?;
+            Instr::Addi {
+                rd: parse_reg(args[0], line_no)?,
+                rs1: parse_reg(args[1], line_no)?,
+                imm: parse_imm(args[2], line_no)?,
+            }
+        }
+        "add" | "sub" | "mul" => {
+            need(3)?;
+            let (rd, rs1, rs2) = (
+                parse_reg(args[0], line_no)?,
+                parse_reg(args[1], line_no)?,
+                parse_reg(args[2], line_no)?,
+            );
+            match mnemonic {
+                "add" => Instr::Add { rd, rs1, rs2 },
+                "sub" => Instr::Sub { rd, rs1, rs2 },
+                _ => Instr::Mul { rd, rs1, rs2 },
+            }
+        }
+        "lw" => {
+            need(2)?;
+            let (imm, rs1) = parse_mem(args[1], line_no)?;
+            Instr::Lw { rd: parse_reg(args[0], line_no)?, rs1, imm }
+        }
+        "sw" => {
+            need(2)?;
+            let (imm, rs1) = parse_mem(args[1], line_no)?;
+            Instr::Sw { rs1, rs2: parse_reg(args[0], line_no)?, imm }
+        }
+        "bne" | "blt" => {
+            need(3)?;
+            let (rs1, rs2, offset) = (
+                parse_reg(args[0], line_no)?,
+                parse_reg(args[1], line_no)?,
+                parse_imm(args[2], line_no)?,
+            );
+            if mnemonic == "bne" {
+                Instr::Bne { rs1, rs2, offset }
+            } else {
+                Instr::Blt { rs1, rs2, offset }
+            }
+        }
+        "halt" => {
+            need(0)?;
+            Instr::Halt
+        }
+        "vsetvl" => {
+            need(2)?;
+            Instr::Vsetvl { rd: parse_reg(args[0], line_no)?, rs1: parse_reg(args[1], line_no)? }
+        }
+        "vle32.v" => {
+            need(2)?;
+            let (imm, rs1) = parse_mem(args[1], line_no)?;
+            if imm != 0 {
+                return Err(err(line_no, "vle32.v takes no offset"));
+            }
+            Instr::Vle { vd: parse_vreg(args[0], line_no)?, rs1 }
+        }
+        "vse32.v" => {
+            need(2)?;
+            let (imm, rs1) = parse_mem(args[1], line_no)?;
+            if imm != 0 {
+                return Err(err(line_no, "vse32.v takes no offset"));
+            }
+            Instr::Vse { vs: parse_vreg(args[0], line_no)?, rs1 }
+        }
+        "vlse32.v" => {
+            need(3)?;
+            let (imm, rs1) = parse_mem(args[1], line_no)?;
+            if imm != 0 {
+                return Err(err(line_no, "vlse32.v takes no offset"));
+            }
+            Instr::Vlse {
+                vd: parse_vreg(args[0], line_no)?,
+                rs1,
+                rs2: parse_reg(args[2], line_no)?,
+            }
+        }
+        "vsse32.v" => {
+            need(3)?;
+            let (imm, rs1) = parse_mem(args[1], line_no)?;
+            if imm != 0 {
+                return Err(err(line_no, "vsse32.v takes no offset"));
+            }
+            Instr::Vsse {
+                vs: parse_vreg(args[0], line_no)?,
+                rs1,
+                rs2: parse_reg(args[2], line_no)?,
+            }
+        }
+        "vbcast.v" => {
+            need(2)?;
+            Instr::Vbcast {
+                vd: parse_vreg(args[0], line_no)?,
+                rs1: parse_reg(args[1], line_no)?,
+            }
+        }
+        "vadd.vv" | "vsub.vv" | "vmul.vv" | "vdiv.vv" | "vmacc.vv" | "vmax.vv" => {
+            need(3)?;
+            let (vd, vs1, vs2) = (
+                parse_vreg(args[0], line_no)?,
+                parse_vreg(args[1], line_no)?,
+                parse_vreg(args[2], line_no)?,
+            );
+            match mnemonic {
+                "vadd.vv" => Instr::Vadd { vd, vs1, vs2 },
+                "vsub.vv" => Instr::Vsub { vd, vs1, vs2 },
+                "vmul.vv" => Instr::Vmul { vd, vs1, vs2 },
+                "vdiv.vv" => Instr::Vdiv { vd, vs1, vs2 },
+                "vmacc.vv" => Instr::Vmacc { vd, vs1, vs2 },
+                _ => Instr::Vmax { vd, vs1, vs2 },
+            }
+        }
+        "vredsum.vs" | "vredmax.vs" => {
+            need(2)?;
+            let (vd, vs1) = (parse_vreg(args[0], line_no)?, parse_vreg(args[1], line_no)?);
+            if mnemonic == "vredsum.vs" {
+                Instr::Vredsum { vd, vs1 }
+            } else {
+                Instr::Vredmax { vd, vs1 }
+            }
+        }
+        "vmv.x.s" => {
+            need(2)?;
+            Instr::Vmvxs { rd: parse_reg(args[0], line_no)?, vs1: parse_vreg(args[1], line_no)? }
+        }
+        "sfu.exp" | "sfu.tanh" | "sfu.recip" | "sfu.rsqrt" => {
+            need(2)?;
+            let (vd, vs1) = (parse_vreg(args[0], line_no)?, parse_vreg(args[1], line_no)?);
+            match mnemonic {
+                "sfu.exp" => Instr::Vexp { vd, vs1 },
+                "sfu.tanh" => Instr::Vtanh { vd, vs1 },
+                "sfu.recip" => Instr::Vrecip { vd, vs1 },
+                _ => Instr::Vrsqrt { vd, vs1 },
+            }
+        }
+        "config" => {
+            need(3)?;
+            Instr::ConfigDma {
+                field: parse_dma_field(args[0], line_no)?,
+                rs1: parse_reg(args[1], line_no)?,
+                rs2: parse_reg(args[2], line_no)?,
+            }
+        }
+        "mvin" | "mvout" => {
+            need(2)?;
+            let (rs_mm, rs_sp) =
+                (parse_reg(args[0], line_no)?, parse_reg(args[1], line_no)?);
+            if mnemonic == "mvin" {
+                Instr::Mvin { rs_mm, rs_sp }
+            } else {
+                Instr::Mvout { rs_mm, rs_sp }
+            }
+        }
+        "dma.fence" => {
+            need(0)?;
+            Instr::DmaFence
+        }
+        "wvpush" => {
+            need(1)?;
+            Instr::Wvpush { vs: parse_vreg(args[0], line_no)? }
+        }
+        "ivpush" => {
+            need(1)?;
+            Instr::Ivpush { vs: parse_vreg(args[0], line_no)? }
+        }
+        "vpop" => {
+            need(1)?;
+            Instr::Vpop { vd: parse_vreg(args[0], line_no)? }
+        }
+        other => return Err(err(line_no, format!("unknown mnemonic `{other}`"))),
+    };
+    Ok(instr)
+}
+
+/// Parses a whole program. Blank lines and `#`/`;`-comments are skipped.
+///
+/// # Errors
+///
+/// Returns [`Error::IsaFault`] identifying the first bad line.
+pub fn parse_program(name: impl Into<String>, source: &str) -> Result<Program> {
+    let mut instrs = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let line = raw.split(['#', ';']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        instrs.push(parse_instr(line, i + 1)?);
+    }
+    Ok(Program::new(name, instrs))
+}
+
+/// Renders a program to assembly text that [`parse_program`] accepts.
+pub fn to_asm(program: &Program) -> String {
+    let mut out = String::new();
+    for instr in &program.instrs {
+        out.push_str(&instr.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalar_and_vector_code() {
+        let p = parse_program(
+            "t",
+            r"
+            # stage the vector length
+            li x5, 16
+            vsetvl x0, x5
+            li x1, 0x100      ; base address
+            vle32.v v0, (x1)
+            vadd.vv v1, v0, v0
+            vse32.v v1, (x1)
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.instrs[2], Instr::Li { rd: Reg::new(1), imm: 0x100 });
+    }
+
+    #[test]
+    fn parses_dma_and_dataflow() {
+        let p = parse_program(
+            "dma",
+            r"
+            config Shape2d, x1, x2
+            mvin x3, x4
+            dma.fence
+            wvpush v0
+            ivpush v1
+            vpop v2
+            mvout x3, x4
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 8);
+        assert!(matches!(p.instrs[0], Instr::ConfigDma { field: DmaField::Shape2d, .. }));
+    }
+
+    #[test]
+    fn memory_operand_offsets() {
+        let i = parse_instr("lw x3, -8(x2)", 1).unwrap();
+        assert_eq!(i, Instr::Lw { rd: Reg::new(3), rs1: Reg::new(2), imm: -8 });
+        let i = parse_instr("sw x3, 12(x2)", 1).unwrap();
+        assert_eq!(i, Instr::Sw { rs1: Reg::new(2), rs2: Reg::new(3), imm: 12 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("bad", "li x1, 1\nfrobnicate x1\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        let e = parse_program("bad", "li x99, 1").unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+    }
+
+    #[test]
+    fn rejects_wrong_arity_and_register_classes() {
+        assert!(parse_instr("add x1, x2", 1).is_err());
+        assert!(parse_instr("vadd.vv x1, v2, v3", 1).is_err());
+        assert!(parse_instr("li v1, 3", 1).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        // Every printable instruction form must re-parse to itself.
+        let samples = vec![
+            Instr::Li { rd: Reg::new(7), imm: -42 },
+            Instr::Addi { rd: Reg::new(1), rs1: Reg::new(2), imm: 100 },
+            Instr::Mul { rd: Reg::new(3), rs1: Reg::new(4), rs2: Reg::new(5) },
+            Instr::Lw { rd: Reg::new(6), rs1: Reg::new(7), imm: 16 },
+            Instr::Sw { rs1: Reg::new(8), rs2: Reg::new(9), imm: -4 },
+            Instr::Bne { rs1: Reg::new(1), rs2: Reg::new(2), offset: -3 },
+            Instr::Blt { rs1: Reg::new(1), rs2: Reg::new(2), offset: 5 },
+            Instr::Halt,
+            Instr::Vsetvl { rd: Reg::ZERO, rs1: Reg::new(5) },
+            Instr::Vle { vd: VReg::new(0), rs1: Reg::new(10) },
+            Instr::Vse { vs: VReg::new(1), rs1: Reg::new(11) },
+            Instr::Vlse { vd: VReg::new(2), rs1: Reg::new(1), rs2: Reg::new(2) },
+            Instr::Vsse { vs: VReg::new(3), rs1: Reg::new(1), rs2: Reg::new(2) },
+            Instr::Vbcast { vd: VReg::new(4), rs1: Reg::new(3) },
+            Instr::Vadd { vd: VReg::new(1), vs1: VReg::new(2), vs2: VReg::new(3) },
+            Instr::Vmacc { vd: VReg::new(1), vs1: VReg::new(2), vs2: VReg::new(3) },
+            Instr::Vmax { vd: VReg::new(1), vs1: VReg::new(2), vs2: VReg::new(3) },
+            Instr::Vredsum { vd: VReg::new(1), vs1: VReg::new(2) },
+            Instr::Vredmax { vd: VReg::new(1), vs1: VReg::new(2) },
+            Instr::Vmvxs { rd: Reg::new(5), vs1: VReg::new(6) },
+            Instr::Vexp { vd: VReg::new(1), vs1: VReg::new(2) },
+            Instr::Vtanh { vd: VReg::new(1), vs1: VReg::new(2) },
+            Instr::Vrecip { vd: VReg::new(1), vs1: VReg::new(2) },
+            Instr::Vrsqrt { vd: VReg::new(1), vs1: VReg::new(2) },
+            Instr::ConfigDma { field: DmaField::OuterShape, rs1: Reg::new(1), rs2: Reg::new(2) },
+            Instr::Mvin { rs_mm: Reg::new(1), rs_sp: Reg::new(2) },
+            Instr::Mvout { rs_mm: Reg::new(1), rs_sp: Reg::new(2) },
+            Instr::DmaFence,
+            Instr::Wvpush { vs: VReg::new(1) },
+            Instr::Ivpush { vs: VReg::new(2) },
+            Instr::Vpop { vd: VReg::new(3) },
+        ];
+        for instr in samples {
+            let text = instr.to_string();
+            let parsed = parse_instr(&text, 1).unwrap_or_else(|e| panic!("`{text}`: {e}"));
+            assert_eq!(parsed, instr, "`{text}`");
+        }
+    }
+
+    #[test]
+    fn to_asm_round_trips_whole_programs() {
+        let p = Program::new(
+            "k",
+            vec![
+                Instr::Li { rd: Reg::new(5), imm: 8 },
+                Instr::Vsetvl { rd: Reg::ZERO, rs1: Reg::new(5) },
+                Instr::Vle { vd: VReg::new(0), rs1: Reg::new(1) },
+                Instr::Wvpush { vs: VReg::new(0) },
+                Instr::Halt,
+            ],
+        );
+        let text = to_asm(&p);
+        let back = parse_program("k", &text).unwrap();
+        assert_eq!(back, p);
+    }
+}

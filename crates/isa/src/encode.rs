@@ -1,0 +1,260 @@
+//! Binary encoding of the NPU ISA.
+//!
+//! Instructions are fixed 64-bit words with the layout
+//!
+//! ```text
+//!  63..56   55..50   49..44   43..38   37..32   31..0
+//!  opcode   rd/vd    rs1/vs1  rs2/vs2  funct    imm (i32)
+//! ```
+//!
+//! which mirrors the field structure of Fig. 3 while giving immediates room
+//! for scratchpad and DRAM offsets.
+
+use crate::instr::{DmaField, Instr};
+use crate::reg::{Reg, VReg};
+use ptsim_common::{Error, Result};
+
+// Opcode assignments. Gaps are reserved for extensions (§3.4).
+const OP_LI: u8 = 0x01;
+const OP_ADDI: u8 = 0x02;
+const OP_ADD: u8 = 0x03;
+const OP_SUB: u8 = 0x04;
+const OP_MUL: u8 = 0x05;
+const OP_LW: u8 = 0x06;
+const OP_SW: u8 = 0x07;
+const OP_BNE: u8 = 0x08;
+const OP_BLT: u8 = 0x09;
+const OP_HALT: u8 = 0x0F;
+
+const OP_VSETVL: u8 = 0x10;
+const OP_VLE: u8 = 0x11;
+const OP_VSE: u8 = 0x12;
+const OP_VLSE: u8 = 0x13;
+const OP_VSSE: u8 = 0x14;
+const OP_VBCAST: u8 = 0x15;
+const OP_VADD: u8 = 0x16;
+const OP_VSUB: u8 = 0x17;
+const OP_VMUL: u8 = 0x18;
+const OP_VDIV: u8 = 0x19;
+const OP_VMACC: u8 = 0x1A;
+const OP_VMAX: u8 = 0x1B;
+const OP_VREDSUM: u8 = 0x1C;
+const OP_VREDMAX: u8 = 0x1D;
+const OP_VMVXS: u8 = 0x1E;
+
+const OP_SFU_EXP: u8 = 0x20;
+const OP_SFU_TANH: u8 = 0x21;
+const OP_SFU_RECIP: u8 = 0x22;
+const OP_SFU_RSQRT: u8 = 0x23;
+
+const OP_CONFIG: u8 = 0x30;
+const OP_MVIN: u8 = 0x31;
+const OP_MVOUT: u8 = 0x32;
+const OP_DMA_FENCE: u8 = 0x33;
+
+const OP_WVPUSH: u8 = 0x38;
+const OP_IVPUSH: u8 = 0x39;
+const OP_VPOP: u8 = 0x3A;
+
+fn word(op: u8, rd: u8, rs1: u8, rs2: u8, funct: u8, imm: i32) -> u64 {
+    ((op as u64) << 56)
+        | ((rd as u64 & 0x3F) << 50)
+        | ((rs1 as u64 & 0x3F) << 44)
+        | ((rs2 as u64 & 0x3F) << 38)
+        | ((funct as u64 & 0x3F) << 32)
+        | (imm as u32 as u64)
+}
+
+/// Encodes one instruction into its 64-bit word.
+pub fn encode(instr: &Instr) -> u64 {
+    match *instr {
+        Instr::Li { rd, imm } => word(OP_LI, rd.raw(), 0, 0, 0, imm),
+        Instr::Addi { rd, rs1, imm } => word(OP_ADDI, rd.raw(), rs1.raw(), 0, 0, imm),
+        Instr::Add { rd, rs1, rs2 } => word(OP_ADD, rd.raw(), rs1.raw(), rs2.raw(), 0, 0),
+        Instr::Sub { rd, rs1, rs2 } => word(OP_SUB, rd.raw(), rs1.raw(), rs2.raw(), 0, 0),
+        Instr::Mul { rd, rs1, rs2 } => word(OP_MUL, rd.raw(), rs1.raw(), rs2.raw(), 0, 0),
+        Instr::Lw { rd, rs1, imm } => word(OP_LW, rd.raw(), rs1.raw(), 0, 0, imm),
+        Instr::Sw { rs1, rs2, imm } => word(OP_SW, 0, rs1.raw(), rs2.raw(), 0, imm),
+        Instr::Bne { rs1, rs2, offset } => word(OP_BNE, 0, rs1.raw(), rs2.raw(), 0, offset),
+        Instr::Blt { rs1, rs2, offset } => word(OP_BLT, 0, rs1.raw(), rs2.raw(), 0, offset),
+        Instr::Halt => word(OP_HALT, 0, 0, 0, 0, 0),
+        Instr::Vsetvl { rd, rs1 } => word(OP_VSETVL, rd.raw(), rs1.raw(), 0, 0, 0),
+        Instr::Vle { vd, rs1 } => word(OP_VLE, vd.raw(), rs1.raw(), 0, 0, 0),
+        Instr::Vse { vs, rs1 } => word(OP_VSE, vs.raw(), rs1.raw(), 0, 0, 0),
+        Instr::Vlse { vd, rs1, rs2 } => word(OP_VLSE, vd.raw(), rs1.raw(), rs2.raw(), 0, 0),
+        Instr::Vsse { vs, rs1, rs2 } => word(OP_VSSE, vs.raw(), rs1.raw(), rs2.raw(), 0, 0),
+        Instr::Vbcast { vd, rs1 } => word(OP_VBCAST, vd.raw(), rs1.raw(), 0, 0, 0),
+        Instr::Vadd { vd, vs1, vs2 } => word(OP_VADD, vd.raw(), vs1.raw(), vs2.raw(), 0, 0),
+        Instr::Vsub { vd, vs1, vs2 } => word(OP_VSUB, vd.raw(), vs1.raw(), vs2.raw(), 0, 0),
+        Instr::Vmul { vd, vs1, vs2 } => word(OP_VMUL, vd.raw(), vs1.raw(), vs2.raw(), 0, 0),
+        Instr::Vdiv { vd, vs1, vs2 } => word(OP_VDIV, vd.raw(), vs1.raw(), vs2.raw(), 0, 0),
+        Instr::Vmacc { vd, vs1, vs2 } => word(OP_VMACC, vd.raw(), vs1.raw(), vs2.raw(), 0, 0),
+        Instr::Vmax { vd, vs1, vs2 } => word(OP_VMAX, vd.raw(), vs1.raw(), vs2.raw(), 0, 0),
+        Instr::Vredsum { vd, vs1 } => word(OP_VREDSUM, vd.raw(), vs1.raw(), 0, 0, 0),
+        Instr::Vredmax { vd, vs1 } => word(OP_VREDMAX, vd.raw(), vs1.raw(), 0, 0, 0),
+        Instr::Vmvxs { rd, vs1 } => word(OP_VMVXS, rd.raw(), vs1.raw(), 0, 0, 0),
+        Instr::Vexp { vd, vs1 } => word(OP_SFU_EXP, vd.raw(), vs1.raw(), 0, 0, 0),
+        Instr::Vtanh { vd, vs1 } => word(OP_SFU_TANH, vd.raw(), vs1.raw(), 0, 0, 0),
+        Instr::Vrecip { vd, vs1 } => word(OP_SFU_RECIP, vd.raw(), vs1.raw(), 0, 0, 0),
+        Instr::Vrsqrt { vd, vs1 } => word(OP_SFU_RSQRT, vd.raw(), vs1.raw(), 0, 0, 0),
+        Instr::ConfigDma { field, rs1, rs2 } => {
+            word(OP_CONFIG, 0, rs1.raw(), rs2.raw(), field as u8, 0)
+        }
+        Instr::Mvin { rs_mm, rs_sp } => word(OP_MVIN, 0, rs_mm.raw(), rs_sp.raw(), 0, 0),
+        Instr::Mvout { rs_mm, rs_sp } => word(OP_MVOUT, 0, rs_mm.raw(), rs_sp.raw(), 0, 0),
+        Instr::DmaFence => word(OP_DMA_FENCE, 0, 0, 0, 0, 0),
+        Instr::Wvpush { vs } => word(OP_WVPUSH, 0, vs.raw(), 0, 0, 0),
+        Instr::Ivpush { vs } => word(OP_IVPUSH, 0, vs.raw(), 0, 0, 0),
+        Instr::Vpop { vd } => word(OP_VPOP, vd.raw(), 0, 0, 0, 0),
+    }
+}
+
+/// Decodes a 64-bit word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`Error::IsaFault`] on an unknown opcode or malformed fields.
+pub fn decode(w: u64) -> Result<Instr> {
+    let op = (w >> 56) as u8;
+    let rd = ((w >> 50) & 0x3F) as u8;
+    let rs1 = ((w >> 44) & 0x3F) as u8;
+    let rs2 = ((w >> 38) & 0x3F) as u8;
+    let funct = ((w >> 32) & 0x3F) as u8;
+    let imm = w as u32 as i32;
+    let r = |x: u8| -> Result<Reg> {
+        if x < 32 {
+            Ok(Reg::new(x))
+        } else {
+            Err(Error::IsaFault(format!("scalar register field {x} out of range")))
+        }
+    };
+    let v = |x: u8| -> Result<VReg> {
+        if x < 32 {
+            Ok(VReg::new(x))
+        } else {
+            Err(Error::IsaFault(format!("vector register field {x} out of range")))
+        }
+    };
+    Ok(match op {
+        OP_LI => Instr::Li { rd: r(rd)?, imm },
+        OP_ADDI => Instr::Addi { rd: r(rd)?, rs1: r(rs1)?, imm },
+        OP_ADD => Instr::Add { rd: r(rd)?, rs1: r(rs1)?, rs2: r(rs2)? },
+        OP_SUB => Instr::Sub { rd: r(rd)?, rs1: r(rs1)?, rs2: r(rs2)? },
+        OP_MUL => Instr::Mul { rd: r(rd)?, rs1: r(rs1)?, rs2: r(rs2)? },
+        OP_LW => Instr::Lw { rd: r(rd)?, rs1: r(rs1)?, imm },
+        OP_SW => Instr::Sw { rs1: r(rs1)?, rs2: r(rs2)?, imm },
+        OP_BNE => Instr::Bne { rs1: r(rs1)?, rs2: r(rs2)?, offset: imm },
+        OP_BLT => Instr::Blt { rs1: r(rs1)?, rs2: r(rs2)?, offset: imm },
+        OP_HALT => Instr::Halt,
+        OP_VSETVL => Instr::Vsetvl { rd: r(rd)?, rs1: r(rs1)? },
+        OP_VLE => Instr::Vle { vd: v(rd)?, rs1: r(rs1)? },
+        OP_VSE => Instr::Vse { vs: v(rd)?, rs1: r(rs1)? },
+        OP_VLSE => Instr::Vlse { vd: v(rd)?, rs1: r(rs1)?, rs2: r(rs2)? },
+        OP_VSSE => Instr::Vsse { vs: v(rd)?, rs1: r(rs1)?, rs2: r(rs2)? },
+        OP_VBCAST => Instr::Vbcast { vd: v(rd)?, rs1: r(rs1)? },
+        OP_VADD => Instr::Vadd { vd: v(rd)?, vs1: v(rs1)?, vs2: v(rs2)? },
+        OP_VSUB => Instr::Vsub { vd: v(rd)?, vs1: v(rs1)?, vs2: v(rs2)? },
+        OP_VMUL => Instr::Vmul { vd: v(rd)?, vs1: v(rs1)?, vs2: v(rs2)? },
+        OP_VDIV => Instr::Vdiv { vd: v(rd)?, vs1: v(rs1)?, vs2: v(rs2)? },
+        OP_VMACC => Instr::Vmacc { vd: v(rd)?, vs1: v(rs1)?, vs2: v(rs2)? },
+        OP_VMAX => Instr::Vmax { vd: v(rd)?, vs1: v(rs1)?, vs2: v(rs2)? },
+        OP_VREDSUM => Instr::Vredsum { vd: v(rd)?, vs1: v(rs1)? },
+        OP_VREDMAX => Instr::Vredmax { vd: v(rd)?, vs1: v(rs1)? },
+        OP_VMVXS => Instr::Vmvxs { rd: r(rd)?, vs1: v(rs1)? },
+        OP_SFU_EXP => Instr::Vexp { vd: v(rd)?, vs1: v(rs1)? },
+        OP_SFU_TANH => Instr::Vtanh { vd: v(rd)?, vs1: v(rs1)? },
+        OP_SFU_RECIP => Instr::Vrecip { vd: v(rd)?, vs1: v(rs1)? },
+        OP_SFU_RSQRT => Instr::Vrsqrt { vd: v(rd)?, vs1: v(rs1)? },
+        OP_CONFIG => Instr::ConfigDma {
+            field: DmaField::from_raw(funct)
+                .ok_or_else(|| Error::IsaFault(format!("bad dma field {funct}")))?,
+            rs1: r(rs1)?,
+            rs2: r(rs2)?,
+        },
+        OP_MVIN => Instr::Mvin { rs_mm: r(rs1)?, rs_sp: r(rs2)? },
+        OP_MVOUT => Instr::Mvout { rs_mm: r(rs1)?, rs_sp: r(rs2)? },
+        OP_DMA_FENCE => Instr::DmaFence,
+        OP_WVPUSH => Instr::Wvpush { vs: v(rs1)? },
+        OP_IVPUSH => Instr::Ivpush { vs: v(rs1)? },
+        OP_VPOP => Instr::Vpop { vd: v(rd)? },
+        _ => return Err(Error::IsaFault(format!("unknown opcode {op:#04x}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg::new)
+    }
+
+    fn arb_vreg() -> impl Strategy<Value = VReg> {
+        (0u8..32).prop_map(VReg::new)
+    }
+
+    fn arb_instr() -> impl Strategy<Value = Instr> {
+        prop_oneof![
+            (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
+            (arb_reg(), arb_reg(), any::<i32>())
+                .prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
+            (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Add {
+                rd,
+                rs1,
+                rs2
+            }),
+            (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Mul {
+                rd,
+                rs1,
+                rs2
+            }),
+            (arb_reg(), arb_reg(), any::<i32>())
+                .prop_map(|(rs1, rs2, offset)| Instr::Blt { rs1, rs2, offset }),
+            Just(Instr::Halt),
+            (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::Vsetvl { rd, rs1 }),
+            (arb_vreg(), arb_reg()).prop_map(|(vd, rs1)| Instr::Vle { vd, rs1 }),
+            (arb_vreg(), arb_vreg(), arb_vreg())
+                .prop_map(|(vd, vs1, vs2)| Instr::Vmacc { vd, vs1, vs2 }),
+            (arb_vreg(), arb_vreg()).prop_map(|(vd, vs1)| Instr::Vexp { vd, vs1 }),
+            (arb_reg(), arb_vreg()).prop_map(|(rd, vs1)| Instr::Vmvxs { rd, vs1 }),
+            (0u8..7, arb_reg(), arb_reg()).prop_map(|(f, rs1, rs2)| Instr::ConfigDma {
+                field: DmaField::from_raw(f).unwrap(),
+                rs1,
+                rs2
+            }),
+            (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Mvin { rs_mm: a, rs_sp: b }),
+            Just(Instr::DmaFence),
+            arb_vreg().prop_map(|vs| Instr::Wvpush { vs }),
+            arb_vreg().prop_map(|vs| Instr::Ivpush { vs }),
+            arb_vreg().prop_map(|vd| Instr::Vpop { vd }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trips(instr in arb_instr()) {
+            let w = encode(&instr);
+            let back = decode(w).unwrap();
+            prop_assert_eq!(back, instr);
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_an_isa_fault() {
+        assert!(decode(0xFF00_0000_0000_0000).is_err());
+    }
+
+    #[test]
+    fn bad_dma_field_is_rejected() {
+        // CONFIG opcode with funct = 0x3F.
+        let w = ((OP_CONFIG as u64) << 56) | (0x3Fu64 << 32);
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn negative_immediates_survive() {
+        let i = Instr::Addi { rd: Reg::new(1), rs1: Reg::new(2), imm: -12345 };
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+}

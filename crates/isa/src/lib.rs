@@ -1,0 +1,36 @@
+//! The custom NPU instruction set architecture (§3.4).
+//!
+//! PyTorchSim models NPUs with a RISC-V-flavoured ISA extended with:
+//!
+//! - a vector-length-agnostic vector extension whose architectural registers
+//!   span all vector units (the wide VCIX-style datapath of Fig. 2),
+//! - SFU instructions for `exp`/`tanh`/reciprocal/rsqrt (Fig. 3e),
+//! - tensor DMA instructions `mvin`/`mvout`/`config` (Fig. 3a–b), and
+//! - dataflow-unit instructions `wvpush`/`ivpush`/`vpop` (Fig. 3c–d).
+//!
+//! Instructions are fixed 64-bit words; [`encode`] and [`program`] provide
+//! binary assembly/disassembly, and [`program::ProgramBuilder`] resolves
+//! labels for loop construction by the compiler backend.
+//!
+//! # Examples
+//!
+//! ```
+//! use ptsim_isa::instr::Instr;
+//! use ptsim_isa::reg::{Reg, VReg};
+//! use ptsim_isa::encode::{encode, decode};
+//!
+//! let i = Instr::Ivpush { vs: VReg::new(3) };
+//! assert_eq!(decode(encode(&i))?, i);
+//! assert_eq!(i.to_string(), "ivpush v3");
+//! # Ok::<(), ptsim_common::Error>(())
+//! ```
+
+pub mod asm;
+pub mod encode;
+pub mod instr;
+pub mod program;
+pub mod reg;
+
+pub use instr::{DmaField, Instr};
+pub use program::{Program, ProgramBuilder, RegAlloc};
+pub use reg::{Reg, VReg};

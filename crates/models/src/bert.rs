@@ -1,0 +1,250 @@
+//! BERT encoder stacks (Base and Large) with multi-head self-attention.
+
+use crate::ModelSpec;
+use ptsim_graph::{GraphBuilder, ValueId};
+
+/// Transformer encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BertConfig {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Encoder layers.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward inner width.
+    pub intermediate: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Batch size.
+    pub batch: usize,
+}
+
+impl BertConfig {
+    /// BERT-Base: 12 layers, hidden 768, 12 heads.
+    pub fn base(seq: usize, batch: usize) -> Self {
+        BertConfig { hidden: 768, layers: 12, heads: 12, intermediate: 3072, seq, batch }
+    }
+
+    /// BERT-Large: 24 layers, hidden 1024, 16 heads.
+    pub fn large(seq: usize, batch: usize) -> Self {
+        BertConfig { hidden: 1024, layers: 24, heads: 16, intermediate: 4096, seq, batch }
+    }
+}
+
+struct Bert {
+    g: GraphBuilder,
+    cfg: BertConfig,
+    /// Cross-layer parameter sharing (ALBERT): parameters are created once
+    /// and reused by every layer.
+    share: bool,
+    shared: std::collections::HashMap<String, (ValueId, ValueId)>,
+}
+
+impl Bert {
+    fn linear(&mut self, x: ValueId, d_out: usize, name: &str) -> ValueId {
+        let d_in = self.g.shape_of(x).dim(1);
+        let key = format!("lin:{name}:{d_in}x{d_out}");
+        let (w, b) = if self.share {
+            if let Some(&pair) = self.shared.get(&key) {
+                pair
+            } else {
+                let w = self.g.parameter(format!("shared.{name}.weight"), [d_in, d_out]);
+                let b = self.g.parameter(format!("shared.{name}.bias"), [d_out]);
+                self.shared.insert(key, (w, b));
+                (w, b)
+            }
+        } else {
+            (
+                self.g.parameter(format!("{name}.weight"), [d_in, d_out]),
+                self.g.parameter(format!("{name}.bias"), [d_out]),
+            )
+        };
+        self.g.linear(x, w, b).expect("bert linear shapes")
+    }
+
+    fn layernorm(&mut self, x: ValueId, name: &str) -> ValueId {
+        let d = self.g.shape_of(x).dim(self.g.shape_of(x).rank() - 1);
+        let key = format!("ln:{name}:{d}");
+        let (gamma, beta) = if self.share {
+            if let Some(&pair) = self.shared.get(&key) {
+                pair
+            } else {
+                let gamma = self.g.parameter(format!("shared.{name}.gamma"), [d]);
+                let beta = self.g.parameter(format!("shared.{name}.beta"), [d]);
+                self.shared.insert(key, (gamma, beta));
+                (gamma, beta)
+            }
+        } else {
+            (
+                self.g.parameter(format!("{name}.gamma"), [d]),
+                self.g.parameter(format!("{name}.beta"), [d]),
+            )
+        };
+        self.g.layernorm(x, gamma, beta).expect("bert layernorm shapes")
+    }
+
+    /// `[B·S, H] -> [B·heads, S, dh]`.
+    fn split_heads(&mut self, x: ValueId) -> ValueId {
+        let c = self.cfg;
+        let dh = c.hidden / c.heads;
+        let r = self.g.reshape(x, [c.batch, c.seq, c.heads, dh]).expect("head split");
+        let p = self.g.permute(r, vec![0, 2, 1, 3]).expect("head permute");
+        self.g.reshape(p, [c.batch * c.heads, c.seq, dh]).expect("head flatten")
+    }
+
+    /// `[B·heads, S, dh] -> [B·S, H]`.
+    fn merge_heads(&mut self, x: ValueId) -> ValueId {
+        let c = self.cfg;
+        let dh = c.hidden / c.heads;
+        let r = self.g.reshape(x, [c.batch, c.heads, c.seq, dh]).expect("head unflatten");
+        let p = self.g.permute(r, vec![0, 2, 1, 3]).expect("head unpermute");
+        self.g.reshape(p, [c.batch * c.seq, c.hidden]).expect("head merge")
+    }
+
+    fn layer(&mut self, x: ValueId, idx: usize) -> ValueId {
+        let c = self.cfg;
+        let dh = c.hidden / c.heads;
+        let prefix = if self.share { "layer".to_string() } else { format!("layer{idx}") };
+        // Self-attention.
+        let q = self.linear(x, c.hidden, &format!("{prefix}.q"));
+        let k = self.linear(x, c.hidden, &format!("{prefix}.k"));
+        let v = self.linear(x, c.hidden, &format!("{prefix}.v"));
+        let qh = self.split_heads(q);
+        let kh = self.split_heads(k);
+        let vh = self.split_heads(v);
+        let kt = self.g.push(ptsim_graph::Op::TransposeLast2, &[kh]).expect("kT");
+        let scores = self.g.batch_matmul(qh, kt).expect("qk");
+        let scaled = self.g.scale(scores, 1.0 / (dh as f32).sqrt()).expect("scale");
+        let probs = self.g.softmax(scaled).expect("softmax");
+        let ctx = self.g.batch_matmul(probs, vh).expect("pv");
+        let merged = self.merge_heads(ctx);
+        let proj = self.linear(merged, c.hidden, &format!("{prefix}.attn_out"));
+        let res1 = self.g.add(proj, x).expect("residual");
+        let norm1 = self.layernorm(res1, &format!("{prefix}.ln1"));
+        // Feed-forward.
+        let up = self.linear(norm1, c.intermediate, &format!("{prefix}.ff_up"));
+        let act = self.g.gelu(up).expect("gelu");
+        let down = self.linear(act, c.hidden, &format!("{prefix}.ff_down"));
+        let res2 = self.g.add(down, norm1).expect("residual");
+        self.layernorm(res2, &format!("{prefix}.ln2"))
+    }
+}
+
+/// Builds an encoder stack for `cfg`; the input is the embedded sequence
+/// `[batch·seq, hidden]` (embedding lookup happens on the host).
+pub fn bert(cfg: BertConfig, name: &str) -> ModelSpec {
+    bert_inner(cfg, name, false)
+}
+
+/// ALBERT-style encoder: the same stack with one shared set of layer
+/// parameters reused by every layer (the paper's third BERT workload).
+pub fn albert(seq: usize, batch: usize) -> ModelSpec {
+    bert_inner(BertConfig::base(seq, batch), "albert", true)
+}
+
+fn bert_inner(cfg: BertConfig, name: &str, share: bool) -> ModelSpec {
+    let mut b = Bert {
+        g: GraphBuilder::new(),
+        cfg,
+        share,
+        shared: std::collections::HashMap::new(),
+    };
+    let rows = cfg.batch * cfg.seq;
+    let mut x = b.g.input("embeddings", [rows, cfg.hidden]);
+    for i in 0..cfg.layers {
+        x = b.layer(x, i);
+    }
+    b.g.output(x);
+    ModelSpec {
+        name: format!("{name}_s{}_b{}", cfg.seq, cfg.batch),
+        graph: b.g.finish(),
+        loss: None,
+    }
+}
+
+/// BERT-Base with the given sequence length and batch size.
+pub fn bert_base(seq: usize, batch: usize) -> ModelSpec {
+    bert(BertConfig::base(seq, batch), "bert_base")
+}
+
+/// BERT-Large with the given sequence length and batch size.
+pub fn bert_large(seq: usize, batch: usize) -> ModelSpec {
+    bert(BertConfig::large(seq, batch), "bert_large")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_graph::exec;
+    use ptsim_tensor::Tensor;
+
+    #[test]
+    fn bert_base_parameter_count_is_plausible() {
+        let spec = bert_base(128, 1);
+        spec.graph.validate().unwrap();
+        // Encoder-only (no embeddings): ~85M parameters.
+        let params = spec.param_count();
+        assert!((80_000_000..90_000_000).contains(&params), "params {params}");
+    }
+
+    #[test]
+    fn bert_large_is_larger() {
+        let base = bert_base(128, 1);
+        let large = bert_large(128, 1);
+        assert!(large.param_count() > 3 * base.param_count());
+    }
+
+    #[test]
+    fn tiny_bert_executes_forward() {
+        // A small config to keep eager execution fast.
+        let cfg = BertConfig { hidden: 32, layers: 2, heads: 4, intermediate: 64, seq: 8, batch: 2 };
+        let spec = bert(cfg, "bert_tiny");
+        spec.graph.validate().unwrap();
+        let params = spec.init_params(3);
+        let x = Tensor::randn([16, 32], 9);
+        let out = exec::execute(&spec.graph, &[x], &params).unwrap();
+        assert_eq!(out.outputs()[0].dims(), &[16, 32]);
+        // LayerNorm keeps activations bounded.
+        assert!(out.outputs()[0].max() < 30.0);
+    }
+
+    #[test]
+    fn attention_shapes_flow_correctly() {
+        let cfg = BertConfig { hidden: 16, layers: 1, heads: 2, intermediate: 32, seq: 4, batch: 3 };
+        let spec = bert(cfg, "t");
+        // Find the softmax node: [batch*heads, seq, seq].
+        let sm = spec
+            .graph
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, ptsim_graph::Op::Softmax))
+            .expect("attention softmax exists");
+        assert_eq!(sm.shape.dims(), &[6, 4, 4]);
+    }
+}
+#[cfg(test)]
+mod albert_tests {
+    use super::*;
+
+    #[test]
+    fn albert_shares_parameters_across_layers() {
+        let shared = albert(64, 1);
+        let unshared = bert_base(64, 1);
+        shared.graph.validate().unwrap();
+        // One layer's worth of parameters instead of twelve.
+        assert!(shared.param_count() * 10 < unshared.param_count());
+        // But the same amount of compute: node counts are comparable.
+        assert!(shared.graph.len() + 200 > unshared.graph.len());
+    }
+
+    #[test]
+    fn albert_executes_forward() {
+        let cfg = BertConfig { hidden: 16, layers: 3, heads: 2, intermediate: 32, seq: 4, batch: 1 };
+        let spec = bert_inner(cfg, "albert_tiny", true);
+        let params = spec.init_params(1);
+        let x = ptsim_tensor::Tensor::randn([4, 16], 2);
+        let out = ptsim_graph::exec::execute(&spec.graph, &[x], &params).unwrap();
+        assert_eq!(out.outputs()[0].dims(), &[4, 16]);
+    }
+}

@@ -1,0 +1,151 @@
+//! ResNet-18 / ResNet-50 in inference form.
+//!
+//! Batch normalization is folded into the preceding convolution (the
+//! standard inference transformation), so residual blocks are
+//! conv → relu chains plus elementwise skip additions — the operator mix
+//! the paper's end-to-end ResNet workloads exercise (GEMM-as-CONV, vector
+//! skip-adds, pooling, and a final FC layer).
+
+use crate::ModelSpec;
+use ptsim_graph::{ConvGeom, GraphBuilder, Op, ValueId};
+
+struct ResNetBuilder {
+    g: GraphBuilder,
+    layer: usize,
+}
+
+impl ResNetBuilder {
+    fn conv(
+        &mut self,
+        x: ValueId,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> ValueId {
+        let c_in = self.g.shape_of(x).dim(1);
+        self.layer += 1;
+        let w = self.g.parameter(format!("conv{}.weight", self.layer), [c_out, c_in, k, k]);
+        self.g.conv2d(x, w, ConvGeom::new(stride, padding)).expect("resnet conv shapes")
+    }
+
+    fn conv_relu(
+        &mut self,
+        x: ValueId,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> ValueId {
+        let y = self.conv(x, c_out, k, stride, padding);
+        self.g.relu(y).expect("relu shapes")
+    }
+
+    /// Basic block (ResNet-18): two 3×3 convs with a skip connection.
+    fn basic_block(&mut self, x: ValueId, c_out: usize, stride: usize) -> ValueId {
+        let c_in = self.g.shape_of(x).dim(1);
+        let y = self.conv_relu(x, c_out, 3, stride, 1);
+        let y = self.conv(y, c_out, 3, 1, 1);
+        let skip = if stride != 1 || c_in != c_out {
+            self.conv(x, c_out, 1, stride, 0)
+        } else {
+            x
+        };
+        let sum = self.g.add(y, skip).expect("skip shapes");
+        self.g.relu(sum).expect("relu shapes")
+    }
+
+    /// Bottleneck block (ResNet-50): 1×1 → 3×3 → 1×1 with expansion 4.
+    fn bottleneck(&mut self, x: ValueId, c_mid: usize, stride: usize) -> ValueId {
+        let c_in = self.g.shape_of(x).dim(1);
+        let c_out = 4 * c_mid;
+        let y = self.conv_relu(x, c_mid, 1, 1, 0);
+        let y = self.conv_relu(y, c_mid, 3, stride, 1);
+        let y = self.conv(y, c_out, 1, 1, 0);
+        let skip = if stride != 1 || c_in != c_out {
+            self.conv(x, c_out, 1, stride, 0)
+        } else {
+            x
+        };
+        let sum = self.g.add(y, skip).expect("skip shapes");
+        self.g.relu(sum).expect("relu shapes")
+    }
+}
+
+fn resnet(batch: usize, name: &str, blocks: [usize; 4], bottleneck: bool) -> ModelSpec {
+    let mut b = ResNetBuilder { g: GraphBuilder::new(), layer: 0 };
+    let x = b.g.input("x", [batch, 3, 224, 224]);
+    // Stem: 7x7/2 conv, 3x3/2 max pool.
+    let y = b.conv_relu(x, 64, 7, 2, 3);
+    let mut y = b.g.push(Op::MaxPool2d { k: 2 }, &[y]).expect("pool shapes");
+    let widths = [64usize, 128, 256, 512];
+    for (stage, (&n_blocks, &width)) in blocks.iter().zip(&widths).enumerate() {
+        for block in 0..n_blocks {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            y = if bottleneck {
+                b.bottleneck(y, width, stride)
+            } else {
+                b.basic_block(y, width, stride)
+            };
+        }
+    }
+    let pooled = b.g.push(Op::GlobalAvgPool, &[y]).expect("pool shapes");
+    let c = b.g.shape_of(pooled).dim(1);
+    let w = b.g.parameter("fc.weight", [c, 1000]);
+    let bias = b.g.parameter("fc.bias", [1000]);
+    let logits = b.g.linear(pooled, w, bias).expect("fc shapes");
+    b.g.output(logits);
+    ModelSpec { name: format!("{name}_b{batch}"), graph: b.g.finish(), loss: None }
+}
+
+/// ResNet-18 for `batch` 224×224 RGB images.
+pub fn resnet18(batch: usize) -> ModelSpec {
+    resnet(batch, "resnet18", [2, 2, 2, 2], false)
+}
+
+/// ResNet-50 for `batch` 224×224 RGB images.
+pub fn resnet50(batch: usize) -> ModelSpec {
+    resnet(batch, "resnet50", [3, 4, 6, 3], true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_structure() {
+        let spec = resnet18(1);
+        spec.graph.validate().unwrap();
+        let out = spec.graph.node(spec.graph.outputs()[0]);
+        assert_eq!(out.shape.dims(), &[1, 1000]);
+        // 17 convs + downsample convs + fc ≈ 11.7M params.
+        let params = spec.param_count();
+        assert!((11_000_000..13_000_000).contains(&params), "params {params}");
+    }
+
+    #[test]
+    fn resnet50_structure() {
+        let spec = resnet50(2);
+        spec.graph.validate().unwrap();
+        let out = spec.graph.node(spec.graph.outputs()[0]);
+        assert_eq!(out.shape.dims(), &[2, 1000]);
+        // ~25.5M parameters.
+        let params = spec.param_count();
+        assert!((23_000_000..27_000_000).contains(&params), "params {params}");
+    }
+
+    #[test]
+    fn stage_downsampling_halves_spatial_dims() {
+        let spec = resnet18(1);
+        // The output of the last residual stage must be 512 x 7 x 7 — check
+        // via the global-average-pool input.
+        let gap = spec
+            .graph
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, Op::GlobalAvgPool))
+            .expect("resnet has a global pool");
+        let inp = &spec.graph.node(gap.inputs[0]).shape;
+        assert_eq!(inp.dims(), &[1, 512, 7, 7]);
+    }
+}

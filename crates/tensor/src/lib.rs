@@ -1,0 +1,28 @@
+//! Dense and sparse tensor substrate for PyTorchSim-rs.
+//!
+//! This crate plays the role of PyTorch's eager tensor library in the
+//! original framework: it provides the numeric semantics that the functional
+//! simulator validates against, the kernels the autodiff engine
+//! differentiates, and the CSR sparse representation used by the
+//! heterogeneous dense–sparse NPU case study.
+//!
+//! # Examples
+//!
+//! ```
+//! use ptsim_tensor::{ops, Tensor};
+//!
+//! let x = Tensor::randn([4, 8], 0);
+//! let w = Tensor::randn([8, 2], 1);
+//! let y = ops::relu(&x.matmul(&w)?);
+//! assert_eq!(y.dims(), &[4, 2]);
+//! # Ok::<(), ptsim_common::Error>(())
+//! ```
+
+pub mod dense;
+pub mod ops;
+pub mod shape;
+pub mod sparse;
+
+pub use dense::Tensor;
+pub use shape::Shape;
+pub use sparse::CsrMatrix;

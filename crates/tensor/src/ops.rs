@@ -1,0 +1,524 @@
+//! Neural-network operators over dense tensors.
+//!
+//! These are the numeric kernels the functional model executes and the
+//! autodiff engine differentiates. Convolution is implemented as GEMM with
+//! explicit `im2col`, mirroring the NPU lowering (§3.5: "CONV operations are
+//! also implemented as GEMM with implicit im2col").
+
+use crate::dense::Tensor;
+use ptsim_common::{Error, Result};
+
+/// Rectified linear unit, elementwise.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Derivative mask of ReLU (1 where the input was positive).
+pub fn relu_grad_mask(x: &Tensor) -> Tensor {
+    x.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Gaussian error linear unit (tanh approximation), elementwise.
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(|v| {
+        let c = (2.0f32 / std::f32::consts::PI).sqrt();
+        0.5 * v * (1.0 + (c * (v + 0.044715 * v * v * v)).tanh())
+    })
+}
+
+/// Logistic sigmoid, elementwise.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Hyperbolic tangent, elementwise (an SFU operation on the NPU, §3.4).
+pub fn tanh(x: &Tensor) -> Tensor {
+    x.map(f32::tanh)
+}
+
+/// Natural exponential, elementwise (an SFU operation on the NPU, §3.4).
+pub fn exp(x: &Tensor) -> Tensor {
+    x.map(f32::exp)
+}
+
+/// Numerically stable softmax along the last axis.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] for rank-0 tensors.
+pub fn softmax(x: &Tensor) -> Result<Tensor> {
+    let dims = x.dims();
+    if dims.is_empty() {
+        return Err(Error::shape("softmax requires rank >= 1".to_string()));
+    }
+    let last = dims[dims.len() - 1];
+    let rows = x.numel() / last;
+    let mut out = vec![0.0f32; x.numel()];
+    for r in 0..rows {
+        let row = &x.data()[r * last..(r + 1) * last];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for (o, &v) in out[r * last..(r + 1) * last].iter_mut().zip(row) {
+            *o = (v - m).exp();
+            denom += *o;
+        }
+        for o in &mut out[r * last..(r + 1) * last] {
+            *o /= denom;
+        }
+    }
+    Tensor::from_vec(out, dims.to_vec())
+}
+
+/// Layer normalization along the last axis with affine parameters.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if `gamma`/`beta` do not match the last
+/// axis.
+pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result<Tensor> {
+    let dims = x.dims();
+    if dims.is_empty() {
+        return Err(Error::shape("layernorm requires rank >= 1".to_string()));
+    }
+    let last = dims[dims.len() - 1];
+    if gamma.numel() != last || beta.numel() != last {
+        return Err(Error::shape(format!(
+            "layernorm affine params must have {last} elements, got gamma {} beta {}",
+            gamma.numel(),
+            beta.numel()
+        )));
+    }
+    let rows = x.numel() / last;
+    let mut out = vec![0.0f32; x.numel()];
+    for r in 0..rows {
+        let row = &x.data()[r * last..(r + 1) * last];
+        let mean: f32 = row.iter().sum::<f32>() / last as f32;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / last as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        for (i, (o, &v)) in out[r * last..(r + 1) * last].iter_mut().zip(row).enumerate() {
+            *o = (v - mean) * inv_std * gamma.data()[i] + beta.data()[i];
+        }
+    }
+    Tensor::from_vec(out, dims.to_vec())
+}
+
+/// Parameters of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dParams {
+    /// Stride along height and width.
+    pub stride: usize,
+    /// Zero padding along height and width.
+    pub padding: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams { stride: 1, padding: 0 }
+    }
+}
+
+impl Conv2dParams {
+    /// Output spatial size for an input of `in_size` with a filter of
+    /// `k_size`.
+    pub fn out_size(&self, in_size: usize, k_size: usize) -> usize {
+        (in_size + 2 * self.padding - k_size) / self.stride + 1
+    }
+}
+
+/// Unfolds an NCHW input into a `[N*Ho*Wo, C*Kh*Kw]` patch matrix.
+///
+/// The row layout matches the GEMM lowering used by the compiler, so the
+/// functional model and the NPU kernels agree element-for-element.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if `input` is not 4-D or the filter does
+/// not fit.
+pub fn im2col(input: &Tensor, kh: usize, kw: usize, p: Conv2dParams) -> Result<Tensor> {
+    let dims = input.dims();
+    if dims.len() != 4 {
+        return Err(Error::shape(format!("im2col requires NCHW input, got {}", input.shape())));
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    if h + 2 * p.padding < kh || w + 2 * p.padding < kw {
+        return Err(Error::shape("filter larger than padded input".to_string()));
+    }
+    let ho = p.out_size(h, kh);
+    let wo = p.out_size(w, kw);
+    let mut out = vec![0.0f32; n * ho * wo * c * kh * kw];
+    let cols = c * kh * kw;
+    let x = input.data();
+    for ni in 0..n {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let row = ((ni * ho + oy) * wo + ox) * cols;
+                for ci in 0..c {
+                    for ky in 0..kh {
+                        let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            out[row + (ci * kh + ky) * kw + kx] =
+                                x[((ni * c + ci) * h + iy as usize) * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [n * ho * wo, cols])
+}
+
+/// Folds a `[N*Ho*Wo, C*Kh*Kw]` patch-gradient matrix back to NCHW; the
+/// adjoint of [`im2col`], used by convolution backward. The argument list
+/// mirrors the convolution geometry one-to-one.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if `cols` does not match the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols_t: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    p: Conv2dParams,
+) -> Result<Tensor> {
+    let ho = p.out_size(h, kh);
+    let wo = p.out_size(w, kw);
+    let cols = c * kh * kw;
+    if cols_t.dims() != [n * ho * wo, cols] {
+        return Err(Error::shape(format!(
+            "col2im expected [{}, {}], got {}",
+            n * ho * wo,
+            cols,
+            cols_t.shape()
+        )));
+    }
+    let mut out = vec![0.0f32; n * c * h * w];
+    let g = cols_t.data();
+    for ni in 0..n {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let row = ((ni * ho + oy) * wo + ox) * cols;
+                for ci in 0..c {
+                    for ky in 0..kh {
+                        let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            out[((ni * c + ci) * h + iy as usize) * w + ix as usize] +=
+                                g[row + (ci * kh + ky) * kw + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, c, h, w])
+}
+
+/// 2-D convolution: NCHW input `[N,C,H,W]`, weights `[K,C,Kh,Kw]`, output
+/// `[N,K,Ho,Wo]`, computed as `im2col × weightsᵀ`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] on rank or channel mismatches.
+pub fn conv2d(input: &Tensor, weight: &Tensor, p: Conv2dParams) -> Result<Tensor> {
+    let (xd, wd) = (input.dims(), weight.dims());
+    if xd.len() != 4 || wd.len() != 4 {
+        return Err(Error::shape("conv2d requires 4-D input and weight".to_string()));
+    }
+    if xd[1] != wd[1] {
+        return Err(Error::shape(format!(
+            "conv2d channel mismatch: input C={} weight C={}",
+            xd[1], wd[1]
+        )));
+    }
+    let (n, _c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
+    let (k, c, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    let ho = p.out_size(h, kh);
+    let wo = p.out_size(w, kw);
+    let patches = im2col(input, kh, kw, p)?; // [N*Ho*Wo, C*Kh*Kw]
+    let wmat = weight.reshape([k, c * kh * kw])?.transpose2()?; // [CKhKw, K]
+    let out = patches.matmul(&wmat)?; // [N*Ho*Wo, K]
+    // Reorder [N, Ho, Wo, K] -> [N, K, Ho, Wo].
+    let mut res = vec![0.0f32; n * k * ho * wo];
+    for ni in 0..n {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let row = ((ni * ho + oy) * wo + ox) * k;
+                for ki in 0..k {
+                    res[((ni * k + ki) * ho + oy) * wo + ox] = out.data()[row + ki];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(res, [n, k, ho, wo])
+}
+
+/// 2-D max pooling over NCHW input with square window `k` and stride `k`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the input is not 4-D.
+pub fn maxpool2d(input: &Tensor, k: usize) -> Result<Tensor> {
+    let dims = input.dims();
+    if dims.len() != 4 {
+        return Err(Error::shape("maxpool2d requires NCHW input".to_string()));
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let (ho, wo) = (h / k, w / k);
+    let mut out = vec![f32::NEG_INFINITY; n * c * ho * wo];
+    let x = input.data();
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut m = f32::NEG_INFINITY;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            m = m.max(x[((ni * c + ci) * h + oy * k + dy) * w + ox * k + dx]);
+                        }
+                    }
+                    out[((ni * c + ci) * ho + oy) * wo + ox] = m;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, c, ho, wo])
+}
+
+/// Global average pooling: `[N,C,H,W] -> [N,C]`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the input is not 4-D.
+pub fn global_avgpool2d(input: &Tensor) -> Result<Tensor> {
+    let dims = input.dims();
+    if dims.len() != 4 {
+        return Err(Error::shape("global_avgpool2d requires NCHW input".to_string()));
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let mut out = vec![0.0f32; n * c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            out[ni * c + ci] =
+                input.data()[base..base + h * w].iter().sum::<f32>() / (h * w) as f32;
+        }
+    }
+    Tensor::from_vec(out, [n, c])
+}
+
+/// Fully-connected layer: `x [n, in] × w [in, out] + b [out]`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] on dimension mismatch.
+pub fn linear(x: &Tensor, w: &Tensor, b: &Tensor) -> Result<Tensor> {
+    x.matmul(w)?.add(b)
+}
+
+/// One-hot encodes integer labels into `[n, classes]`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if any label is out of range.
+pub fn one_hot(labels: &[usize], classes: usize) -> Result<Tensor> {
+    let mut out = vec![0.0f32; labels.len() * classes];
+    for (i, &l) in labels.iter().enumerate() {
+        if l >= classes {
+            return Err(Error::shape(format!("label {l} out of range for {classes} classes")));
+        }
+        out[i * classes + l] = 1.0;
+    }
+    Tensor::from_vec(out, [labels.len(), classes])
+}
+
+/// Mean cross-entropy of logits `[n, classes]` against one-hot `targets`.
+///
+/// Returns `(loss, grad_logits)` where the gradient is with respect to the
+/// mean loss (softmax − target, scaled by 1/n).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if shapes differ or are not 2-D.
+pub fn cross_entropy_with_grad(logits: &Tensor, targets: &Tensor) -> Result<(f32, Tensor)> {
+    if logits.shape() != targets.shape() || logits.dims().len() != 2 {
+        return Err(Error::shape(format!(
+            "cross entropy requires matching 2-D shapes, got {} vs {}",
+            logits.shape(),
+            targets.shape()
+        )));
+    }
+    let probs = softmax(logits)?;
+    let n = logits.dims()[0] as f32;
+    let mut loss = 0.0f32;
+    for (p, t) in probs.data().iter().zip(targets.data()) {
+        if *t > 0.0 {
+            loss -= t * p.max(1e-12).ln();
+        }
+    }
+    loss /= n;
+    let grad = probs.sub(targets)?.scale(1.0 / n);
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], [3]).unwrap();
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+        assert_eq!(relu_grad_mask(&x).data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::randn([4, 7], 3);
+        let s = softmax(&x).unwrap();
+        for r in 0..4 {
+            let sum: f32 = s.data()[r * 7..(r + 1) * 7].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]).unwrap();
+        let y = x.map(|v| v + 100.0);
+        assert!(softmax(&x).unwrap().allclose(&softmax(&y).unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let x = Tensor::randn([3, 16], 5);
+        let g = Tensor::ones([16]);
+        let b = Tensor::zeros([16]);
+        let y = layernorm(&x, &g, &b, 1e-5).unwrap();
+        for r in 0..3 {
+            let row = &y.data()[r * 16..(r + 1) * 16];
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_is_noop() {
+        // 1x1 kernel with weight 1 on a single channel copies the input.
+        let x = Tensor::randn([1, 1, 5, 5], 2);
+        let w = Tensor::ones([1, 1, 1, 1]);
+        let y = conv2d(&x, &w, Conv2dParams::default()).unwrap();
+        assert!(y.reshape([1, 1, 5, 5]).unwrap().allclose(&x, 1e-6));
+    }
+
+    #[test]
+    fn conv2d_matches_direct_computation() {
+        // 3x3 all-ones filter over a 4x4 ramp, valid padding: each output is
+        // the sum of a 3x3 window.
+        let x = Tensor::arange(16).reshape([1, 1, 4, 4]).unwrap();
+        let w = Tensor::ones([1, 1, 3, 3]);
+        let y = conv2d(&x, &w, Conv2dParams::default()).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        // Window at (0,0): 0+1+2+4+5+6+8+9+10 = 45.
+        assert_eq!(y.data()[0], 45.0);
+        // Shifting the window right adds 3 per row (3 rows): 45 + 9.
+        assert_eq!(y.data()[1], 54.0);
+    }
+
+    #[test]
+    fn conv2d_padding_and_stride_change_geometry() {
+        let x = Tensor::randn([2, 3, 8, 8], 11);
+        let w = Tensor::randn([4, 3, 3, 3], 12);
+        let y = conv2d(&x, &w, Conv2dParams { stride: 2, padding: 1 }).unwrap();
+        assert_eq!(y.dims(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn maxpool_reduces_spatial_dims() {
+        let x = Tensor::arange(16).reshape([1, 1, 4, 4]).unwrap();
+        let y = maxpool2d(&x, 2).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn global_avgpool_averages() {
+        let x = Tensor::ones([2, 3, 4, 4]);
+        let y = global_avgpool2d(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        assert!(y.allclose(&Tensor::ones([2, 3]), 1e-6));
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], [2, 2]).unwrap();
+        let targets = one_hot(&[0, 1], 2).unwrap();
+        let (loss, grad) = cross_entropy_with_grad(&logits, &targets).unwrap();
+        assert!(loss < 1e-3);
+        assert!(grad.max_abs_diff(&Tensor::zeros([2, 2])).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Tensor::randn([2, 4], 9);
+        let targets = one_hot(&[1, 3], 4).unwrap();
+        let (_, grad) = cross_entropy_with_grad(&logits, &targets).unwrap();
+        let eps = 1e-3;
+        for i in 0..logits.numel() {
+            let mut plus = logits.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[i] -= eps;
+            let (lp, _) = cross_entropy_with_grad(&plus, &targets).unwrap();
+            let (lm, _) = cross_entropy_with_grad(&minus, &targets).unwrap();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - grad.data()[i]).abs() < 1e-2, "at {i}: fd {fd} vs {}", grad.data()[i]);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn im2col_col2im_adjoint_property(seed in 0u64..25) {
+            // <im2col(x), y> == <x, col2im(y)> — the defining adjoint identity.
+            let p = Conv2dParams { stride: 1, padding: 1 };
+            let x = Tensor::randn([1, 2, 4, 4], seed);
+            let cols = im2col(&x, 3, 3, p).unwrap();
+            let y = Tensor::randn(cols.dims().to_vec(), seed + 100);
+            let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+            let xback = col2im(&y, 1, 2, 4, 4, 3, 3, p).unwrap();
+            let rhs: f32 = x.data().iter().zip(xback.data()).map(|(a, b)| a * b).sum();
+            prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0));
+        }
+
+        #[test]
+        fn gelu_bounded_by_identity_and_zero(v in -5.0f32..5.0) {
+            let x = Tensor::from_vec(vec![v], [1]).unwrap();
+            let y = gelu(&x).data()[0];
+            if v >= 0.0 {
+                prop_assert!(y >= -1e-6 && y <= v + 1e-5);
+            } else {
+                prop_assert!(y <= 1e-6 && y >= v - 0.2);
+            }
+        }
+    }
+}

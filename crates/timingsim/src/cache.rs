@@ -1,0 +1,91 @@
+//! Memoization of offline tile latencies.
+//!
+//! Tile latencies are deterministic per kernel (§3.8), so once measured they
+//! are "reused over multiple simulations across different scenarios and HW
+//! configurations". The cache key is the kernel name, which encodes the
+//! operation and tile geometry.
+
+use crate::core::{TileLatency, TimingSim};
+use ptsim_common::Result;
+use ptsim_isa::program::Program;
+use std::collections::HashMap;
+
+/// A cache of measured tile latencies keyed by kernel name.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyCache {
+    entries: HashMap<String, TileLatency>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LatencyCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the latency for `program`, measuring it with `sim` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-simulation faults on a miss.
+    pub fn latency(&mut self, sim: &TimingSim, program: &Program) -> Result<TileLatency> {
+        if let Some(&hit) = self.entries.get(&program.name) {
+            self.hits += 1;
+            return Ok(hit);
+        }
+        self.misses += 1;
+        let lat = sim.measure(program)?;
+        self.entries.insert(program.name.clone(), lat);
+        Ok(lat)
+    }
+
+    /// Pre-seeds an entry (used to import latencies measured elsewhere,
+    /// e.g. a sparse core's data-dependent per-tile table).
+    pub fn insert(&mut self, name: impl Into<String>, latency: TileLatency) {
+        self.entries.insert(name.into(), latency);
+    }
+
+    /// Number of cached kernels.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_common::config::NpuConfig;
+    use ptsim_isa::instr::Instr;
+
+    #[test]
+    fn cache_hits_after_first_measure() {
+        let sim = TimingSim::new(&NpuConfig::tiny());
+        let mut cache = LatencyCache::new();
+        let p = Program::new("k1", vec![Instr::Halt]);
+        let a = cache.latency(&sim, &p).unwrap();
+        let b = cache.latency(&sim, &p).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn preseeded_entries_are_served() {
+        let sim = TimingSim::new(&NpuConfig::tiny());
+        let mut cache = LatencyCache::new();
+        cache.insert("sparse_tile_0", TileLatency { cycles: 1234, ..TileLatency::default() });
+        let p = Program::new("sparse_tile_0", vec![]);
+        assert_eq!(cache.latency(&sim, &p).unwrap().cycles, 1234);
+    }
+}

@@ -1,0 +1,113 @@
+//! The TOG cache (§3.10).
+//!
+//! Compiled code and TOGs are cached keyed by model name and batch size so
+//! that later requests with the same shape reuse them: "the compiled code
+//! and the TOG will be kept in a TOG cache such that it can be reused for
+//! later requests with the same batch size and DNN".
+
+use crate::graph::Tog;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: (model name, batch size).
+pub type TogKey = (String, usize);
+
+/// A cache of compiled TOGs.
+#[derive(Debug, Clone, Default)]
+pub struct TogCache {
+    entries: HashMap<TogKey, Arc<Tog>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TogCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a TOG, counting a hit or miss.
+    pub fn get(&mut self, model: &str, batch: usize) -> Option<Arc<Tog>> {
+        match self.entries.get(&(model.to_string(), batch)) {
+            Some(t) => {
+                self.hits += 1;
+                Some(Arc::clone(t))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Returns the cached TOG, building it with `make` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error on a miss.
+    pub fn get_or_insert_with<E>(
+        &mut self,
+        model: &str,
+        batch: usize,
+        make: impl FnOnce() -> Result<Tog, E>,
+    ) -> Result<Arc<Tog>, E> {
+        if let Some(t) = self.get(model, batch) {
+            return Ok(t);
+        }
+        let tog = Arc::new(make()?);
+        self.entries.insert((model.to_string(), batch), Arc::clone(&tog));
+        Ok(tog)
+    }
+
+    /// Inserts a TOG explicitly.
+    pub fn insert(&mut self, model: &str, batch: usize, tog: Tog) {
+        self.entries.insert((model.to_string(), batch), Arc::new(tog));
+    }
+
+    /// Number of cached TOGs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_keyed_by_model_and_batch() {
+        let mut cache = TogCache::new();
+        cache.insert("bert", 4, Tog { name: "bert_b4".into(), ..Tog::default() });
+        assert!(cache.get("bert", 4).is_some());
+        assert!(cache.get("bert", 8).is_none());
+        assert!(cache.get("resnet", 4).is_none());
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn get_or_insert_builds_once() {
+        let mut cache = TogCache::new();
+        let mut builds = 0;
+        for _ in 0..3 {
+            let t = cache
+                .get_or_insert_with("m", 1, || {
+                    builds += 1;
+                    Ok::<_, ()>(Tog { name: "m_b1".into(), ..Tog::default() })
+                })
+                .unwrap();
+            assert_eq!(t.name, "m_b1");
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

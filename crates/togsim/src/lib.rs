@@ -1,0 +1,39 @@
+//! TOGSim — the Tile-Level Simulation engine (§3.7–3.8).
+//!
+//! TOGSim executes expanded Tile Operation Graphs at high speed: tile
+//! compute nodes use their offline-measured deterministic latencies, while
+//! the non-deterministic parts — DMA transfers through the interconnect and
+//! DRAM — are modelled *online* with the cycle-accurate [`ptsim_noc`] and
+//! [`ptsim_dram`] simulators, exactly the paper's split. Multiple TOGs can
+//! run concurrently on (partitions of) a multi-core NPU for multi-model
+//! tenancy studies (§5.2), and an instruction-level fidelity mode re-executes
+//! every kernel's machine code per tile instance, serving as the slow ILS
+//! comparator of Fig. 6 and the high-fidelity reference for Fig. 5.
+//!
+//! # Examples
+//!
+//! ```
+//! use ptsim_common::config::SimConfig;
+//! use ptsim_tog::{AddrExpr, ExecUnit, TogBuilder, TogOpKind};
+//! use ptsim_togsim::TogSim;
+//!
+//! let mut b = TogBuilder::new("one_tile");
+//! let ld = b.node(TogOpKind::load(AddrExpr::new(0x1000), 256), &[]);
+//! let w = b.node(TogOpKind::WaitDma { dma: ld }, &[]);
+//! b.node(TogOpKind::compute("k", 100, ExecUnit::Matrix), &[w]);
+//! let tog = b.finish().expand()?;
+//!
+//! let mut sim = TogSim::new(&SimConfig::tiny());
+//! sim.add_job(tog, Default::default());
+//! let report = sim.run()?;
+//! assert!(report.total_cycles > 100);
+//! # Ok::<(), ptsim_common::Error>(())
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod report;
+
+pub use cache::{CacheStats, L1Cache};
+pub use engine::{Fidelity, JobId, JobSpec, TogSim};
+pub use report::{JobReport, SimReport};

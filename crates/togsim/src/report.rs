@@ -1,0 +1,100 @@
+//! Simulation result reporting.
+
+use ptsim_common::Cycle;
+use ptsim_dram::DramStats;
+use ptsim_noc::NocStats;
+
+/// Per-job (per-TOG) results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// TOG name.
+    pub name: String,
+    /// Arrival/start time.
+    pub start: Cycle,
+    /// Completion time of the last node.
+    pub end: Cycle,
+    /// DMA bytes this job moved.
+    pub dma_bytes: u64,
+    /// Compute node instances executed.
+    pub compute_nodes: usize,
+    /// DRAM accounting tag.
+    pub tag: u32,
+}
+
+impl JobReport {
+    /// Job latency in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end.saturating_since(self.start)
+    }
+
+    /// Mean DRAM bandwidth over the job's lifetime, bytes per cycle.
+    pub fn mean_bandwidth(&self) -> f64 {
+        let c = self.cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.dma_bytes as f64 / c as f64
+        }
+    }
+}
+
+/// Whole-simulation results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Completion time of the last job.
+    pub total_cycles: u64,
+    /// Per-job reports, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// Aggregated DRAM statistics.
+    pub dram: DramStats,
+    /// Aggregated interconnect statistics.
+    pub noc: NocStats,
+    /// Cycles the matrix (systolic) units were busy, summed over cores.
+    pub matrix_busy: u64,
+    /// Cycles the vector units were busy, summed over cores.
+    pub vector_busy: u64,
+}
+
+impl SimReport {
+    /// Bytes served by DRAM for a given tag (tenant accounting, §5.2).
+    pub fn dram_bytes_for_tag(&self, tag: u32) -> u64 {
+        self.dram.bytes_by_tag.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// The single job's latency, for single-TOG runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation had no jobs.
+    pub fn latency(&self) -> u64 {
+        self.jobs[0].cycles()
+    }
+
+    /// Matrix-unit utilization over the run, per core, in [0, 1].
+    pub fn matrix_utilization(&self, cores: usize) -> f64 {
+        if self.total_cycles == 0 || cores == 0 {
+            0.0
+        } else {
+            self.matrix_busy as f64 / (self.total_cycles * cores as u64) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_report_arithmetic() {
+        let j = JobReport {
+            name: "j".into(),
+            start: Cycle::new(100),
+            end: Cycle::new(300),
+            dma_bytes: 400,
+            compute_nodes: 3,
+            tag: 0,
+        };
+        assert_eq!(j.cycles(), 200);
+        assert_eq!(j.mean_bandwidth(), 2.0);
+    }
+}

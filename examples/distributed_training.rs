@@ -1,0 +1,44 @@
+//! Multi-NPU data-parallel training (§3.9.3 extension).
+//!
+//! ```sh
+//! cargo run --release --example distributed_training
+//! ```
+//!
+//! Sweeps NPU counts for a fixed global batch: per-NPU compute shrinks with
+//! the shard size (strong scaling) while the gradient ring all-reduce does
+//! not, so scaling efficiency decays — the coarse-grained-communication
+//! trade-off the paper's future-work section sketches.
+
+use ptsim_common::config::SimConfig;
+use pytorchsim::distributed::{ClusterConfig, ClusterSim};
+use pytorchsim::models::mlp;
+
+fn main() -> ptsim_common::Result<()> {
+    let npu = SimConfig::tpu_v3_single_core();
+    let fabric = ClusterConfig::pod_of(1);
+    let global_batch = 256;
+    println!(
+        "data-parallel MLP training, global batch {global_batch}, \
+         {} GB/s links, {} ns hops\n",
+        fabric.link_gbps, fabric.link_latency_ns
+    );
+    println!("npus   compute(cy)   allreduce(cy)   total(cy)   compute%   efficiency");
+    let report = ClusterSim::scaling(
+        npu,
+        fabric,
+        &[1, 2, 4, 8],
+        |shard| mlp(shard, 256),
+        global_batch,
+    )?;
+    for (i, (n, it)) in report.points.iter().enumerate() {
+        println!(
+            "{n:>4} {:>13} {:>15} {:>11} {:>9.0}% {:>11.0}%",
+            it.compute_cycles,
+            it.allreduce_cycles,
+            it.total_cycles(),
+            100.0 * it.compute_fraction(),
+            100.0 * report.efficiency(i),
+        );
+    }
+    Ok(())
+}

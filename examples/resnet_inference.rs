@@ -1,0 +1,59 @@
+//! End-to-end ResNet-18 inference on the TPUv3-like NPU (§4.1 workloads).
+//!
+//! ```sh
+//! cargo run --release --example resnet_inference
+//! ```
+//!
+//! Compiles the full network (stem, residual stages, pooling, classifier)
+//! and reports simulated latency, DRAM behaviour, and per-op-class counts.
+
+use ptsim_common::config::SimConfig;
+use pytorchsim::models;
+use pytorchsim::tog::FlatNodeKind;
+use pytorchsim::Simulator;
+use std::time::Instant;
+
+fn main() -> ptsim_common::Result<()> {
+    let cfg = SimConfig::tpu_v3_single_core();
+    let mut sim = Simulator::new(cfg);
+    let spec = models::resnet18(1);
+    println!("model: {} ({:.1}M parameters)", spec.name, spec.param_count() as f64 / 1e6);
+
+    let t0 = Instant::now();
+    let model = sim.compile(&spec)?;
+    println!(
+        "compiled in {:.2}s: {} TOG nodes, {} kernels, {} timing measurements",
+        t0.elapsed().as_secs_f64(),
+        model.tog.nodes.len(),
+        model.kernels.len(),
+        model.stats.timing_measurements,
+    );
+    let (mut loads, mut stores, mut computes) = (0u64, 0u64, 0u64);
+    for node in &model.tog.nodes {
+        match node.kind {
+            FlatNodeKind::LoadDma { .. } => loads += 1,
+            FlatNodeKind::StoreDma { .. } => stores += 1,
+            FlatNodeKind::Compute { .. } => computes += 1,
+        }
+    }
+    println!("TOG: {loads} loads, {stores} stores, {computes} computes");
+
+    let t1 = Instant::now();
+    let report = sim.run_inference(&spec)?;
+    let wall = t1.elapsed().as_secs_f64();
+    let sim_ms = report.total_cycles as f64 / (sim.config().npu.freq_mhz * 1e3);
+    println!(
+        "TLS: {} cycles = {sim_ms:.2} ms simulated (wall {wall:.1}s, slowdown {:.0}x)",
+        report.total_cycles,
+        wall / (sim_ms / 1e3),
+    );
+    println!(
+        "DRAM: {} MiB, mean latency {:.0} cycles, hits/misses/conflicts = {}/{}/{}",
+        report.dram.bytes >> 20,
+        report.dram.mean_latency(),
+        report.dram.row_hits,
+        report.dram.row_misses,
+        report.dram.row_conflicts,
+    );
+    Ok(())
+}

@@ -1,0 +1,6 @@
+#!/bin/bash
+# Final capture: test and bench outputs required as deliverables.
+set -x
+cd /root/repo
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | tail -5
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | tail -5

@@ -1,0 +1,176 @@
+//! Scaled-down sanity versions of the paper's case studies (§5). The full
+//! experiments live in `crates/bench`; these tests pin the qualitative
+//! *shapes* at sizes that run in seconds.
+
+use ptsim_common::config::{ChipletLinkConfig, MemSchedulerPolicy, SimConfig};
+use ptsim_common::Cycle;
+use pytorchsim::models;
+use pytorchsim::sparse::{SparseCoreConfig, SpmspmLowering};
+use pytorchsim::tensor::CsrMatrix;
+use pytorchsim::togsim::{JobSpec, TogSim};
+use pytorchsim::Simulator;
+
+/// §5.1 — a dense core and a sparse core sharing DRAM under FR-FCFS: the
+/// sparse core (irregular accesses) must lose more than the dense core.
+#[test]
+fn heterogeneous_dense_sparse_unfairness() {
+    let mut cfg = SimConfig::tiny();
+    cfg.npu.cores = 2;
+    cfg.dram.channels = 1;
+    cfg.dram.scheduler = MemSchedulerPolicy::FrFcfs;
+
+    // Dense job: a bandwidth-hungry GEMM on core 0.
+    let mut sim = Simulator::new(cfg.clone());
+    let dense = sim.compile(&models::gemm(96)).unwrap();
+    // Sparse job: SpMSpM tiles with scattered small transfers on core 1.
+    let a = CsrMatrix::random(192, 192, 0.05, 70);
+    let b = CsrMatrix::random(192, 192, 0.05, 71);
+    let sparse =
+        SpmspmLowering::new(SparseCoreConfig::flexagon_like(), 48).lower(&a, &b, 0x4000_0000).unwrap();
+    let sparse_tog = sparse.tog.expand().unwrap();
+
+    let run = |jobs: Vec<(bool, usize)>| {
+        let mut t = TogSim::new(&cfg);
+        let mut ids = Vec::new();
+        for (is_dense, core) in jobs {
+            let spec = JobSpec {
+                core_offset: core,
+                cores: 1,
+                tag: core as u32,
+                ..JobSpec::default()
+            };
+            if is_dense {
+                ids.push(t.add_shared_job(std::sync::Arc::new(dense.tog.clone()), spec));
+            } else {
+                ids.push(t.add_job(sparse_tog.clone(), spec));
+            }
+        }
+        t.run().unwrap()
+    };
+
+    let dense_alone = run(vec![(true, 0)]).jobs[0].cycles();
+    let sparse_alone = run(vec![(false, 1)]).jobs[0].cycles();
+    let both = run(vec![(true, 0), (false, 1)]);
+    let dense_shared = both.jobs[0].cycles();
+    let sparse_shared = both.jobs[1].cycles();
+
+    let dense_slowdown = dense_shared as f64 / dense_alone as f64;
+    let sparse_slowdown = sparse_shared as f64 / sparse_alone as f64;
+    assert!(
+        sparse_slowdown >= dense_slowdown,
+        "FR-FCFS must favour the regular stream: dense {dense_slowdown:.2}x \
+         vs sparse {sparse_slowdown:.2}x"
+    );
+}
+
+/// §5.2 — co-locating a bandwidth-light and a bandwidth-heavy tenant: the
+/// lighter tenant suffers, relative slowdowns differ.
+#[test]
+fn multi_model_tenancy_asymmetry() {
+    let mut cfg = SimConfig::tiny();
+    cfg.npu.cores = 2;
+    // A single DRAM channel makes bandwidth the scarce resource.
+    cfg.dram.channels = 1;
+    let mut sim = Simulator::new(cfg);
+    // Heavy: big rectangular GEMM; light: smaller GEMM.
+    let heavy = sim.compile(&models::gemm_rect(256, 64, 256)).unwrap();
+    let light = sim.compile(&models::gemm(64)).unwrap();
+
+    let solo_light = sim
+        .run_tenants(&[(light.clone(), 1, 1, 1, Cycle::ZERO)])
+        .unwrap()
+        .jobs[0]
+        .cycles();
+    let both = sim
+        .run_tenants(&[
+            (heavy, 0, 1, 0, Cycle::ZERO),
+            (light, 1, 1, 1, Cycle::ZERO),
+        ])
+        .unwrap();
+    let shared_light = both.jobs[1].cycles();
+    assert!(
+        shared_light > solo_light,
+        "the light tenant must feel the heavy one: {shared_light} vs {solo_light}"
+    );
+}
+
+/// §5.4 — chiplet NUMA: local data beats remote data, the off-chip link
+/// bandwidth dominates when accesses are remote.
+#[test]
+fn chiplet_mapping_locality_matters() {
+    let mut cfg = SimConfig::tiny();
+    cfg.npu.cores = 2;
+    cfg.dram.channels = 2;
+    cfg.noc.chiplet = Some(ChipletLinkConfig {
+        chiplets: 2,
+        link_bytes_per_cycle: 8,
+        link_latency_ns: 20.0,
+    });
+
+    // One job per core; data placement controlled by address: channel 0
+    // (chiplet 0) serves even 64 B blocks, channel 1 (chiplet 1) odd ones.
+    // A job on core 0 reading from addresses on channel 0 is local.
+    use pytorchsim::tog::{AddrExpr, ExecUnit, TogBuilder, TogOpKind};
+    let make = |base: u64| {
+        let mut b = TogBuilder::new("tiles");
+        let i = b.begin_loop(16);
+        let ld = b.node(TogOpKind::load(AddrExpr::new(base).with_term(i, 8192), 8192), &[]);
+        let w = b.node(TogOpKind::WaitDma { dma: ld }, &[]);
+        b.node(TogOpKind::compute("k", 10, ExecUnit::Matrix), &[w]);
+        b.end_loop();
+        b.finish().expand().unwrap()
+    };
+    // All transactions alternate channels regardless of base (transaction
+    // interleaving), so "local" vs "remote" is controlled by which core
+    // runs the job relative to the link split: measure a 1-core job on
+    // chiplet 0 vs the same job forced across the link by chiplet config
+    // asymmetry. Here: same TOG, but compare a no-chiplet config against
+    // the bandwidth-limited chiplet config.
+    let mut flat_cfg = cfg.clone();
+    flat_cfg.noc.chiplet = None;
+
+    let chiplet_cycles = {
+        let mut t = TogSim::new(&cfg);
+        t.add_job(make(0), JobSpec { core_offset: 0, cores: 1, ..JobSpec::default() });
+        t.run().unwrap().total_cycles
+    };
+    let monolithic_cycles = {
+        let mut t = TogSim::new(&flat_cfg);
+        t.add_job(make(0), JobSpec { core_offset: 0, cores: 1, ..JobSpec::default() });
+        t.run().unwrap().total_cycles
+    };
+    assert!(
+        chiplet_cycles > monolithic_cycles,
+        "remote traffic over a thin link must cost: {chiplet_cycles} vs {monolithic_cycles}"
+    );
+}
+
+/// §5.3 — compiler optimization ablations change simulated performance in
+/// the expected direction.
+#[test]
+fn conv_layout_optimization_helps_batch_one() {
+    use pytorchsim::compiler::CompilerOptions;
+    let cfg = SimConfig::tiny();
+    // Batch 1 with 3 input channels: the optimized layout folds the filter
+    // width into the reduction dimension (HWC/HNWC) and groups width rows.
+    let spec = models::conv_custom(1, 3, 16, 16, 3, 1, 1);
+    let mut opt_sim = Simulator::with_options(cfg.clone(), CompilerOptions::default());
+    let mut base_sim = Simulator::with_options(cfg, CompilerOptions::unoptimized());
+    let optimized = opt_sim.run_inference(&spec).unwrap().total_cycles;
+    let baseline = base_sim.run_inference(&spec).unwrap().total_cycles;
+    assert!(
+        (optimized as f64) * 1.3 < baseline as f64,
+        "layout optimization must win at batch 1: {optimized} vs {baseline}"
+    );
+}
+
+/// §5.5 — larger batches cost more per iteration but amortize weight reuse.
+#[test]
+fn training_batch_size_timing_tradeoff() {
+    use pytorchsim::TrainingSim;
+    let sim = TrainingSim::new(SimConfig::tiny());
+    let small = sim.iteration_cycles(&models::mlp(4, 32)).unwrap();
+    let large = sim.iteration_cycles(&models::mlp(16, 32)).unwrap();
+    assert!(large > small);
+    assert!(large < 4 * small, "per-sample cost must drop with batch: {small} -> {large}");
+}
