@@ -53,12 +53,8 @@ fn matrix_work(graph: &Graph, idx: usize) -> Option<(u64, u64)> {
         }
         _ => return None,
     };
-    let bytes: u64 = node
-        .inputs
-        .iter()
-        .map(|&v| graph.node(v).shape.numel() as u64 * 4)
-        .sum::<u64>()
-        + out * 4;
+    let bytes: u64 =
+        node.inputs.iter().map(|&v| graph.node(v).shape.numel() as u64 * 4).sum::<u64>() + out * 4;
     Some((macs, bytes))
 }
 
@@ -104,7 +100,9 @@ impl ScaleSimModel {
         let bw = self.cfg.dram.peak_bytes_per_cycle();
         let mut total = 0u64;
         for (idx, node) in graph.nodes().iter().enumerate() {
-            let Some((_, bytes)) = matrix_work(graph, idx) else { continue };
+            let Some((_, bytes)) = matrix_work(graph, idx) else {
+                continue;
+            };
             let (m, k, n) = match &node.op {
                 Op::MatMul => {
                     let s = &graph.node(node.inputs[0]).shape;
@@ -112,11 +110,7 @@ impl ScaleSimModel {
                 }
                 Op::BatchMatMul => {
                     let s = &graph.node(node.inputs[0]).shape;
-                    (
-                        (s.dim(0) * s.dim(1)) as u64,
-                        s.dim(2) as u64,
-                        node.shape.dim(2) as u64,
-                    )
+                    ((s.dim(0) * s.dim(1)) as u64, s.dim(2) as u64, node.shape.dim(2) as u64)
                 }
                 Op::Conv2d(_) => {
                     let w = &graph.node(node.inputs[1]).shape;

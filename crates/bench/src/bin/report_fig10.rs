@@ -6,6 +6,10 @@ use ptsim_bench::{fig10, print_table, Scale};
 fn main() {
     let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
     let rows = fig10::run(scale);
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+        return;
+    }
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -35,5 +39,8 @@ fn main() {
         );
     }
     let (npu, host) = fig10::validate_functional_loss(scale);
-    println!("\nvalidation: first-iteration loss NPU {npu:.5} vs host {host:.5} (|diff| {:.1e})", (npu-host).abs());
+    println!(
+        "\nvalidation: first-iteration loss NPU {npu:.5} vs host {host:.5} (|diff| {:.1e})",
+        (npu - host).abs()
+    );
 }

@@ -1,11 +1,15 @@
 //! Regenerates Fig. 5 (simulation accuracy) at paper scale.
-//! Pass `--bench` for the reduced workload set.
+//! Pass `--bench` for the reduced workload set, `--json` for JSON output.
 
 use ptsim_bench::{fig5, print_table, Scale};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
     let rows = fig5::run(scale);
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+        return;
+    }
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -1,12 +1,28 @@
 //! Regenerates Fig. 7 (heterogeneous dense-sparse NPU, multi-model
-//! tenancy) plus the §5.1 sparse-TLS validation.
+//! tenancy) plus the §5.1 sparse-TLS validation. Pass `--json` for JSON.
 
 use ptsim_bench::{fig7, print_table, Scale};
+
+#[derive(serde::Serialize)]
+struct JsonOut {
+    hetero: fig7::HeteroResult,
+    sparse_validation: Vec<fig7::SparseValidation>,
+    tenancy: fig7::TenancyResult,
+}
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
 
     let h = fig7::run_hetero(scale);
+    if std::env::args().any(|a| a == "--json") {
+        let out = JsonOut {
+            hetero: h,
+            sparse_validation: fig7::run_sparse_validation(scale),
+            tenancy: fig7::run_tenancy(scale),
+        };
+        println!("{}", serde_json::to_string_pretty(&out).expect("results serialize"));
+        return;
+    }
     print_table(
         "Fig. 7a — dense/sparse cores: separate chips vs heterogeneous NPU",
         &["core", "alone (cycles)", "integrated (cycles)", "change"],
@@ -47,7 +63,13 @@ fn main() {
     let (bert_chg, resnet_chg) = t.latency_changes();
     print_table(
         "Fig. 7b — multi-model tenancy: solo (half BW) vs co-located",
-        &["tenant", "solo (cycles)", "co-located (cycles)", "latency change", "co-located BW (B/cy)"],
+        &[
+            "tenant",
+            "solo (cycles)",
+            "co-located (cycles)",
+            "latency change",
+            "co-located BW (B/cy)",
+        ],
         &[
             vec![
                 "BERT".into(),

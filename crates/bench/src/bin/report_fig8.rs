@@ -1,4 +1,4 @@
-//! Regenerates Fig. 8 (compiler optimization impact).
+//! Regenerates Fig. 8 (compiler optimization impact). Pass `--json` for JSON.
 
 use ptsim_bench::{fig8, print_table, Scale};
 
@@ -16,9 +16,25 @@ fn print_rows(title: &str, rows: &[fig8::Row]) {
     print_table(title, &["workload", "baseline", "variant", "variant2"], &table);
 }
 
+#[derive(serde::Serialize)]
+struct JsonOut {
+    dma: Vec<fig8::Row>,
+    conv_batch1: Vec<fig8::Row>,
+    conv_small_c: Vec<fig8::Row>,
+}
+
 fn main() {
     let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
-    print_rows("Fig. 8a — DMA granularity (CG vs FG vs SFG)", &fig8::run_dma(scale));
-    print_rows("Fig. 8b — CONV layout optimization, batch = 1", &fig8::run_conv_batch1(scale));
-    print_rows("Fig. 8c — CONV layout optimization, small input channels", &fig8::run_conv_small_c(scale));
+    let out = JsonOut {
+        dma: fig8::run_dma(scale),
+        conv_batch1: fig8::run_conv_batch1(scale),
+        conv_small_c: fig8::run_conv_small_c(scale),
+    };
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&out).expect("results serialize"));
+        return;
+    }
+    print_rows("Fig. 8a — DMA granularity (CG vs FG vs SFG)", &out.dma);
+    print_rows("Fig. 8b — CONV layout optimization, batch = 1", &out.conv_batch1);
+    print_rows("Fig. 8c — CONV layout optimization, small input channels", &out.conv_small_c);
 }

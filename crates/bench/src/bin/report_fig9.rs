@@ -5,6 +5,10 @@ use ptsim_bench::{fig9, print_table, Scale};
 fn main() {
     let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
     let rows = fig9::run(scale);
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+        return;
+    }
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

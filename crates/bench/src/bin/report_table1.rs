@@ -1,19 +1,42 @@
-//! Prints Table 1 — the feature matrix — as realized by this reproduction.
+//! Prints Table 1 — the feature matrix — as realized by this reproduction.\n//! Pass `--json` for JSON output.
+
+#[derive(serde::Serialize)]
+struct FeatureRow {
+    feature: &'static str,
+    status: &'static str,
+}
 
 fn main() {
-    println!("Table 1 — feature coverage of this PyTorchSim reproduction\n");
+    let json = std::env::args().any(|a| a == "--json");
+    if !json {
+        println!("Table 1 — feature coverage of this PyTorchSim reproduction\n");
+    }
+    let mut rows = Vec::new();
     for (feature, status) in [
         ("High speed (TLS with offline tile latencies)", "yes — ptsim-togsim"),
         ("Multi-core", "yes — compiler M-partitioning + TOGSim cores"),
         ("Multi-DNN tenancy", "yes — ptsim-scheduler + TogSim job specs"),
-        ("Cycle-accurate DRAM & interconnect", "yes — ptsim-dram (FR-FCFS, row buffers), ptsim-noc (SN/CN, chiplet)"),
-        ("General vector ops", "yes — RVV-style vector + SFU kernels (softmax, layernorm, GELU, ...)"),
+        (
+            "Cycle-accurate DRAM & interconnect",
+            "yes — ptsim-dram (FR-FCFS, row buffers), ptsim-noc (SN/CN, chiplet)",
+        ),
+        (
+            "General vector ops",
+            "yes — RVV-style vector + SFU kernels (softmax, layernorm, GELU, ...)",
+        ),
         ("Compiler support", "yes — ptsim-compiler (tiling, fusion, layouts, FG-DMA)"),
         ("Training support", "yes — ahead-of-time autodiff + compiled backward TOGs"),
         ("Base ISA", "RISC-V-flavoured custom ISA (ptsim-isa)"),
         ("Data-dependent timing model", "yes — sparse per-tile latency tables (ptsim-sparse)"),
         ("Model input format", "graph API (PyTorch-2 style capture), no format conversion"),
     ] {
-        println!("  {feature:<55} {status}");
+        if json {
+            rows.push(FeatureRow { feature, status });
+        } else {
+            println!("  {feature:<55} {status}");
+        }
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
     }
 }

@@ -1,0 +1,126 @@
+//! Runs a real workload under the tracer and exports a Perfetto-loadable
+//! Chrome trace.
+//!
+//! Usage: `report_trace [gemm|bert|resnet] [--bench] [--trace out.json] [--json]`
+//!
+//! `--trace <path>` writes the Chrome trace-event JSON (open it at
+//! <https://ui.perfetto.dev> or `chrome://tracing`); `--json` prints the
+//! [`SimReport`](pytorchsim::togsim::SimReport) as JSON instead of the
+//! human-readable summary; `--bench` shrinks the workload for CI.
+
+use ptsim_common::config::SimConfig;
+use pytorchsim::models::{self, ModelSpec};
+use pytorchsim::trace::{chrome, validate, EventData, MetricsRegistry, Tracer};
+use pytorchsim::Simulator;
+
+struct Args {
+    model: String,
+    bench: bool,
+    json: bool,
+    trace_path: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { model: "bert".to_string(), bench: false, json: false, trace_path: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bench" => args.bench = true,
+            "--json" => args.json = true,
+            "--trace" => {
+                args.trace_path = Some(it.next().expect("--trace requires an output path"));
+            }
+            m if !m.starts_with('-') => args.model = m.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn workload(name: &str, bench: bool) -> ModelSpec {
+    match name {
+        "gemm" => models::gemm(if bench { 256 } else { 1024 }),
+        "bert" => models::bert_base(if bench { 64 } else { 512 }, 1),
+        "resnet" => models::resnet18(1),
+        other => {
+            eprintln!("unknown model {other}; expected gemm, bert, or resnet");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = workload(&args.model, args.bench);
+    let mut sim = Simulator::new(SimConfig::tpu_v3_single_core());
+    let tracer = Tracer::shared();
+    sim.set_tracer(tracer.clone());
+    let report = sim.run_inference(&spec).expect("simulation succeeds");
+
+    if let Some(path) = &args.trace_path {
+        let json = chrome::export_chrome_trace(&tracer.events());
+        let check = validate::validate_chrome_trace(&json).expect("exported trace is valid");
+        std::fs::write(path, &json).expect("trace file is writable");
+        eprintln!(
+            "wrote {path}: {} records ({} spans, {} async pairs, {} instants) across {} tracks",
+            check.records, check.spans, check.async_pairs, check.instants, check.tracks
+        );
+        if tracer.dropped() > 0 {
+            eprintln!("warning: ring buffer dropped {} events", tracer.dropped());
+        }
+    }
+
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+    } else {
+        println!("workload: {}", spec.name);
+        println!("total cycles: {}", report.total_cycles);
+        println!("traced events: {}", tracer.len());
+        for job in &report.jobs {
+            println!(
+                "  job {}: cycles {}..{}, {} compute nodes, {} DMA bytes",
+                job.name,
+                job.start.raw(),
+                job.end.raw(),
+                job.compute_nodes,
+                job.dma_bytes
+            );
+        }
+        println!("\n{}", summarize(&tracer).summary_table());
+    }
+}
+
+/// Rolls the trace up into the metrics registry's summary table.
+fn summarize(tracer: &Tracer) -> MetricsRegistry {
+    let metrics = MetricsRegistry::new();
+    let compute = metrics.counter("compute.spans");
+    let compute_cycles = metrics.counter("compute.cycles");
+    let dma_bytes = metrics.counter("dma.bytes");
+    let dram_rd = metrics.counter("dram.reads");
+    let dram_wr = metrics.counter("dram.writes");
+    let dram_latency = metrics.histogram("dram.latency_cycles");
+    let noc_latency = metrics.histogram("noc.latency_cycles");
+    for ev in tracer.events() {
+        match ev.data {
+            EventData::TileCompute { .. } => {
+                compute.inc();
+                compute_cycles.add(ev.dur);
+            }
+            EventData::DmaTransfer { bytes, .. } => dma_bytes.add(bytes),
+            EventData::DramTx { is_write, latency, .. } => {
+                if is_write {
+                    dram_wr.inc();
+                } else {
+                    dram_rd.inc();
+                }
+                dram_latency.observe(latency);
+            }
+            EventData::NocTransfer { latency, .. } => noc_latency.observe(latency),
+            _ => {}
+        }
+    }
+    metrics
+}

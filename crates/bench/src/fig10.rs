@@ -16,7 +16,7 @@ use pytorchsim::models::{mlp, SyntheticMnist};
 use pytorchsim::{TrainingRun, TrainingSim};
 
 /// One batch size's training results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Row {
     /// Batch size.
     pub batch: usize,

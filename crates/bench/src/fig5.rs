@@ -17,7 +17,7 @@ use pytorchsim::models::{self, ModelSpec};
 use pytorchsim::Simulator;
 
 /// One workload's accuracy row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Row {
     /// Workload name.
     pub name: String,
@@ -82,10 +82,8 @@ pub fn run(scale: Scale) -> Vec<Row> {
         .map(|spec| {
             // Timing-only ILS: functional execution does not change
             // simulated cycles, only wall time (which Fig. 6 measures).
-            let reference = sim
-                .run_inference_ils_timing(&spec)
-                .expect("ils simulation succeeds")
-                .total_cycles;
+            let reference =
+                sim.run_inference_ils_timing(&spec).expect("ils simulation succeeds").total_cycles;
             let tls = sim.run_inference(&spec).expect("tls simulation succeeds").total_cycles;
             Row {
                 name: spec.name.clone(),

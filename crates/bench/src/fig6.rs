@@ -21,7 +21,7 @@ use pytorchsim::Simulator;
 use std::time::Instant;
 
 /// One workload's wall-clock measurements, in seconds.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Row {
     /// Workload name.
     pub name: String,

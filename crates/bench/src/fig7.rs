@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Fig. 7a results: dense and sparse core latencies, alone vs integrated.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct HeteroResult {
     /// Dense core cycles on its own chip (half bandwidth).
     pub dense_alone: u64,
@@ -91,7 +91,7 @@ pub fn run_hetero(scale: Scale) -> HeteroResult {
 }
 
 /// §5.1 validation: sparse TLS vs the detailed per-element reference.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct SparseValidation {
     /// Workload label.
     pub name: String,
@@ -163,7 +163,7 @@ pub fn run_sparse_validation(scale: Scale) -> Vec<SparseValidation> {
 }
 
 /// Fig. 7b results: tenant latencies alone (half bandwidth) vs co-located.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct TenancyResult {
     /// BERT cycles alone.
     pub bert_alone: u64,
@@ -211,8 +211,7 @@ pub fn run_tenancy(scale: Scale) -> TenancyResult {
 
     let mut sim_half = Simulator::new(half);
     let bert_alone = sim_half.run_inference(&bert_spec).expect("bert solo").jobs[0].cycles();
-    let resnet_alone =
-        sim_half.run_inference(&resnet_spec).expect("resnet solo").jobs[0].cycles();
+    let resnet_alone = sim_half.run_inference(&resnet_spec).expect("resnet solo").jobs[0].cycles();
 
     let mut sim_full = Simulator::new(full);
     let bert = sim_full.compile(&bert_spec).expect("bert compiles");

@@ -8,7 +8,7 @@ use pytorchsim::models::{self, ModelSpec};
 use pytorchsim::Simulator;
 
 /// One workload simulated under several compiler configurations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Row {
     /// Workload name.
     pub name: String,
@@ -48,10 +48,7 @@ pub fn run_dma(scale: Scale) -> Vec<Row> {
         ("FG-DMA", CompilerOptions { dma: DmaGranularity::Fine, ..CompilerOptions::default() }),
         (
             "SFG-DMA",
-            CompilerOptions {
-                dma: DmaGranularity::SelectiveFine,
-                ..CompilerOptions::default()
-            },
+            CompilerOptions { dma: DmaGranularity::SelectiveFine, ..CompilerOptions::default() },
         ),
     ];
     sizes.iter().map(|&n| run_variants(&models::gemm(n), &variants)).collect()

@@ -12,7 +12,7 @@ use pytorchsim::tog::{AddrExpr, ExecUnit, ExecutableTog, TogBuilder, TogOpKind};
 use pytorchsim::togsim::{JobSpec, TogSim};
 
 /// One mapping strategy's result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Row {
     /// Mapping name.
     pub name: String,

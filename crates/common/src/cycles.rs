@@ -24,8 +24,19 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// assert_eq!(end - start, 40);
 /// assert_eq!(end.raw(), 140);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct Cycle(pub u64);
 

@@ -67,8 +67,7 @@ pub fn execute_functional(
     }
     for (idx, node) in graph.nodes().iter().enumerate() {
         if let Op::Constant(t) = &node.op {
-            sim.memory_mut()
-                .write_slice(model.layout.addr(ptsim_graph::ValueId(idx)), t.data())?;
+            sim.memory_mut().write_slice(model.layout.addr(ptsim_graph::ValueId(idx)), t.data())?;
         }
     }
 
@@ -90,8 +89,7 @@ pub fn execute_functional(
                     .iter()
                     .map(|&v| {
                         let shape = graph.node(v).shape.clone();
-                        let data =
-                            sim.memory().read_slice(model.layout.addr(v), shape.numel())?;
+                        let data = sim.memory().read_slice(model.layout.addr(v), shape.numel())?;
                         Tensor::from_vec(data, shape)
                     })
                     .collect::<Result<_>>()?;
@@ -144,9 +142,10 @@ fn run_tog_slice(model: &CompiledModel, sim: &mut FuncSim, range: (usize, usize)
                 if kernel == "barrier" {
                     continue;
                 }
-                let program = model.kernels.get(kernel).ok_or_else(|| {
-                    Error::SimulationFault(format!("missing kernel {kernel}"))
-                })?;
+                let program = model
+                    .kernels
+                    .get(kernel)
+                    .ok_or_else(|| Error::SimulationFault(format!("missing kernel {kernel}")))?;
                 for (i, reg) in [ARG0, ARG1, ARG2, ARG3].iter().enumerate() {
                     sim.set_reg(*reg, args.get(i).copied().unwrap_or(0) as i64);
                 }

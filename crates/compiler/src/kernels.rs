@@ -688,13 +688,7 @@ mod tests {
         let p = k.gemm_tile(5, 8, 8, false, Epilogue::None).unwrap();
         let a = Tensor::randn([5, 8], 1);
         let w = Tensor::randn([8, 8], 2);
-        let got = run_kernel(
-            &p,
-            &[(0, a.data()), (1024, w.data())],
-            [0, 1024, 2048, 0],
-            2048,
-            40,
-        );
+        let got = run_kernel(&p, &[(0, a.data()), (1024, w.data())], [0, 1024, 2048, 0], 2048, 40);
         let expect = a.matmul(&w).unwrap();
         let got = Tensor::from_vec(got, [5, 8]).unwrap();
         assert!(got.allclose(&expect, 1e-4), "{got:?} vs {expect:?}");
@@ -707,13 +701,7 @@ mod tests {
         let p = k.gemm_tile(4, 3, 5, false, Epilogue::None).unwrap();
         let a = Tensor::randn([4, 3], 3);
         let w = Tensor::randn([3, 5], 4);
-        let got = run_kernel(
-            &p,
-            &[(0, a.data()), (1024, w.data())],
-            [0, 1024, 2048, 0],
-            2048,
-            20,
-        );
+        let got = run_kernel(&p, &[(0, a.data()), (1024, w.data())], [0, 1024, 2048, 0], 2048, 20);
         let expect = a.matmul(&w).unwrap();
         let got = Tensor::from_vec(got, [4, 5]).unwrap();
         assert!(got.allclose(&expect, 1e-4));
@@ -769,13 +757,7 @@ mod tests {
         let p = k.gemm_tile(2, 8, 8, false, Epilogue::Gelu).unwrap();
         let a = Tensor::randn([2, 8], 11);
         let w = Tensor::randn([8, 8], 12);
-        let got = run_kernel(
-            &p,
-            &[(0, a.data()), (1024, w.data())],
-            [0, 1024, 2048, 0],
-            2048,
-            16,
-        );
+        let got = run_kernel(&p, &[(0, a.data()), (1024, w.data())], [0, 1024, 2048, 0], 2048, 16);
         let expect = ops::gelu(&a.matmul(&w).unwrap());
         let got = Tensor::from_vec(got, [2, 8]).unwrap();
         assert!(got.allclose(&expect, 1e-3));
@@ -808,13 +790,8 @@ mod tests {
         ];
         for (op, expect) in cases {
             let p = k.eltwise_tile(op, 40).unwrap();
-            let got = run_kernel(
-                &p,
-                &[(0, x.data()), (512, y.data())],
-                [0, 512, 1024, 0],
-                1024,
-                40,
-            );
+            let got =
+                run_kernel(&p, &[(0, x.data()), (512, y.data())], [0, 512, 1024, 0], 1024, 40);
             let got = Tensor::from_vec(got, [40]).unwrap();
             assert!(got.allclose(&expect, 1e-3), "op {op:?}");
         }
@@ -826,8 +803,7 @@ mod tests {
         let p = k.rowwise_tile(EltOp::Add, 3, 8).unwrap();
         let m = Tensor::randn([3, 8], 30);
         let v = Tensor::randn([8], 31);
-        let got =
-            run_kernel(&p, &[(0, m.data()), (512, v.data())], [0, 512, 1024, 0], 1024, 24);
+        let got = run_kernel(&p, &[(0, m.data()), (512, v.data())], [0, 512, 1024, 0], 1024, 24);
         let expect = m.add(&v).unwrap();
         assert!(Tensor::from_vec(got, [3, 8]).unwrap().allclose(&expect, 1e-5));
     }

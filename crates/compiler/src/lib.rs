@@ -39,7 +39,7 @@ pub mod options;
 pub mod tiles;
 
 pub use exec::execute_functional;
-pub use kernels::{Epilogue, EltOp, KernelGen};
+pub use kernels::{EltOp, Epilogue, KernelGen};
 pub use layout::MemoryLayout;
 pub use lower::{CompileStats, CompiledModel, ExecPath, Lowerer, OpPlan};
 pub use options::CompilerOptions;

@@ -12,7 +12,7 @@
 //! dimension; each core double-buffers A/W tiles and accumulates output
 //! tiles in its scratchpad across reduction chunks.
 
-use crate::kernels::{Epilogue, EltOp, KernelGen};
+use crate::kernels::{EltOp, Epilogue, KernelGen};
 use crate::layout::MemoryLayout;
 use crate::options::CompilerOptions;
 use crate::tiles::{ConvMapping, GemmTiling};
@@ -177,10 +177,8 @@ impl<'a> Lowerer<'a> {
         graph.validate()?;
         self.layout = MemoryLayout::for_graph(graph, DRAM_BASE);
         let fusions = self.find_fusions(graph);
-        let absorbed: HashMap<ValueId, ValueId> = fusions
-            .values()
-            .flat_map(|f| f.absorbed.iter().map(|&v| (v, f.final_value)))
-            .collect();
+        let absorbed: HashMap<ValueId, ValueId> =
+            fusions.values().flat_map(|f| f.absorbed.iter().map(|&v| (v, f.final_value))).collect();
 
         let mut plans = Vec::with_capacity(graph.len());
         // Absorbed ops of a fusion whose root lowered to the eager path
@@ -240,8 +238,7 @@ impl<'a> Lowerer<'a> {
                 consumer.insert(input, ValueId(idx));
             }
         }
-        let outputs: std::collections::HashSet<ValueId> =
-            graph.outputs().iter().copied().collect();
+        let outputs: std::collections::HashSet<ValueId> = graph.outputs().iter().copied().collect();
         let single_use = |v: ValueId| counts[v.index()] == 1 && !outputs.contains(&v);
 
         for (idx, node) in graph.nodes().iter().enumerate() {
@@ -294,10 +291,7 @@ impl<'a> Lowerer<'a> {
                 (false, Some(Op::Gelu)) => Epilogue::Gelu,
                 (false, _) => continue,
             };
-            fusions.insert(
-                root,
-                FusionInfo { epilogue, bias, final_value: current, absorbed },
-            );
+            fusions.insert(root, FusionInfo { epilogue, bias, final_value: current, absorbed });
         }
         fusions
     }
@@ -718,10 +712,9 @@ impl<'a> Lowerer<'a> {
         for tm in candidates {
             let tm = tm.min(m).max(1);
             let name = KernelGen::gemm_name(tm, base.tk, base.tn, true, Epilogue::None, true);
-            let kernel_cycles =
-                self.kernel(&name, |kg| {
-                    kg.gemm_tile_opt(tm, base.tk, base.tn, true, Epilogue::None, true)
-                })?;
+            let kernel_cycles = self.kernel(&name, |kg| {
+                kg.gemm_tile_opt(tm, base.tk, base.tn, true, Epilogue::None, true)
+            })?;
             let tiles = m.div_ceil(tm) as u64;
             let dma_bytes = (tm * base.tk + base.tk * base.tn) as u64 * 4;
             let per_tile = kernel_cycles.max(dma_bytes / bw);
@@ -752,8 +745,7 @@ impl<'a> Lowerer<'a> {
         // tile is loaded once per (mi, k-step) and reused across the group —
         // the scratchpad-maximizing reuse of the Gemmini-style heuristic.
         let fixed = 2 * a_sz + 2 * w_sz + bias_sz * nt.min(8) as u64;
-        let group = ((self.cfg.npu.scratchpad_bytes.saturating_sub(fixed) / o_sz.max(1))
-            as usize)
+        let group = ((self.cfg.npu.scratchpad_bytes.saturating_sub(fixed) / o_sz.max(1)) as usize)
             .clamp(1, nt);
         let sp_a = [0, a_sz];
         let sp_w = [2 * a_sz, 2 * a_sz + w_sz];
@@ -821,8 +813,7 @@ impl<'a> Lowerer<'a> {
                             // --- A tile: loaded once for the whole group ---
                             let pa = a_seq % spec.buffers;
                             a_seq += 1;
-                            let (a_base, a_stride) =
-                                spec.a_addr(mi, t.tm, pass, ki, t.tk, tk_r);
+                            let (a_base, a_stride) = spec.a_addr(mi, t.tm, pass, ki, t.tk, tk_r);
                             let mut a_deps: Vec<usize> = spec.a_dep.into_iter().collect();
                             a_deps.append(&mut a_user[pa]);
                             // FG-DMA halves the tile transfer so the first
@@ -856,8 +847,7 @@ impl<'a> Lowerer<'a> {
                             for ni in g0..g1 {
                                 let oi = ni - g0;
                                 let tn_r = (spec.n - ni * t.tn).min(t.tn);
-                                let epi =
-                                    if last_step { spec.epi } else { Epilogue::None };
+                                let epi = if last_step { spec.epi } else { Epilogue::None };
                                 let fg_n = fg && tn_r == t.tn;
 
                                 // --- W tile loads ---
@@ -865,8 +855,7 @@ impl<'a> Lowerer<'a> {
                                 w_seq += 1;
                                 let (b_base, b_stride) =
                                     spec.b_addr(ni, t.tn, pass, ki, t.tk, tn_r);
-                                let mut w_deps: Vec<usize> =
-                                    spec.b_dep.into_iter().collect();
+                                let mut w_deps: Vec<usize> = spec.b_dep.into_iter().collect();
                                 if let Some(war) = w_user[pw] {
                                     w_deps.push(war);
                                 }
@@ -899,18 +888,15 @@ impl<'a> Lowerer<'a> {
                                 let sub_chunks: &[(usize, usize)] = if fg_n {
                                     &a_chunks
                                 } else {
-                                    std::slice::from_ref(
-                                        a_chunks.first().expect("non-empty"),
-                                    )
+                                    std::slice::from_ref(a_chunks.first().expect("non-empty"))
                                 };
                                 let mut last_compute = None;
                                 for (s, &(row0, rows)) in sub_chunks.iter().enumerate() {
                                     let (rows_k, head) =
                                         if fg_n { (rows, s == 0) } else { (tm_r, true) };
                                     let row0 = if fg_n { row0 } else { 0 };
-                                    let name = KernelGen::gemm_name(
-                                        rows_k, tk_r, tn_r, acc, epi, head,
-                                    );
+                                    let name =
+                                        KernelGen::gemm_name(rows_k, tk_r, tn_r, acc, epi, head);
                                     let cycles = self.kernel(&name, |kg| {
                                         kg.gemm_tile_opt(rows_k, tk_r, tn_r, acc, epi, head)
                                     })?;

@@ -75,7 +75,14 @@ fn fine_grained_dma_is_functionally_identical() {
     let w = Tensor::randn([8, 8], 8);
     for dma in [DmaGranularity::Coarse, DmaGranularity::Fine, DmaGranularity::SelectiveFine] {
         let opts = CompilerOptions { dma, ..CompilerOptions::default() };
-        check_opts(&g, std::slice::from_ref(&x), std::slice::from_ref(&w), &tiny_cfg(), &opts, 1e-3);
+        check_opts(
+            &g,
+            std::slice::from_ref(&x),
+            std::slice::from_ref(&w),
+            &tiny_cfg(),
+            &opts,
+            1e-3,
+        );
     }
 }
 
@@ -116,12 +123,10 @@ fn fusion_reduces_tog_nodes() {
     let y = g.relu(lin).unwrap();
     g.output(y);
     let graph = g.finish();
-    let fused = Compiler::new(tiny_cfg(), CompilerOptions::default())
-        .compile(&graph, "f", 1)
-        .unwrap();
-    let unfused = Compiler::new(tiny_cfg(), CompilerOptions::unoptimized())
-        .compile(&graph, "u", 1)
-        .unwrap();
+    let fused =
+        Compiler::new(tiny_cfg(), CompilerOptions::default()).compile(&graph, "f", 1).unwrap();
+    let unfused =
+        Compiler::new(tiny_cfg(), CompilerOptions::unoptimized()).compile(&graph, "u", 1).unwrap();
     assert!(fused.stats.fused_ops >= 2, "stats {:?}", fused.stats);
     assert!(fused.tog.nodes.len() < unfused.tog.nodes.len());
 }
@@ -222,9 +227,8 @@ fn mlp_training_step_matches_reference() {
 #[test]
 fn compiled_model_records_plans_for_every_node() {
     let g = matmul_graph(8, 8, 8);
-    let model = Compiler::new(tiny_cfg(), CompilerOptions::default())
-        .compile(&g, "plans", 1)
-        .unwrap();
+    let model =
+        Compiler::new(tiny_cfg(), CompilerOptions::default()).compile(&g, "plans", 1).unwrap();
     assert_eq!(model.op_plans.len(), g.len());
     for (i, plan) in model.op_plans.iter().enumerate() {
         assert_eq!(plan.value, ValueId(i));
@@ -262,7 +266,14 @@ fn autotuned_compilation_is_functionally_identical_and_not_slower() {
     let plain = CompilerOptions::default();
     let tuned = CompilerOptions { autotune: true, ..CompilerOptions::default() };
     // Same function...
-    check_opts(&spec_graph, std::slice::from_ref(&x), std::slice::from_ref(&w), &SimConfig::tiny(), &CompilerOptions { autotune: true, ..CompilerOptions::default() }, 1e-3);
+    check_opts(
+        &spec_graph,
+        std::slice::from_ref(&x),
+        std::slice::from_ref(&w),
+        &SimConfig::tiny(),
+        &CompilerOptions { autotune: true, ..CompilerOptions::default() },
+        1e-3,
+    );
     // ...and the tuned TOG must not be degenerate on the big config.
     let a = Compiler::new(cfg.clone(), plain).compile(&spec_graph, "p", 1).unwrap();
     let b = Compiler::new(cfg, tuned).compile(&spec_graph, "t", 1).unwrap();
@@ -299,9 +310,9 @@ fn compiled_models_stay_within_scratchpad() {
             let model = Compiler::new(cfg.clone(), CompilerOptions::default())
                 .compile(graph, &format!("sp{i}"), 1)
                 .unwrap();
-            model.validate_scratchpad(&cfg.npu).unwrap_or_else(|e| {
-                panic!("graph {i} on {} cores: {e}", cfg.npu.cores)
-            });
+            model
+                .validate_scratchpad(&cfg.npu)
+                .unwrap_or_else(|e| panic!("graph {i} on {} cores: {e}", cfg.npu.cores));
         }
     }
 }

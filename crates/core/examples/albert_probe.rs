@@ -6,6 +6,8 @@ fn main() {
     let spec = models::albert(512, 1);
     let ils = sim.run_inference_ils_timing(&spec).unwrap().total_cycles;
     let tls = sim.run_inference(&spec).unwrap().total_cycles;
-    println!("albert_s512_b1: reference {ils}, TLS {tls}, err {:+.1}%",
-        100.0 * (tls as f64 - ils as f64) / ils as f64);
+    println!(
+        "albert_s512_b1: reference {ils}, TLS {tls}, err {:+.1}%",
+        100.0 * (tls as f64 - ils as f64) / ils as f64
+    );
 }

@@ -78,12 +78,20 @@ impl ScalingReport {
 pub struct ClusterSim {
     npu: SimConfig,
     cluster: ClusterConfig,
+    tracer: Option<std::sync::Arc<ptsim_trace::Tracer>>,
 }
 
 impl ClusterSim {
     /// Creates a cluster of `cluster.npus` NPUs of configuration `npu`.
     pub fn new(npu: SimConfig, cluster: ClusterConfig) -> Self {
-        ClusterSim { npu, cluster }
+        ClusterSim { npu, cluster, tracer: None }
+    }
+
+    /// Attaches a tracer: per-NPU TOGSim runs record into it, and each
+    /// iteration's gradient all-reduce appears as reduce-scatter and
+    /// all-gather phase spans on the cluster track.
+    pub fn set_tracer(&mut self, tracer: std::sync::Arc<ptsim_trace::Tracer>) {
+        self.tracer = Some(tracer);
     }
 
     /// Ring all-reduce cycles for `bytes` of gradients: each NPU sends
@@ -123,13 +131,35 @@ impl ClusterSim {
         }
         let shard = global_batch / n;
         let spec = make_model(shard);
-        let sim = TrainingSim::new(self.npu.clone());
+        let mut sim = TrainingSim::new(self.npu.clone());
+        if let Some(t) = &self.tracer {
+            sim.set_tracer(t.clone());
+        }
         let compute_cycles = sim.iteration_cycles(&spec)?;
         let grad_bytes = (spec.param_count() * 4) as u64;
-        Ok(ClusterIteration {
-            compute_cycles,
-            allreduce_cycles: self.allreduce_cycles(grad_bytes),
-        })
+        let allreduce_cycles = self.allreduce_cycles(grad_bytes);
+        if let Some(t) = &self.tracer {
+            if allreduce_cycles > 0 {
+                // The ring collective splits evenly: N−1 reduce-scatter
+                // steps followed by N−1 all-gather steps of equal volume.
+                let scatter = allreduce_cycles / 2;
+                t.allreduce(
+                    compute_cycles,
+                    scatter,
+                    ptsim_trace::AllReducePhase::ReduceScatter,
+                    grad_bytes,
+                    0,
+                );
+                t.allreduce(
+                    compute_cycles + scatter,
+                    allreduce_cycles - scatter,
+                    ptsim_trace::AllReducePhase::AllGather,
+                    grad_bytes,
+                    0,
+                );
+            }
+        }
+        Ok(ClusterIteration { compute_cycles, allreduce_cycles })
     }
 
     /// Sweeps NPU counts for a fixed global batch, producing the
@@ -147,8 +177,7 @@ impl ClusterSim {
     ) -> Result<ScalingReport> {
         let mut points = Vec::new();
         for &n in npu_counts {
-            let sim =
-                ClusterSim::new(npu.clone(), ClusterConfig { npus: n, ..base });
+            let sim = ClusterSim::new(npu.clone(), ClusterConfig { npus: n, ..base });
             points.push((n, sim.iteration(make_model, global_batch)?));
         }
         Ok(ScalingReport { points })
@@ -185,14 +214,9 @@ mod tests {
 
     #[test]
     fn strong_scaling_shrinks_compute_but_not_allreduce() {
-        let report = ClusterSim::scaling(
-            tiny(),
-            ClusterConfig::pod_of(1),
-            &[1, 2, 4],
-            |b| mlp(b, 32),
-            16,
-        )
-        .unwrap();
+        let report =
+            ClusterSim::scaling(tiny(), ClusterConfig::pod_of(1), &[1, 2, 4], |b| mlp(b, 32), 16)
+                .unwrap();
         let c: Vec<u64> = report.points.iter().map(|(_, it)| it.compute_cycles).collect();
         assert!(c[0] > c[1] && c[1] > c[2], "compute must shrink: {c:?}");
         let a: Vec<u64> = report.points.iter().map(|(_, it)| it.allreduce_cycles).collect();

@@ -54,3 +54,4 @@ pub use ptsim_tensor as tensor;
 pub use ptsim_timingsim as timingsim;
 pub use ptsim_tog as tog;
 pub use ptsim_togsim as togsim;
+pub use ptsim_trace as trace;

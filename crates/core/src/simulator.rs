@@ -18,6 +18,7 @@ pub struct Simulator {
     cfg: SimConfig,
     compiler: Compiler,
     cache: HashMap<String, Arc<CompiledModel>>,
+    tracer: Option<Arc<ptsim_trace::Tracer>>,
 }
 
 impl Simulator {
@@ -29,12 +30,36 @@ impl Simulator {
     /// Creates a simulator with explicit compiler options (for the §5.3
     /// optimization studies).
     pub fn with_options(cfg: SimConfig, opts: CompilerOptions) -> Self {
-        Simulator { compiler: Compiler::new(cfg.clone(), opts), cfg, cache: HashMap::new() }
+        Simulator {
+            compiler: Compiler::new(cfg.clone(), opts),
+            cfg,
+            cache: HashMap::new(),
+            tracer: None,
+        }
     }
 
     /// The NPU configuration.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// Attaches a tracer: every subsequent simulation run records compute,
+    /// DMA, DRAM, and NoC events into it.
+    pub fn set_tracer(&mut self, tracer: Arc<ptsim_trace::Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<ptsim_trace::Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    fn new_togsim(&self) -> TogSim {
+        let mut sim = TogSim::new(&self.cfg);
+        if let Some(t) = &self.tracer {
+            sim.set_tracer(t.clone());
+        }
+        sim
     }
 
     /// Compiles (or fetches from the cache) a model.
@@ -64,7 +89,7 @@ impl Simulator {
     /// Returns an error if compilation or simulation fails.
     pub fn run_inference(&mut self, spec: &ModelSpec) -> Result<SimReport> {
         let model = self.compile(spec)?;
-        let mut sim = TogSim::new(&self.cfg);
+        let mut sim = self.new_togsim();
         sim.add_shared_job(Arc::new(model.tog.clone()), JobSpec::default());
         sim.run()
     }
@@ -95,8 +120,8 @@ impl Simulator {
     fn run_ils_inner(&mut self, spec: &ModelSpec, functional: bool) -> Result<SimReport> {
         let model = self.compile(spec)?;
         let kernels = Arc::new(model.kernels.clone());
-        let mut sim = TogSim::new(&self.cfg)
-            .with_fidelity(Fidelity::Ils { per_tile_overhead: 24, functional });
+        let mut sim =
+            self.new_togsim().with_fidelity(Fidelity::Ils { per_tile_overhead: 24, functional });
         sim.add_shared_job(
             Arc::new(model.tog.clone()),
             JobSpec { kernels: Some(kernels), ..JobSpec::default() },
@@ -114,7 +139,7 @@ impl Simulator {
         &mut self,
         tenants: &[(Arc<CompiledModel>, usize, usize, u32, Cycle)],
     ) -> Result<SimReport> {
-        let mut sim = TogSim::new(&self.cfg);
+        let mut sim = self.new_togsim();
         for (model, core_offset, cores, tag, start_at) in tenants {
             sim.add_shared_job(
                 Arc::new(model.tog.clone()),

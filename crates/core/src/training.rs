@@ -20,7 +20,7 @@ use ptsim_tensor::Tensor;
 use ptsim_togsim::{JobSpec, TogSim};
 
 /// The result of a simulated training run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct TrainingRun {
     /// Loss after each iteration.
     pub losses: Vec<f32>,
@@ -45,12 +45,18 @@ impl TrainingRun {
 pub struct TrainingSim {
     cfg: SimConfig,
     opts: CompilerOptions,
+    tracer: Option<std::sync::Arc<ptsim_trace::Tracer>>,
 }
 
 impl TrainingSim {
     /// Creates a training simulator.
     pub fn new(cfg: SimConfig) -> Self {
-        TrainingSim { cfg, opts: CompilerOptions::default() }
+        TrainingSim { cfg, opts: CompilerOptions::default(), tracer: None }
+    }
+
+    /// Attaches a tracer; the per-iteration TOGSim run records into it.
+    pub fn set_tracer(&mut self, tracer: std::sync::Arc<ptsim_trace::Tracer>) {
+        self.tracer = Some(tracer);
     }
 
     /// Per-iteration NPU cycles for the model's forward+backward pass,
@@ -70,6 +76,9 @@ impl TrainingSim {
             1,
         )?;
         let mut sim = TogSim::new(&self.cfg);
+        if let Some(t) = &self.tracer {
+            sim.set_tracer(t.clone());
+        }
         sim.add_job(compiled.tog.clone(), JobSpec::default());
         Ok(sim.run()?.total_cycles)
     }

@@ -3,6 +3,8 @@
 use crate::stats::DramStats;
 use ptsim_common::config::{DramConfig, MemSchedulerPolicy};
 use ptsim_common::{Cycle, RequestId};
+use ptsim_trace::Tracer;
+use std::sync::Arc;
 
 /// One transaction-granularity memory request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +91,9 @@ pub(crate) struct Channel {
     /// `(finish_cycle, request id)` in a min-heap.
     inflight: std::collections::BinaryHeap<std::cmp::Reverse<(u64, RequestId)>>,
     stats: DramStats,
+    /// This channel's index, used as the trace track id.
+    index: usize,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Channel {
@@ -114,7 +119,15 @@ impl Channel {
             bus_free: 0,
             inflight: std::collections::BinaryHeap::new(),
             stats: DramStats::default(),
+            index: 0,
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer; `index` identifies this channel's trace track.
+    pub(crate) fn set_tracer(&mut self, tracer: Arc<Tracer>, index: usize) {
+        self.index = index;
+        self.tracer = Some(tracer);
     }
 
     fn bank_and_row(&self, addr: u64) -> (usize, u64) {
@@ -183,13 +196,11 @@ impl Channel {
                 return;
             }
             // Only consider requests that have arrived by the frontier.
-            let arrived: Vec<usize> = (0..self.queue.len())
-                .filter(|&i| self.queue[i].arrival <= self.time)
-                .collect();
+            let arrived: Vec<usize> =
+                (0..self.queue.len()).filter(|&i| self.queue[i].arrival <= self.time).collect();
             if arrived.is_empty() {
                 // Jump the frontier to the next arrival if within range.
-                let next_arrival =
-                    self.queue.iter().map(|q| q.arrival).min().expect("non-empty");
+                let next_arrival = self.queue.iter().map(|q| q.arrival).min().expect("non-empty");
                 if next_arrival > horizon {
                     self.time = horizon;
                     return;
@@ -264,7 +275,16 @@ impl Channel {
             self.bus_free = finish;
             self.time = start + 1;
 
-            self.stats.record(&q.req, outcome, finish.saturating_sub(q.arrival));
+            let latency = finish.saturating_sub(q.arrival);
+            self.stats.record(&q.req, outcome, latency);
+            if let Some(t) = &self.tracer {
+                let row = match outcome {
+                    RowOutcome::Hit => ptsim_trace::RowOutcome::Hit,
+                    RowOutcome::Miss => ptsim_trace::RowOutcome::Miss,
+                    RowOutcome::Conflict => ptsim_trace::RowOutcome::Conflict,
+                };
+                t.dram_tx(self.index, finish, q.req.is_write, row, q.req.bytes, latency, q.req.tag);
+            }
             self.inflight.push(std::cmp::Reverse((finish, q.req.id)));
             self.queue.remove(pick);
         }

@@ -46,14 +46,21 @@ impl DramSim {
     /// Creates a DRAM model for `cfg`, with timings converted to core
     /// cycles at `freq_mhz`.
     pub fn new(cfg: &DramConfig, freq_mhz: f64) -> Self {
-        let channels =
-            (0..cfg.channels).map(|_| Channel::new(cfg, freq_mhz)).collect();
+        let channels = (0..cfg.channels).map(|_| Channel::new(cfg, freq_mhz)).collect();
         DramSim { cfg: cfg.clone(), channels, completed: Vec::new() }
     }
 
     /// The configuration this model was built from.
     pub fn config(&self) -> &DramConfig {
         &self.cfg
+    }
+
+    /// Attaches a tracer: every channel records its retiring transactions
+    /// (with row-buffer outcome and latency) on its own trace track.
+    pub fn set_tracer(&mut self, tracer: std::sync::Arc<ptsim_trace::Tracer>) {
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            ch.set_tracer(tracer.clone(), i);
+        }
     }
 
     /// Maps an address to its channel index (transaction-interleaved).
@@ -233,8 +240,7 @@ mod tests {
         let mut dram = DramSim::new(&c, 940.0);
         let mut ok = 0;
         for i in 0..10u64 {
-            if dram.try_enqueue(MemRequest::read(RequestId::new(i), i * 64, 64, 0), Cycle::ZERO)
-            {
+            if dram.try_enqueue(MemRequest::read(RequestId::new(i), i * 64, 64, 0), Cycle::ZERO) {
                 ok += 1;
             }
         }

@@ -4,7 +4,7 @@ use crate::channel::{MemRequest, RowOutcome};
 use std::collections::HashMap;
 
 /// Counters accumulated by the DRAM model.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
 pub struct DramStats {
     /// Read transactions served.
     pub reads: u64,

@@ -189,10 +189,7 @@ mod tests {
             ..DmaDescriptor::default()
         };
         d.run_mvin(&mm, &mut sp, 0, 0).unwrap();
-        assert_eq!(
-            sp.read_slice(0, 8).unwrap(),
-            vec![0.0, 1.0, 4.0, 5.0, 8.0, 9.0, 12.0, 13.0]
-        );
+        assert_eq!(sp.read_slice(0, 8).unwrap(), vec![0.0, 1.0, 4.0, 5.0, 8.0, 9.0, 12.0, 13.0]);
     }
 
     #[test]

@@ -396,12 +396,7 @@ impl FuncSim {
         }
     }
 
-    fn v1(
-        &mut self,
-        vd: ptsim_isa::reg::VReg,
-        vs1: ptsim_isa::reg::VReg,
-        f: impl Fn(f32) -> f32,
-    ) {
+    fn v1(&mut self, vd: ptsim_isa::reg::VReg, vs1: ptsim_isa::reg::VReg, f: impl Fn(f32) -> f32) {
         for i in 0..self.vl {
             self.vregs[vd.index()][i] = f(self.vregs[vs1.index()][i]);
         }
@@ -566,9 +561,7 @@ mod tests {
         assert!(stats.dma_bytes >= (16 + 4 + 4) * 4);
         let got = m.memory().read_slice(0x3000, 4).unwrap();
         // Expected: x^T W.
-        let expect: Vec<f32> = (0..4)
-            .map(|c| (0..4).map(|r| x[r] * w[r * 4 + c]).sum())
-            .collect();
+        let expect: Vec<f32> = (0..4).map(|c| (0..4).map(|r| x[r] * w[r * 4 + c]).sum()).collect();
         assert_eq!(got, expect);
     }
 

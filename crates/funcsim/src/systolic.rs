@@ -142,8 +142,8 @@ impl SystolicArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ptsim_tensor::Tensor;
     use proptest::prelude::*;
+    use ptsim_tensor::Tensor;
 
     #[test]
     fn gemv_through_the_array_matches_matmul() {

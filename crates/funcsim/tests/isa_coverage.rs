@@ -75,10 +75,7 @@ fn transpose_dma_through_flags_config() {
     );
     m.run(&p).unwrap();
     // Transposed to 3x2.
-    assert_eq!(
-        m.scratchpad().read_slice(0, 6).unwrap(),
-        vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]
-    );
+    assert_eq!(m.scratchpad().read_slice(0, 6).unwrap(), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
 }
 
 #[test]

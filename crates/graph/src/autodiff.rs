@@ -67,10 +67,8 @@ pub fn build_training_graph(forward: &Graph, loss: ValueId) -> Result<Graph> {
             Op::Conv2d(geom) => {
                 let x_shape = b.shape_of(ins[0]).clone();
                 let w_shape = b.shape_of(ins[1]).clone();
-                let dx = b.push(
-                    Op::Conv2dBackwardInput { geom, input_shape: x_shape },
-                    &[ins[1], dy],
-                )?;
+                let dx =
+                    b.push(Op::Conv2dBackwardInput { geom, input_shape: x_shape }, &[ins[1], dy])?;
                 accumulate(&mut b, &mut grads, ins[0], dx)?;
                 let dw = b.push(
                     Op::Conv2dBackwardWeight { geom, weight_shape: w_shape },
@@ -289,11 +287,7 @@ mod tests {
         assert_eq!(train.node(train.outputs()[0]).shape, Shape::scalar());
         // Gradient shapes match parameter shapes.
         for (i, &p) in fwd.parameters().iter().enumerate() {
-            assert_eq!(
-                train.node(train.outputs()[1 + i]).shape,
-                fwd.node(p).shape,
-                "grad {i}"
-            );
+            assert_eq!(train.node(train.outputs()[1 + i]).shape, fwd.node(p).shape, "grad {i}");
         }
     }
 
@@ -322,11 +316,10 @@ mod tests {
                 plus[pi].data_mut()[ei] += h;
                 let mut minus = params.clone();
                 minus[pi].data_mut()[ei] -= h;
-                let lp = execute(&train, &[x.clone(), t.clone()], &plus).unwrap().outputs()[0]
+                let lp =
+                    execute(&train, &[x.clone(), t.clone()], &plus).unwrap().outputs()[0].data()[0];
+                let lm = execute(&train, &[x.clone(), t.clone()], &minus).unwrap().outputs()[0]
                     .data()[0];
-                let lm = execute(&train, &[x.clone(), t.clone()], &minus).unwrap().outputs()
-                    [0]
-                .data()[0];
                 let fd = (lp - lm) / (2.0 * h);
                 let ad = grad.data()[ei];
                 assert!(
@@ -361,12 +354,7 @@ mod tests {
                 *p = p.sub(&update).unwrap();
             }
         }
-        assert!(
-            losses[29] < 0.5 * losses[0],
-            "loss did not drop: {} -> {}",
-            losses[0],
-            losses[29]
-        );
+        assert!(losses[29] < 0.5 * losses[0], "loss did not drop: {} -> {}", losses[0], losses[29]);
     }
 
     #[test]

@@ -136,9 +136,7 @@ pub fn apply(op: &Op, operands: &[&Tensor]) -> Result<Tensor> {
 
 fn eval_op(op: &Op, x: &[&Tensor]) -> Result<Tensor> {
     match op {
-        Op::Input | Op::Parameter => {
-            Err(Error::InvalidGraph("unbound input or parameter".into()))
-        }
+        Op::Input | Op::Parameter => Err(Error::InvalidGraph("unbound input or parameter".into())),
         Op::Constant(t) => Ok(t.clone()),
         Op::MatMul => x[0].matmul(x[1]),
         Op::BatchMatMul => batch_matmul(x[0], x[1]),
@@ -204,10 +202,8 @@ fn batch_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (batch, m, k, n) = (ad[0], ad[1], ad[2], bd[2]);
     let mut out = vec![0.0f32; batch * m * n];
     for bi in 0..batch {
-        let a_slice =
-            Tensor::from_vec(a.data()[bi * m * k..(bi + 1) * m * k].to_vec(), [m, k])?;
-        let b_slice =
-            Tensor::from_vec(b.data()[bi * k * n..(bi + 1) * k * n].to_vec(), [k, n])?;
+        let a_slice = Tensor::from_vec(a.data()[bi * m * k..(bi + 1) * m * k].to_vec(), [m, k])?;
+        let b_slice = Tensor::from_vec(b.data()[bi * k * n..(bi + 1) * k * n].to_vec(), [k, n])?;
         let c = a_slice.matmul(&b_slice)?;
         out[bi * m * n..(bi + 1) * m * n].copy_from_slice(c.data());
     }
@@ -386,8 +382,8 @@ fn maxpool2d_backward(x: &Tensor, dy: &Tensor, k: usize) -> Result<Tensor> {
                     let mut best_v = f32::NEG_INFINITY;
                     for dy_i in 0..k {
                         for dx_i in 0..k {
-                            let v = x.data()
-                                [((ni * c + ci) * h + oy * k + dy_i) * w + ox * k + dx_i];
+                            let v =
+                                x.data()[((ni * c + ci) * h + oy * k + dy_i) * w + ox * k + dx_i];
                             if v > best_v {
                                 best_v = v;
                                 best = (dy_i, dx_i);
@@ -479,20 +475,10 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let fp: f32 = ops::softmax(&xp)
-                .unwrap()
-                .data()
-                .iter()
-                .zip(dy.data())
-                .map(|(a, b)| a * b)
-                .sum();
-            let fm: f32 = ops::softmax(&xm)
-                .unwrap()
-                .data()
-                .iter()
-                .zip(dy.data())
-                .map(|(a, b)| a * b)
-                .sum();
+            let fp: f32 =
+                ops::softmax(&xp).unwrap().data().iter().zip(dy.data()).map(|(a, b)| a * b).sum();
+            let fm: f32 =
+                ops::softmax(&xm).unwrap().data().iter().zip(dy.data()).map(|(a, b)| a * b).sum();
             let fd = (fp - fm) / (2.0 * eps);
             assert!((fd - dx.data()[i]).abs() < 1e-2, "at {i}: {fd} vs {}", dx.data()[i]);
         }
@@ -552,16 +538,9 @@ mod tests {
         let y = ops::conv2d(&x, &w, p).unwrap();
         let dy = Tensor::randn(y.dims().to_vec(), 33);
         let dx = conv2d_backward_input(&w, &dy, p, &geom_shape).unwrap();
-        let dw =
-            conv2d_backward_weight(&x, &dy, p, &Shape::new(vec![3, 2, 3, 3])).unwrap();
+        let dw = conv2d_backward_weight(&x, &dy, p, &Shape::new(vec![3, 2, 3, 3])).unwrap();
         let loss = |x: &Tensor, w: &Tensor| -> f32 {
-            ops::conv2d(x, w, p)
-                .unwrap()
-                .data()
-                .iter()
-                .zip(dy.data())
-                .map(|(a, b)| a * b)
-                .sum()
+            ops::conv2d(x, w, p).unwrap().data().iter().zip(dy.data()).map(|(a, b)| a * b).sum()
         };
         let h = 1e-2;
         for i in (0..x.numel()).step_by(7) {

@@ -116,7 +116,9 @@ impl Graph {
         }
         for &id in &self.inputs {
             if !matches!(self.try_node(id).map(|n| &n.op), Some(Op::Input)) {
-                return Err(Error::InvalidGraph(format!("declared input {id} is not an Input node")));
+                return Err(Error::InvalidGraph(format!(
+                    "declared input {id} is not an Input node"
+                )));
             }
         }
         for &id in &self.parameters {
@@ -281,12 +283,7 @@ impl GraphBuilder {
     }
 
     /// 2-D convolution.
-    pub fn conv2d(
-        &mut self,
-        x: ValueId,
-        w: ValueId,
-        geom: crate::op::ConvGeom,
-    ) -> Result<ValueId> {
+    pub fn conv2d(&mut self, x: ValueId, w: ValueId, geom: crate::op::ConvGeom) -> Result<ValueId> {
         self.push(Op::Conv2d(geom), &[x, w])
     }
 

@@ -255,9 +255,9 @@ impl Op {
             )));
         }
         match self {
-            Op::Input | Op::Parameter => Err(Error::InvalidGraph(
-                "input/parameter shapes are declared, not inferred".into(),
-            )),
+            Op::Input | Op::Parameter => {
+                Err(Error::InvalidGraph("input/parameter shapes are declared, not inferred".into()))
+            }
             Op::Constant(t) => Ok(t.shape().clone()),
             Op::MatMul => {
                 let (a, b) = (inputs[0], inputs[1]);
@@ -268,8 +268,7 @@ impl Op {
             }
             Op::BatchMatMul => {
                 let (a, b) = (inputs[0], inputs[1]);
-                if a.rank() != 3 || b.rank() != 3 || a.dim(0) != b.dim(0) || a.dim(2) != b.dim(1)
-                {
+                if a.rank() != 3 || b.rank() != 3 || a.dim(0) != b.dim(0) || a.dim(2) != b.dim(1) {
                     return Err(Error::shape(format!("bmm {a} x {b}")));
                 }
                 Ok(Shape::new(vec![a.dim(0), a.dim(1), b.dim(2)]))
@@ -291,7 +290,12 @@ impl Op {
                 ]))
             }
             Op::Add | Op::Sub | Op::Mul | Op::Div => inputs[0].broadcast(inputs[1]),
-            Op::Scale(_) | Op::Relu | Op::Gelu | Op::Tanh | Op::Sigmoid | Op::Exp
+            Op::Scale(_)
+            | Op::Relu
+            | Op::Gelu
+            | Op::Tanh
+            | Op::Sigmoid
+            | Op::Exp
             | Op::ReluGradMask => Ok(inputs[0].clone()),
             Op::Softmax => {
                 if inputs[0].rank() == 0 {
@@ -306,7 +310,9 @@ impl Op {
                 }
                 let last = x.dim(x.rank() - 1);
                 if g.numel() != last || b.numel() != last {
-                    return Err(Error::shape(format!("layernorm affine {g}/{b} vs last dim {last}")));
+                    return Err(Error::shape(format!(
+                        "layernorm affine {g}/{b} vs last dim {last}"
+                    )));
                 }
                 Ok(x.clone())
             }
@@ -349,7 +355,8 @@ impl Op {
             Op::Permute(perm) => {
                 let x = inputs[0];
                 let mut seen = vec![false; x.rank()];
-                if perm.len() != x.rank() || perm.iter().any(|&p| p >= x.rank() || std::mem::replace(&mut seen[p], true))
+                if perm.len() != x.rank()
+                    || perm.iter().any(|&p| p >= x.rank() || std::mem::replace(&mut seen[p], true))
                 {
                     return Err(Error::shape(format!("permute {perm:?} on {x}")));
                 }
@@ -446,8 +453,7 @@ mod tests {
     #[test]
     fn conv_shape_inference() {
         let g = ConvGeom::new(2, 1);
-        let out =
-            Op::Conv2d(g).infer_shape(&[&s(&[2, 3, 8, 8]), &s(&[16, 3, 3, 3])]).unwrap();
+        let out = Op::Conv2d(g).infer_shape(&[&s(&[2, 3, 8, 8]), &s(&[16, 3, 3, 3])]).unwrap();
         assert_eq!(out, s(&[2, 16, 4, 4]));
         assert!(Op::Conv2d(g).infer_shape(&[&s(&[2, 4, 8, 8]), &s(&[16, 3, 3, 3])]).is_err());
     }

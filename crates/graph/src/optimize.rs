@@ -56,8 +56,7 @@ pub fn dead_code_elimination(graph: &Graph) -> Result<(Graph, OptimizeStats)> {
             Op::Input => b.input(node.name.clone(), node.shape.clone()),
             Op::Parameter => b.parameter(node.name.clone(), node.shape.clone()),
             _ => {
-                let inputs: Vec<ValueId> =
-                    node.inputs.iter().map(|v| remap[v]).collect();
+                let inputs: Vec<ValueId> = node.inputs.iter().map(|v| remap[v]).collect();
                 b.push(node.op.clone(), &inputs)?
             }
         };
@@ -108,8 +107,7 @@ pub fn constant_folding(graph: &Graph) -> Result<(Graph, OptimizeStats)> {
                 Op::Input => b.input(node.name.clone(), node.shape.clone()),
                 Op::Parameter => b.parameter(node.name.clone(), node.shape.clone()),
                 _ => {
-                    let inputs: Vec<ValueId> =
-                        node.inputs.iter().map(|v| remap[v]).collect();
+                    let inputs: Vec<ValueId> = node.inputs.iter().map(|v| remap[v]).collect();
                     b.push(node.op.clone(), &inputs)?
                 }
             }

@@ -99,11 +99,8 @@ mod tests {
         let session = TrainSession::new(g.finish(), loss).unwrap();
 
         let xs = Tensor::randn([6, 4], 0);
-        let labels: Vec<usize> = xs
-            .data()
-            .chunks(4)
-            .map(|row| if row[0] + row[1] > 0.0 { 0 } else { 1 })
-            .collect();
+        let labels: Vec<usize> =
+            xs.data().chunks(4).map(|row| if row[0] + row[1] > 0.0 { 0 } else { 1 }).collect();
         let ts = one_hot(&labels, 2).unwrap();
         let mut params = vec![Tensor::zeros([4, 2]), Tensor::zeros([2])];
         let opt = Sgd::new(1.0);

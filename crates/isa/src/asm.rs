@@ -31,8 +31,7 @@ fn parse_reg(token: &str, line_no: usize) -> Result<Reg> {
     let raw = token
         .strip_prefix('x')
         .ok_or_else(|| err(line_no, format!("expected scalar register, got `{token}`")))?;
-    let idx: u8 =
-        raw.parse().map_err(|_| err(line_no, format!("bad register `{token}`")))?;
+    let idx: u8 = raw.parse().map_err(|_| err(line_no, format!("bad register `{token}`")))?;
     if idx >= 32 {
         return Err(err(line_no, format!("register `{token}` out of range")));
     }
@@ -43,8 +42,7 @@ fn parse_vreg(token: &str, line_no: usize) -> Result<VReg> {
     let raw = token
         .strip_prefix('v')
         .ok_or_else(|| err(line_no, format!("expected vector register, got `{token}`")))?;
-    let idx: u8 =
-        raw.parse().map_err(|_| err(line_no, format!("bad register `{token}`")))?;
+    let idx: u8 = raw.parse().map_err(|_| err(line_no, format!("bad register `{token}`")))?;
     if idx >= 32 {
         return Err(err(line_no, format!("register `{token}` out of range")));
     }
@@ -67,9 +65,8 @@ fn parse_mem(token: &str, line_no: usize) -> Result<(i32, Reg)> {
     let open = token
         .find('(')
         .ok_or_else(|| err(line_no, format!("expected `imm(reg)`, got `{token}`")))?;
-    let close = token
-        .strip_suffix(')')
-        .ok_or_else(|| err(line_no, format!("missing `)` in `{token}`")))?;
+    let close =
+        token.strip_suffix(')').ok_or_else(|| err(line_no, format!("missing `)` in `{token}`")))?;
     let imm = if open == 0 { 0 } else { parse_imm(&token[..open], line_no)? };
     let reg = parse_reg(&close[open + 1..], line_no)?;
     Ok((imm, reg))
@@ -205,10 +202,7 @@ pub fn parse_instr(line: &str, line_no: usize) -> Result<Instr> {
         }
         "vbcast.v" => {
             need(2)?;
-            Instr::Vbcast {
-                vd: parse_vreg(args[0], line_no)?,
-                rs1: parse_reg(args[1], line_no)?,
-            }
+            Instr::Vbcast { vd: parse_vreg(args[0], line_no)?, rs1: parse_reg(args[1], line_no)? }
         }
         "vadd.vv" | "vsub.vv" | "vmul.vv" | "vdiv.vv" | "vmacc.vv" | "vmax.vv" => {
             need(3)?;
@@ -259,8 +253,7 @@ pub fn parse_instr(line: &str, line_no: usize) -> Result<Instr> {
         }
         "mvin" | "mvout" => {
             need(2)?;
-            let (rs_mm, rs_sp) =
-                (parse_reg(args[0], line_no)?, parse_reg(args[1], line_no)?);
+            let (rs_mm, rs_sp) = (parse_reg(args[0], line_no)?, parse_reg(args[1], line_no)?);
             if mnemonic == "mvin" {
                 Instr::Mvin { rs_mm, rs_sp }
             } else {

@@ -197,8 +197,11 @@ mod tests {
     fn arb_instr() -> impl Strategy<Value = Instr> {
         prop_oneof![
             (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
-            (arb_reg(), arb_reg(), any::<i32>())
-                .prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
+            (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs1, imm)| Instr::Addi {
+                rd,
+                rs1,
+                imm
+            }),
             (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Add {
                 rd,
                 rs1,
@@ -209,13 +212,19 @@ mod tests {
                 rs1,
                 rs2
             }),
-            (arb_reg(), arb_reg(), any::<i32>())
-                .prop_map(|(rs1, rs2, offset)| Instr::Blt { rs1, rs2, offset }),
+            (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rs1, rs2, offset)| Instr::Blt {
+                rs1,
+                rs2,
+                offset
+            }),
             Just(Instr::Halt),
             (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::Vsetvl { rd, rs1 }),
             (arb_vreg(), arb_reg()).prop_map(|(vd, rs1)| Instr::Vle { vd, rs1 }),
-            (arb_vreg(), arb_vreg(), arb_vreg())
-                .prop_map(|(vd, vs1, vs2)| Instr::Vmacc { vd, vs1, vs2 }),
+            (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs1, vs2)| Instr::Vmacc {
+                vd,
+                vs1,
+                vs2
+            }),
             (arb_vreg(), arb_vreg()).prop_map(|(vd, vs1)| Instr::Vexp { vd, vs1 }),
             (arb_reg(), arb_vreg()).prop_map(|(rd, vs1)| Instr::Vmvxs { rd, vs1 }),
             (0u8..7, arb_reg(), arb_reg()).prop_map(|(f, rs1, rs2)| Instr::ConfigDma {

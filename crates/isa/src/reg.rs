@@ -11,8 +11,9 @@ pub const NUM_VECTOR_REGS: u8 = 32;
 /// A scalar (integer) register, `x0..x31`.
 ///
 /// `x0` always reads as zero and ignores writes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Reg(u8);
 
@@ -53,8 +54,9 @@ impl fmt::Display for Reg {
 /// One architectural vector register spans every vector unit: with `U` units
 /// of `L` lanes, it holds `U × L` f32 elements (the VCIX-style wide
 /// interface of §3.3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct VReg(u8);
 

@@ -144,12 +144,8 @@ pub fn albert(seq: usize, batch: usize) -> ModelSpec {
 }
 
 fn bert_inner(cfg: BertConfig, name: &str, share: bool) -> ModelSpec {
-    let mut b = Bert {
-        g: GraphBuilder::new(),
-        cfg,
-        share,
-        shared: std::collections::HashMap::new(),
-    };
+    let mut b =
+        Bert { g: GraphBuilder::new(), cfg, share, shared: std::collections::HashMap::new() };
     let rows = cfg.batch * cfg.seq;
     let mut x = b.g.input("embeddings", [rows, cfg.hidden]);
     for i in 0..cfg.layers {
@@ -198,7 +194,8 @@ mod tests {
     #[test]
     fn tiny_bert_executes_forward() {
         // A small config to keep eager execution fast.
-        let cfg = BertConfig { hidden: 32, layers: 2, heads: 4, intermediate: 64, seq: 8, batch: 2 };
+        let cfg =
+            BertConfig { hidden: 32, layers: 2, heads: 4, intermediate: 64, seq: 8, batch: 2 };
         let spec = bert(cfg, "bert_tiny");
         spec.graph.validate().unwrap();
         let params = spec.init_params(3);
@@ -211,7 +208,8 @@ mod tests {
 
     #[test]
     fn attention_shapes_flow_correctly() {
-        let cfg = BertConfig { hidden: 16, layers: 1, heads: 2, intermediate: 32, seq: 4, batch: 3 };
+        let cfg =
+            BertConfig { hidden: 16, layers: 1, heads: 2, intermediate: 32, seq: 4, batch: 3 };
         let spec = bert(cfg, "t");
         // Find the softmax node: [batch*heads, seq, seq].
         let sm = spec
@@ -240,7 +238,8 @@ mod albert_tests {
 
     #[test]
     fn albert_executes_forward() {
-        let cfg = BertConfig { hidden: 16, layers: 3, heads: 2, intermediate: 32, seq: 4, batch: 1 };
+        let cfg =
+            BertConfig { hidden: 16, layers: 3, heads: 2, intermediate: 32, seq: 4, batch: 1 };
         let spec = bert_inner(cfg, "albert_tiny", true);
         let params = spec.init_params(1);
         let x = ptsim_tensor::Tensor::randn([4, 16], 2);

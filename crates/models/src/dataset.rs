@@ -75,9 +75,7 @@ impl SyntheticMnist {
         let mut ls = Vec::with_capacity(batch);
         for j in 0..batch {
             let idx = (i * batch + j) % n;
-            xs.extend_from_slice(
-                &self.images.data()[idx * Self::PIXELS..(idx + 1) * Self::PIXELS],
-            );
+            xs.extend_from_slice(&self.images.data()[idx * Self::PIXELS..(idx + 1) * Self::PIXELS]);
             ls.push(self.labels[idx]);
         }
         let x = Tensor::from_vec(xs, [batch, Self::PIXELS]).expect("batch data consistent");

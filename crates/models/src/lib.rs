@@ -59,8 +59,8 @@ impl ModelSpec {
                 let node = self.graph.node(p);
                 let shape = node.shape.clone();
                 let fan_in = match shape.rank() {
-                    2 => shape.dim(0),                                     // [in, out]
-                    4 => shape.dim(1) * shape.dim(2) * shape.dim(3),       // [K, C, kh, kw]
+                    2 => shape.dim(0),                               // [in, out]
+                    4 => shape.dim(1) * shape.dim(2) * shape.dim(3), // [K, C, kh, kw]
                     _ => shape.numel(),
                 }
                 .max(1);
@@ -81,11 +81,7 @@ impl ModelSpec {
 
     /// Total parameter element count.
     pub fn param_count(&self) -> usize {
-        self.graph
-            .parameters()
-            .iter()
-            .map(|&p| self.graph.node(p).shape.numel())
-            .sum()
+        self.graph.parameters().iter().map(|&p| self.graph.node(p).shape.numel()).sum()
     }
 }
 
@@ -101,8 +97,7 @@ pub fn gemm_rect(m: usize, k: usize, n: usize) -> ModelSpec {
     let w = g.parameter("w", [k, n]);
     let y = g.matmul(x, w).expect("gemm shapes are consistent");
     g.output(y);
-    let name =
-        if m == k && k == n { format!("gemm{n}") } else { format!("gemm_{m}x{k}x{n}") };
+    let name = if m == k && k == n { format!("gemm{n}") } else { format!("gemm_{m}x{k}x{n}") };
     ModelSpec { name, graph: g.finish(), loss: None }
 }
 

@@ -46,11 +46,7 @@ impl ResNetBuilder {
         let c_in = self.g.shape_of(x).dim(1);
         let y = self.conv_relu(x, c_out, 3, stride, 1);
         let y = self.conv(y, c_out, 3, 1, 1);
-        let skip = if stride != 1 || c_in != c_out {
-            self.conv(x, c_out, 1, stride, 0)
-        } else {
-            x
-        };
+        let skip = if stride != 1 || c_in != c_out { self.conv(x, c_out, 1, stride, 0) } else { x };
         let sum = self.g.add(y, skip).expect("skip shapes");
         self.g.relu(sum).expect("relu shapes")
     }
@@ -62,11 +58,7 @@ impl ResNetBuilder {
         let y = self.conv_relu(x, c_mid, 1, 1, 0);
         let y = self.conv_relu(y, c_mid, 3, stride, 1);
         let y = self.conv(y, c_out, 1, 1, 0);
-        let skip = if stride != 1 || c_in != c_out {
-            self.conv(x, c_out, 1, stride, 0)
-        } else {
-            x
-        };
+        let skip = if stride != 1 || c_in != c_out { self.conv(x, c_out, 1, stride, 0) } else { x };
         let sum = self.g.add(y, skip).expect("skip shapes");
         self.g.relu(sum).expect("relu shapes")
     }

@@ -48,7 +48,7 @@ pub struct NocMessage {
 }
 
 /// Interconnect statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct NocStats {
     /// Messages delivered.
     pub messages: u64,
@@ -87,6 +87,7 @@ pub struct NocSim {
     delivered: Vec<(RequestId, Cycle)>,
     stats: NocStats,
     max_in_flight: usize,
+    tracer: Option<std::sync::Arc<ptsim_trace::Tracer>>,
 }
 
 #[derive(Debug, Clone)]
@@ -142,7 +143,14 @@ impl NocSim {
             delivered: Vec::new(),
             stats: NocStats::default(),
             max_in_flight: 1 << 20,
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer: every accepted message is recorded on the NoC
+    /// track at its delivery cycle with source, destination, and latency.
+    pub fn set_tracer(&mut self, tracer: std::sync::Arc<ptsim_trace::Tracer>) {
+        self.tracer = Some(tracer);
     }
 
     /// Port slot rate per cycle: flit links for the crossbar, bytes for the
@@ -231,6 +239,9 @@ impl NocSim {
         if crossed {
             self.stats.link_crossings += 1;
         }
+        if let Some(t) = &self.tracer {
+            t.noc_transfer(ready, msg.src, msg.dst, msg.bytes, ready - now, crossed, 0);
+        }
         self.queue.push(Reverse((ready, msg.id)));
         true
     }
@@ -274,10 +285,9 @@ mod tests {
     use ptsim_common::config::NocConfig;
 
     fn send(noc: &mut NocSim, id: u64, src: usize, dst: usize, bytes: u64, at: u64) {
-        assert!(noc.try_send(
-            NocMessage { id: RequestId::new(id), src, dst, bytes },
-            Cycle::new(at)
-        ));
+        assert!(
+            noc.try_send(NocMessage { id: RequestId::new(id), src, dst, bytes }, Cycle::new(at))
+        );
     }
 
     fn delivery(noc: &mut NocSim, id: u64) -> u64 {

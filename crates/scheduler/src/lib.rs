@@ -163,11 +163,20 @@ impl Scheduler {
     /// batch size) when their arrivals coincide or overlap; a batch starts
     /// when its last member has arrived.
     pub fn schedule(&self, requests: &[Request]) -> Vec<ScheduledJob> {
+        self.schedule_with_tracer(requests, None)
+    }
+
+    /// Like [`Scheduler::schedule`], additionally recording one dispatch
+    /// event per scheduled batch on the tracer's scheduler track.
+    pub fn schedule_with_tracer(
+        &self,
+        requests: &[Request],
+        tracer: Option<&ptsim_trace::Tracer>,
+    ) -> Vec<ScheduledJob> {
         let tenants = requests.iter().map(|r| r.tenant.raw() as usize + 1).max().unwrap_or(0);
         let mut jobs = Vec::new();
         for t in 0..tenants {
-            let mine: Vec<&Request> =
-                requests.iter().filter(|r| r.tenant.index() == t).collect();
+            let mine: Vec<&Request> = requests.iter().filter(|r| r.tenant.index() == t).collect();
             let (core_offset, cores) = match self.policy {
                 SharingPolicy::Temporal => (0, self.total_cores),
                 SharingPolicy::Spatial => {
@@ -191,6 +200,11 @@ impl Scheduler {
             }
         }
         jobs.sort_by_key(|j| (j.start_at, j.tenant));
+        if let Some(t) = tracer {
+            for job in &jobs {
+                t.dispatch(job.start_at.raw(), job.tenant.raw(), &job.model, job.batch as u32);
+            }
+        }
         jobs
     }
 }
@@ -219,11 +233,67 @@ mod tests {
 
     #[test]
     fn poisson_arrivals_are_strictly_increasing_per_tenant() {
-        let reqs = LoadGenerator::new(3)
-            .generate(&[profile("m", ArrivalDist::Poisson { mean_interval: 100.0 }, 50)]);
+        let reqs = LoadGenerator::new(3).generate(&[profile(
+            "m",
+            ArrivalDist::Poisson { mean_interval: 100.0 },
+            50,
+        )]);
         for w in reqs.windows(2) {
             assert!(w[0].arrival < w[1].arrival);
         }
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_poisson_stream() {
+        let profiles = [profile("m", ArrivalDist::Poisson { mean_interval: 250.0 }, 200)];
+        let a = LoadGenerator::new(0xDEAD_BEEF).generate(&profiles);
+        let b = LoadGenerator::new(0xDEAD_BEEF).generate(&profiles);
+        assert_eq!(a, b, "identical seeds must yield identical streams");
+    }
+
+    #[test]
+    fn different_seeds_produce_different_poisson_streams() {
+        let profiles = [profile("m", ArrivalDist::Poisson { mean_interval: 250.0 }, 100)];
+        let a = LoadGenerator::new(1).generate(&profiles);
+        let b = LoadGenerator::new(2).generate(&profiles);
+        assert_ne!(a, b, "different seeds should diverge");
+    }
+
+    #[test]
+    fn poisson_mean_interarrival_matches_the_profile() {
+        // With n samples the empirical mean of Exp(1/m) concentrates around
+        // m; 15% tolerance at n = 4000 has comfortable headroom.
+        let mean_interval = 200.0;
+        let n = 4000;
+        let reqs = LoadGenerator::new(42).generate(&[profile(
+            "m",
+            ArrivalDist::Poisson { mean_interval },
+            n,
+        )]);
+        let last = reqs.last().unwrap().arrival.raw();
+        let empirical = last as f64 / n as f64;
+        let err = (empirical - mean_interval).abs() / mean_interval;
+        assert!(
+            err < 0.15,
+            "empirical mean {empirical:.1} deviates {:.1}% from {mean_interval}",
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn schedule_with_tracer_records_dispatches() {
+        let reqs = LoadGenerator::new(0).generate(&[
+            profile("a", ArrivalDist::Uniform { interval: 10 }, 6),
+            profile("b", ArrivalDist::AtOnce, 2),
+        ]);
+        let tracer = ptsim_trace::Tracer::new();
+        let jobs = Scheduler::new(SharingPolicy::Temporal, 2, 4)
+            .schedule_with_tracer(&reqs, Some(&tracer));
+        assert_eq!(tracer.len(), jobs.len(), "one dispatch event per batch");
+        let evs = tracer.events();
+        assert!(evs.iter().all(|e| matches!(e.data, ptsim_trace::EventData::Dispatch { .. })));
+        // The plain entry point stays untraced and agrees on the schedule.
+        assert_eq!(Scheduler::new(SharingPolicy::Temporal, 2, 4).schedule(&reqs), jobs);
     }
 
     #[test]
@@ -257,8 +327,11 @@ mod tests {
 
     #[test]
     fn batching_respects_max_batch_and_arrival_order() {
-        let reqs = LoadGenerator::new(0)
-            .generate(&[profile("m", ArrivalDist::Uniform { interval: 10 }, 10)]);
+        let reqs = LoadGenerator::new(0).generate(&[profile(
+            "m",
+            ArrivalDist::Uniform { interval: 10 },
+            10,
+        )]);
         let jobs = Scheduler::new(SharingPolicy::Temporal, 2, 4).schedule(&reqs);
         assert_eq!(jobs.len(), 3); // 4 + 4 + 2
         assert_eq!(jobs[0].batch, 4);
@@ -348,8 +421,7 @@ pub fn simulate_serving(
         // Attribute the completion to this job's `batch` earliest
         // outstanding requests of the tenant.
         let c = cursor.entry(job.tenant.raw()).or_insert(0);
-        let mine: Vec<&Request> =
-            requests.iter().filter(|r| r.tenant == job.tenant).collect();
+        let mine: Vec<&Request> = requests.iter().filter(|r| r.tenant == job.tenant).collect();
         for r in mine.iter().skip(*c).take(job.batch) {
             latencies.push(done - r.arrival.raw());
         }
@@ -366,8 +438,8 @@ mod serving_tests {
     #[test]
     fn serving_latency_includes_queueing() {
         // Two batches back-to-back: the second batch's requests wait.
-        let requests = LoadGenerator::new(0)
-            .generate(&[RequestProfile::new("m", ArrivalDist::AtOnce, 8)]);
+        let requests =
+            LoadGenerator::new(0).generate(&[RequestProfile::new("m", ArrivalDist::AtOnce, 8)]);
         let jobs = Scheduler::new(SharingPolicy::Temporal, 1, 4).schedule(&requests);
         let stats = simulate_serving(&requests, &jobs, |_| 1000);
         assert_eq!(stats.latencies.len(), 8);
@@ -393,8 +465,11 @@ mod serving_tests {
 
     #[test]
     fn batching_amortizes_service_time() {
-        let requests = LoadGenerator::new(0)
-            .generate(&[RequestProfile::new("m", ArrivalDist::Uniform { interval: 10 }, 16)]);
+        let requests = LoadGenerator::new(0).generate(&[RequestProfile::new(
+            "m",
+            ArrivalDist::Uniform { interval: 10 },
+            16,
+        )]);
         // Sub-linear batch service: serving batch-16 beats 16 singles.
         let service = |b: usize| 200 + 50 * b as u64;
         let big = Scheduler::new(SharingPolicy::Temporal, 1, 16).schedule(&requests);

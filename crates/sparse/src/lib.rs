@@ -132,14 +132,9 @@ impl SpmspmLowering {
             )));
         }
         let t = self.tile;
-        let (mt, kt, nt) =
-            (a.rows().div_ceil(t), a.cols().div_ceil(t), b.cols().div_ceil(t));
-        let mut builder = TogBuilder::new(format!(
-            "spmspm_{}x{}x{}_t{t}",
-            a.rows(),
-            a.cols(),
-            b.cols()
-        ));
+        let (mt, kt, nt) = (a.rows().div_ceil(t), a.cols().div_ceil(t), b.cols().div_ceil(t));
+        let mut builder =
+            TogBuilder::new(format!("spmspm_{}x{}x{}_t{t}", a.rows(), a.cols(), b.cols()));
         let mut latencies = Vec::new();
         let mut tiles = Vec::new();
         let a_base = dram_base;
@@ -248,8 +243,7 @@ impl DetailedSparseSim {
             return Err(Error::shape("spmspm dims"));
         }
         let t = self.tile;
-        let (mt, kt, nt) =
-            (a.rows().div_ceil(t), a.cols().div_ceil(t), b.cols().div_ceil(t));
+        let (mt, kt, nt) = (a.rows().div_ceil(t), a.cols().div_ceil(t), b.cols().div_ceil(t));
         let mut cycle = 0u64;
         for mi in 0..mt {
             for ni in 0..nt {
@@ -265,8 +259,7 @@ impl DetailedSparseSim {
                     // compute-only comparisons with mem_latency = 0, where
                     // DMA time is accounted elsewhere.)
                     if self.mem_latency > 0 {
-                        let lines =
-                            (csr_bytes(at.nnz()) + csr_bytes(bt.nnz())).div_ceil(64);
+                        let lines = (csr_bytes(at.nnz()) + csr_bytes(bt.nnz())).div_ceil(64);
                         cycle += self.mem_latency + lines;
                     }
                     let mut fetch_slot = 0u64;
@@ -347,9 +340,7 @@ mod tests {
         }
         let a = CsrMatrix::from_triplets(32, 32, triplets.clone()).unwrap();
         let b = CsrMatrix::from_triplets(32, 32, triplets).unwrap();
-        let l = SpmspmLowering::new(SparseCoreConfig::flexagon_like(), 8)
-            .lower(&a, &b, 0)
-            .unwrap();
+        let l = SpmspmLowering::new(SparseCoreConfig::flexagon_like(), 8).lower(&a, &b, 0).unwrap();
         // Diagonal: only kt diagonal tile-pairs are nonzero out of mt*nt*kt.
         assert_eq!(l.tiles.len(), 4);
         assert!(l.result.to_dense().allclose(&a.to_dense(), 1e-6));
@@ -359,9 +350,8 @@ mod tests {
     fn functional_result_matches_dense_reference() {
         let a = CsrMatrix::random(48, 40, 0.1, 20);
         let b = CsrMatrix::random(40, 56, 0.1, 21);
-        let l = SpmspmLowering::new(SparseCoreConfig::flexagon_like(), 16)
-            .lower(&a, &b, 0)
-            .unwrap();
+        let l =
+            SpmspmLowering::new(SparseCoreConfig::flexagon_like(), 16).lower(&a, &b, 0).unwrap();
         let dense = a.to_dense().matmul(&b.to_dense()).unwrap();
         assert!(l.result.to_dense().allclose(&dense, 1e-3));
     }
@@ -387,16 +377,10 @@ mod tests {
         let core = SparseCoreConfig::flexagon_like();
         let sim = DetailedSparseSim::new(core, 94, 64);
         let sparse = sim
-            .simulate(
-                &CsrMatrix::random(128, 128, 0.02, 1),
-                &CsrMatrix::random(128, 128, 0.02, 2),
-            )
+            .simulate(&CsrMatrix::random(128, 128, 0.02, 1), &CsrMatrix::random(128, 128, 0.02, 2))
             .unwrap();
         let dense = sim
-            .simulate(
-                &CsrMatrix::random(128, 128, 0.3, 1),
-                &CsrMatrix::random(128, 128, 0.3, 2),
-            )
+            .simulate(&CsrMatrix::random(128, 128, 0.3, 1), &CsrMatrix::random(128, 128, 0.3, 2))
             .unwrap();
         assert!(dense > 3 * sparse, "{sparse} vs {dense}");
     }

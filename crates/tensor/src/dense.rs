@@ -188,8 +188,7 @@ impl Tensor {
     pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
         if self.shape == other.shape {
             // Fast path: identical shapes.
-            let data =
-                self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+            let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
             return Ok(Tensor { shape: self.shape.clone(), data });
         }
         let out_shape = self.shape.broadcast(&other.shape)?;
@@ -288,7 +287,10 @@ impl Tensor {
     pub fn transpose2(&self) -> Result<Tensor> {
         let dims = self.dims();
         if dims.len() != 2 {
-            return Err(Error::shape(format!("transpose2 requires a 2-D tensor, got {}", self.shape)));
+            return Err(Error::shape(format!(
+                "transpose2 requires a 2-D tensor, got {}",
+                self.shape
+            )));
         }
         let (m, n) = (dims[0], dims[1]);
         let mut out = vec![0.0f32; m * n];
@@ -383,12 +385,7 @@ impl Tensor {
         if self.shape != other.shape {
             return Err(Error::shape(format!("{} vs {}", self.shape, other.shape)));
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max))
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max))
     }
 
     /// True if every element is within `tol` of `other`.
@@ -473,8 +470,7 @@ mod tests {
 
     #[test]
     fn argmax_last_axis_finds_classes() {
-        let logits =
-            Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.3, 0.2, 0.5], [2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.3, 0.2, 0.5], [2, 3]).unwrap();
         let pred = logits.argmax_last_axis().unwrap();
         assert_eq!(pred.data(), &[1.0, 2.0]);
     }

@@ -255,7 +255,7 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, p: Conv2dParams) -> Result<Tensor
     let patches = im2col(input, kh, kw, p)?; // [N*Ho*Wo, C*Kh*Kw]
     let wmat = weight.reshape([k, c * kh * kw])?.transpose2()?; // [CKhKw, K]
     let out = patches.matmul(&wmat)?; // [N*Ho*Wo, K]
-    // Reorder [N, Ho, Wo, K] -> [N, K, Ho, Wo].
+                                      // Reorder [N, Ho, Wo, K] -> [N, K, Ho, Wo].
     let mut res = vec![0.0f32; n * k * ho * wo];
     for ni in 0..n {
         for oy in 0..ho {

@@ -161,8 +161,7 @@ pub struct IndexIter {
 impl IndexIter {
     /// Creates an iterator over all indices of `shape`.
     pub fn new(shape: &Shape) -> Self {
-        let next =
-            if shape.numel() == 0 { None } else { Some(vec![0; shape.rank()]) };
+        let next = if shape.numel() == 0 { None } else { Some(vec![0; shape.rank()]) };
         IndexIter { dims: shape.dims().to_vec(), next }
     }
 }

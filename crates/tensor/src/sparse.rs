@@ -48,10 +48,7 @@ impl CsrMatrix {
         triplets.sort_by_key(|&(r, c, _)| (r, c));
         for w in triplets.windows(2) {
             if w[0].0 == w[1].0 && w[0].1 == w[1].1 {
-                return Err(Error::shape(format!(
-                    "duplicate entry at ({}, {})",
-                    w[0].0, w[0].1
-                )));
+                return Err(Error::shape(format!("duplicate entry at ({}, {})", w[0].0, w[0].1)));
             }
         }
         let mut row_ptr = vec![0usize; rows + 1];

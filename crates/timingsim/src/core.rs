@@ -67,7 +67,7 @@ pub struct TileLatency {
 #[derive(Debug, Clone)]
 struct Serializer {
     depth: usize,
-    drain_rate: u64, // elements per cycle
+    drain_rate: u64,       // elements per cycle
     drains: VecDeque<u64>, // completion times of outstanding pushes
     last_end: u64,
 }
@@ -215,7 +215,8 @@ impl TimingSim {
                     }
                     cycle = t + 1;
                 }
-                Instr::Add { rd, rs1, rs2 } | Instr::Sub { rd, rs1, rs2 }
+                Instr::Add { rd, rs1, rs2 }
+                | Instr::Sub { rd, rs1, rs2 }
                 | Instr::Mul { rd, rs1, rs2 } => {
                     let t = cycle.max(sready[rs1.index()]).max(sready[rs2.index()]);
                     stall += t - cycle;
@@ -307,10 +308,7 @@ impl TimingSim {
                     cycle = t + 1;
                 }
                 Instr::Vlse { vd, rs1, rs2 } => {
-                    let t = cycle
-                        .max(sready[rs1.index()])
-                        .max(sready[rs2.index()])
-                        .max(vec_free);
+                    let t = cycle.max(sready[rs1.index()]).max(sready[rs2.index()]).max(vec_free);
                     stall += t - cycle;
                     vready[vd.index()] = t + p.sp_load_latency + p.strided_occupancy;
                     vec_free = t + p.strided_occupancy;
@@ -338,10 +336,7 @@ impl TimingSim {
                 | Instr::Vmul { vd, vs1, vs2 }
                 | Instr::Vdiv { vd, vs1, vs2 }
                 | Instr::Vmax { vd, vs1, vs2 } => {
-                    let t = cycle
-                        .max(vready[vs1.index()])
-                        .max(vready[vs2.index()])
-                        .max(vec_free);
+                    let t = cycle.max(vready[vs1.index()]).max(vready[vs2.index()]).max(vec_free);
                     stall += t - cycle;
                     vready[vd.index()] = t + p.valu_latency;
                     vec_free = t + 1;

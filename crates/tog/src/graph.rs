@@ -268,8 +268,7 @@ impl Expander<'_> {
                     TogOpKind::Compute { kernel, cycles, unit, latency_table, args } => {
                         let cycles = match latency_table {
                             Some(key) => {
-                                let counter =
-                                    self.table_counters.entry(key.clone()).or_insert(0);
+                                let counter = self.table_counters.entry(key.clone()).or_insert(0);
                                 let table = self.aux.get(key).ok_or_else(|| {
                                     Error::InvalidGraph(format!("missing latency table {key}"))
                                 })?;

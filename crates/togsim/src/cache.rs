@@ -11,7 +11,7 @@
 use ptsim_common::config::L1CacheConfig;
 
 /// Cache activity counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct CacheStats {
     /// Read transactions served from the cache.
     pub hits: u64,
@@ -170,5 +170,38 @@ mod tests {
         assert!(!c.access_read(0), "write must not have allocated");
         let s = c.stats();
         assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn write_through_refreshes_recency_of_present_lines() {
+        let mut c = tiny_cache();
+        let stride = 4 * 64;
+        read(&mut c, 0);
+        read(&mut c, stride);
+        c.access_write(0); // write-through to a resident line refreshes it
+        read(&mut c, 2 * stride); // evicts `stride`, not 0
+        assert!(read(&mut c, 0));
+        assert!(!read(&mut c, stride));
+    }
+
+    #[test]
+    fn hit_rate_is_zero_without_accesses() {
+        let c = tiny_cache();
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_reflects_the_counters() {
+        let mut c = tiny_cache();
+        read(&mut c, 0); // miss
+        read(&mut c, 0); // hit
+        read(&mut c, 0); // hit
+        read(&mut c, 64); // miss
+        let s = c.stats();
+        assert_eq!(s, CacheStats { hits: 2, misses: 2 });
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        let all_hits = CacheStats { hits: 7, misses: 0 };
+        assert_eq!(all_hits.hit_rate(), 1.0);
     }
 }

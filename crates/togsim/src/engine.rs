@@ -6,11 +6,12 @@ use ptsim_common::config::SimConfig;
 use ptsim_common::id::RequestIdGen;
 use ptsim_common::{Cycle, Error, RequestId, Result};
 use ptsim_dram::{DramSim, MemRequest};
+use ptsim_funcsim::FuncSim;
 use ptsim_isa::program::Program;
 use ptsim_noc::{NocMessage, NocSim};
-use ptsim_funcsim::FuncSim;
 use ptsim_timingsim::TimingSim;
 use ptsim_tog::{ExecUnit, ExecutableTog, FlatNodeKind};
+use ptsim_trace::{Lane, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -143,9 +144,14 @@ impl Core {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
-    ComputeDone { job: usize, node: usize },
+    ComputeDone {
+        job: usize,
+        node: usize,
+    },
     /// A read transaction served by the per-core L1 cache.
-    CacheHit { dma_id: usize },
+    CacheHit {
+        dma_id: usize,
+    },
 }
 
 /// The tile-level simulator.
@@ -168,19 +174,9 @@ pub struct TogSim {
     /// Per-core functional machines for execution-driven ILS.
     funcsims: Vec<Option<FuncSim>>,
     max_cycles: u64,
-    /// Timeline recording (Chrome trace events) when enabled.
-    trace: Option<Vec<TraceEvent>>,
-}
-
-/// One recorded timeline slice.
-#[derive(Debug, Clone)]
-struct TraceEvent {
-    name: String,
-    category: &'static str,
-    start: u64,
-    duration: u64,
-    core: usize,
-    lane: &'static str,
+    /// Timeline recording when enabled; shared with the DRAM and NoC models
+    /// so their events land in the same trace.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl TogSim {
@@ -205,9 +201,7 @@ impl TogSim {
             dram: DramSim::new(&cfg.dram, cfg.npu.freq_mhz),
             noc,
             cores: (0..cfg.npu.cores).map(|_| Core::new()).collect(),
-            caches: (0..cfg.npu.cores)
-                .map(|_| cfg.npu.l1_cache.map(L1Cache::new))
-                .collect(),
+            caches: (0..cfg.npu.cores).map(|_| cfg.npu.l1_cache.map(L1Cache::new)).collect(),
             jobs: Vec::new(),
             dma_slab: Vec::new(),
             tx_refs: HashMap::new(),
@@ -219,7 +213,7 @@ impl TogSim {
             timing: TimingSim::new(&cfg.npu),
             funcsims: (0..cfg.npu.cores).map(|_| None).collect(),
             max_cycles: u64::MAX / 4,
-            trace: None,
+            tracer: None,
         }
     }
 
@@ -234,53 +228,36 @@ impl TogSim {
         self.max_cycles = max_cycles;
     }
 
-    /// Enables execution-timeline recording; export with
-    /// [`TogSim::chrome_trace`] after `run`.
+    /// Enables execution-timeline recording with a fresh [`Tracer`];
+    /// export with [`TogSim::chrome_trace`] after `run`.
     pub fn enable_tracing(&mut self) {
-        self.trace = Some(Vec::new());
+        self.set_tracer(Arc::new(Tracer::new()));
+    }
+
+    /// Attaches an externally owned tracer. The handle is threaded into the
+    /// DRAM and NoC models so compute spans, DMA activity, per-channel DRAM
+    /// transactions, and NoC transfers all land in one timeline.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.dram.set_tracer(tracer.clone());
+        self.noc.set_tracer(tracer.clone());
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// Serializes the recorded timeline in the Chrome trace-event format
     /// (load it at `chrome://tracing` or in Perfetto). One "process" per
-    /// core; matrix/vector/DMA activity on separate "threads". Timestamps
-    /// are simulated cycles.
+    /// core with matrix/vector/DMA threads, plus rows for each DRAM channel
+    /// and the NoC. Timestamps are simulated cycles.
     ///
     /// Returns an empty array when tracing was not enabled.
     pub fn chrome_trace(&self) -> String {
-        let mut out = String::from("[");
-        if let Some(events) = &self.trace {
-            for (i, e) in events.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                out.push_str(&format!(
-                    r#"{{"name":"{}","cat":"{}","ph":"X","ts":{},"dur":{},"pid":{},"tid":"{}"}}"#,
-                    e.name, e.category, e.start, e.duration.max(1), e.core, e.lane
-                ));
-            }
-        }
-        out.push(']');
-        out
-    }
-
-    fn record(
-        &mut self,
-        name: &str,
-        category: &'static str,
-        start: u64,
-        duration: u64,
-        core: usize,
-        lane: &'static str,
-    ) {
-        if let Some(events) = &mut self.trace {
-            events.push(TraceEvent {
-                name: name.to_string(),
-                category,
-                start,
-                duration,
-                core,
-                lane,
-            });
+        match &self.tracer {
+            Some(t) => ptsim_trace::chrome::export_chrome_trace(&t.events()),
+            None => "[]".to_string(),
         }
     }
 
@@ -358,7 +335,9 @@ impl TogSim {
             // Issue everything possible at the current time.
             let t0 = std::time::Instant::now();
             self.issue();
-            if profile { t_issue += t0.elapsed(); }
+            if profile {
+                t_issue += t0.elapsed();
+            }
 
             if self.all_done() {
                 break;
@@ -409,13 +388,19 @@ impl TogSim {
             }
             let t0 = std::time::Instant::now();
             self.dram.advance(self.now);
-            if profile { t_dram += t0.elapsed(); }
+            if profile {
+                t_dram += t0.elapsed();
+            }
             let t0 = std::time::Instant::now();
             self.noc.advance(self.now);
-            if profile { t_noc += t0.elapsed(); }
+            if profile {
+                t_noc += t0.elapsed();
+            }
             let t0 = std::time::Instant::now();
             self.collect_completions();
-            if profile { t_collect += t0.elapsed(); }
+            if profile {
+                t_collect += t0.elapsed();
+            }
         }
         if profile {
             eprintln!(
@@ -497,18 +482,23 @@ impl TogSim {
                 };
                 let Some((job, node)) = head else { break };
                 let cycles = self.compute_cycles(job, node, core);
-                if self.trace.is_some() {
-                    let FlatNodeKind::Compute { kernel, .. } =
-                        &self.jobs[job].tog.nodes[node].kind
+                if let Some(t) = &self.tracer {
+                    let FlatNodeKind::Compute { kernel, .. } = &self.jobs[job].tog.nodes[node].kind
                     else {
                         unreachable!("compute queue only holds compute nodes")
                     };
-                    let name = kernel.clone();
                     let lane = match unit {
-                        ExecUnit::Matrix => "matrix",
-                        ExecUnit::Vector => "vector",
+                        ExecUnit::Matrix => Lane::Matrix,
+                        ExecUnit::Vector => Lane::Vector,
                     };
-                    self.record(&name, "compute", self.now.raw(), cycles, core, lane);
+                    t.compute_span(
+                        core,
+                        lane,
+                        kernel,
+                        self.now.raw(),
+                        cycles,
+                        self.jobs[job].spec.tag,
+                    );
                 }
                 let done = self.now + cycles;
                 match unit {
@@ -541,8 +531,7 @@ impl TogSim {
                 if kernel == "barrier" {
                     return 0;
                 }
-                let Some(program) = self
-                    .jobs[job]
+                let Some(program) = self.jobs[job]
                     .spec
                     .kernels
                     .as_ref()
@@ -552,8 +541,7 @@ impl TogSim {
                 };
                 // Gem5 role: time the machine code instruction by
                 // instruction for this instance.
-                let measured =
-                    self.timing.measure(&program).map(|l| l.cycles).unwrap_or(*cycles);
+                let measured = self.timing.measure(&program).map(|l| l.cycles).unwrap_or(*cycles);
                 if !functional {
                     return measured + per_tile_overhead;
                 }
@@ -563,12 +551,11 @@ impl TogSim {
                 // (§2.1). Architectural faults from running a tile kernel
                 // standalone (scratchpad contents are not staged in timing
                 // studies) are tolerated.
-                let machine = self.funcsims[core]
-                    .get_or_insert_with(|| {
-                        let mut m = FuncSim::new(&self.cfg.npu);
-                        m.set_max_steps(u64::MAX / 2);
-                        m
-                    });
+                let machine = self.funcsims[core].get_or_insert_with(|| {
+                    let mut m = FuncSim::new(&self.cfg.npu);
+                    m.set_max_steps(u64::MAX / 2);
+                    m
+                });
                 if program.name.ends_with("_w0") {
                     let _ = machine.preload_zero_weights();
                 }
@@ -592,7 +579,9 @@ impl TogSim {
             if self.cores[core].dma_issue_free > self.now {
                 break;
             }
-            let Some((job, node)) = self.cores[core].dma_wait_q.pop_front() else { break };
+            let Some((job, node)) = self.cores[core].dma_wait_q.pop_front() else {
+                break;
+            };
             let (is_write, base, stride, rows, row_bytes) =
                 match &self.jobs[job].tog.nodes[node].kind {
                     FlatNodeKind::LoadDma { addr, rows, cols, mm_stride, .. } => {
@@ -620,6 +609,9 @@ impl TogSim {
                 tag: self.jobs[job].spec.tag,
             };
             self.jobs[job].dma_bytes += dma.total_tx * tx_bytes;
+            if let Some(t) = &self.tracer {
+                t.dma_issue(core, self.now.raw(), dma.total_tx * tx_bytes, is_write, dma.tag);
+            }
             let id = self.dma_slab.len();
             self.dma_slab.push(dma);
             self.cores[core].active_dma.push(id);
@@ -656,10 +648,8 @@ impl TogSim {
                             bytes: tx_bytes,
                         };
                         if self.noc.try_send(msg, self.now) {
-                            self.tx_refs.insert(
-                                rid,
-                                TxRef { dma_id, phase: TxPhase::WriteNoc, addr },
-                            );
+                            self.tx_refs
+                                .insert(rid, TxRef { dma_id, phase: TxPhase::WriteNoc, addr });
                             true
                         } else {
                             false
@@ -671,14 +661,10 @@ impl TogSim {
                     {
                         // L1 hit: data arrives after the hit latency without
                         // touching the memory system (§3.3.3).
-                        let lat = self.caches[d.core]
-                            .as_ref()
-                            .map(|c| c.hit_latency())
-                            .unwrap_or(0);
-                        self.heap.push(Reverse((
-                            (self.now + lat).raw(),
-                            Event::CacheHit { dma_id },
-                        )));
+                        let lat =
+                            self.caches[d.core].as_ref().map(|c| c.hit_latency()).unwrap_or(0);
+                        self.heap
+                            .push(Reverse(((self.now + lat).raw(), Event::CacheHit { dma_id })));
                         true
                     } else {
                         let req = MemRequest::read(rid, addr, tx_bytes, d.tag);
@@ -688,10 +674,8 @@ impl TogSim {
                             if let Some(cache) = &mut self.caches[d.core] {
                                 cache.fill(addr);
                             }
-                            self.tx_refs.insert(
-                                rid,
-                                TxRef { dma_id, phase: TxPhase::ReadDram, addr },
-                            );
+                            self.tx_refs
+                                .insert(rid, TxRef { dma_id, phase: TxPhase::ReadDram, addr });
                             true
                         } else {
                             false
@@ -732,7 +716,9 @@ impl TogSim {
     fn collect_completions(&mut self) {
         // DRAM completions.
         for (rid, at) in self.dram.pop_completed() {
-            let Some(txref) = self.tx_refs.remove(&rid) else { continue };
+            let Some(txref) = self.tx_refs.remove(&rid) else {
+                continue;
+            };
             match txref.phase {
                 TxPhase::ReadDram => {
                     // Data returns over the NoC to the core.
@@ -744,11 +730,9 @@ impl TogSim {
                         bytes: self.cfg.dram.transaction_bytes,
                     };
                     if self.noc.try_send(msg, at) {
-                        self.tx_refs
-                            .insert(rid, TxRef { phase: TxPhase::ReadNoc, ..txref });
+                        self.tx_refs.insert(rid, TxRef { phase: TxPhase::ReadNoc, ..txref });
                     } else {
-                        self.tx_refs
-                            .insert(rid, TxRef { phase: TxPhase::ReadNoc, ..txref });
+                        self.tx_refs.insert(rid, TxRef { phase: TxPhase::ReadNoc, ..txref });
                         self.retry_noc.push((rid, msg));
                     }
                 }
@@ -758,7 +742,9 @@ impl TogSim {
         }
         // NoC deliveries.
         for (rid, at) in self.noc.pop_delivered() {
-            let Some(txref) = self.tx_refs.remove(&rid) else { continue };
+            let Some(txref) = self.tx_refs.remove(&rid) else {
+                continue;
+            };
             match txref.phase {
                 TxPhase::ReadNoc => self.finish_tx(txref.dma_id),
                 TxPhase::WriteNoc => {
@@ -792,11 +778,10 @@ impl TogSim {
         if d.done_tx == d.total_tx {
             let (job, node, core) = (d.job, d.node, d.core);
             let (started, is_write) = (d.started, d.is_write);
+            let (bytes, tag) = (d.total_tx * self.cfg.dram.transaction_bytes, d.tag);
             self.cores[core].active_dma.retain(|&i| i != dma_id);
-            if self.trace.is_some() {
-                let name = if is_write { "storeDMA" } else { "loadDMA" };
-                let dur = self.now.raw().saturating_sub(started);
-                self.record(name, "dma", started, dur, core, "dma");
+            if let Some(t) = &self.tracer {
+                t.dma_span(core, started, self.now.raw(), bytes, is_write, tag);
             }
             self.node_done(job, node, self.now);
         }
@@ -835,7 +820,8 @@ mod tests {
     fn pipeline_tog(n: u64, compute_cycles: u64, tile_bytes: u64) -> ExecutableTog {
         let mut b = TogBuilder::new("pipe");
         let i = b.begin_loop(n);
-        let ld = b.node(TogOpKind::load(AddrExpr::new(0x1000).with_term(i, tile_bytes), tile_bytes), &[]);
+        let ld = b
+            .node(TogOpKind::load(AddrExpr::new(0x1000).with_term(i, tile_bytes), tile_bytes), &[]);
         let w = b.node(TogOpKind::WaitDma { dma: ld }, &[]);
         let c = b.node(TogOpKind::compute("k", compute_cycles, ExecUnit::Matrix), &[w]);
         b.node(
@@ -974,10 +960,8 @@ mod tests {
             sim.run().unwrap().total_cycles
         };
         let ils = {
-            let mut sim = TogSim::new(&cfg()).with_fidelity(Fidelity::Ils {
-                per_tile_overhead: 40,
-                functional: false,
-            });
+            let mut sim = TogSim::new(&cfg())
+                .with_fidelity(Fidelity::Ils { per_tile_overhead: 40, functional: false });
             sim.add_job(tog, JobSpec::default());
             sim.run().unwrap().total_cycles
         };
@@ -1082,10 +1066,17 @@ mod cache_tests {
         cfg.npu.l1_cache = Some(L1CacheConfig::kib_128());
         let mut sim = TogSim::new(&cfg);
         sim.add_job(rereading_tog(4), JobSpec { core_offset: 0, cores: 1, ..JobSpec::default() });
-        sim.add_job(rereading_tog(4), JobSpec { core_offset: 1, cores: 1, tag: 1, ..JobSpec::default() });
+        sim.add_job(
+            rereading_tog(4),
+            JobSpec { core_offset: 1, cores: 1, tag: 1, ..JobSpec::default() },
+        );
         let r = sim.run().unwrap();
-        eprintln!("dram reads {} by tag0 {} tag1 {}", r.dram.reads,
-            r.dram_bytes_for_tag(0)/64, r.dram_bytes_for_tag(1)/64);
+        eprintln!(
+            "dram reads {} by tag0 {} tag1 {}",
+            r.dram.reads,
+            r.dram_bytes_for_tag(0) / 64,
+            r.dram_bytes_for_tag(1) / 64
+        );
         // Each core takes its own cold misses for the shared region.
         assert_eq!(r.dram.reads, 2 * 64);
     }

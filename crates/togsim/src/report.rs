@@ -5,7 +5,7 @@ use ptsim_dram::DramStats;
 use ptsim_noc::NocStats;
 
 /// Per-job (per-TOG) results.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct JobReport {
     /// TOG name.
     pub name: String,
@@ -39,7 +39,7 @@ impl JobReport {
 }
 
 /// Whole-simulation results.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct SimReport {
     /// Completion time of the last job.
     pub total_cycles: u64,

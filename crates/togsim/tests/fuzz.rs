@@ -27,49 +27,47 @@ fn arb_node() -> impl Strategy<Value = NodeKind> {
 /// Builds a random DAG: node `i` depends on a random subset of earlier
 /// nodes (at most 3), and is assigned to a random core slot.
 fn arb_tog(max_nodes: usize) -> impl Strategy<Value = ExecutableTog> {
-    proptest::collection::vec((arb_node(), any::<u64>(), 0u32..4), 1..max_nodes).prop_map(
-        |specs| {
-            let mut nodes = Vec::with_capacity(specs.len());
-            for (i, (kind, dep_bits, core)) in specs.into_iter().enumerate() {
-                let mut deps = Vec::new();
-                if i > 0 {
-                    for b in 0..3u64 {
-                        let candidate = (dep_bits >> (b * 8)) as usize % i;
-                        if !deps.contains(&candidate) && (dep_bits >> (b * 8 + 7)) & 1 == 1 {
-                            deps.push(candidate);
-                        }
+    proptest::collection::vec((arb_node(), any::<u64>(), 0u32..4), 1..max_nodes).prop_map(|specs| {
+        let mut nodes = Vec::with_capacity(specs.len());
+        for (i, (kind, dep_bits, core)) in specs.into_iter().enumerate() {
+            let mut deps = Vec::new();
+            if i > 0 {
+                for b in 0..3u64 {
+                    let candidate = (dep_bits >> (b * 8)) as usize % i;
+                    if !deps.contains(&candidate) && (dep_bits >> (b * 8 + 7)) & 1 == 1 {
+                        deps.push(candidate);
                     }
                 }
-                let kind = match kind {
-                    NodeKind::Compute { cycles, matrix } => FlatNodeKind::Compute {
-                        kernel: "k".into(),
-                        cycles,
-                        unit: if matrix { ExecUnit::Matrix } else { ExecUnit::Vector },
-                        args: Vec::new(),
-                    },
-                    NodeKind::Load { kib } => FlatNodeKind::LoadDma {
-                        addr: (i as u64) * 0x1_0000,
-                        sp: 0,
-                        rows: 1,
-                        cols: kib * 256,
-                        mm_stride: kib * 1024,
-                        sp_stride: kib * 1024,
-                        transpose: false,
-                    },
-                    NodeKind::Store { kib } => FlatNodeKind::StoreDma {
-                        addr: 0x800_0000 + (i as u64) * 0x1_0000,
-                        sp: 0,
-                        rows: 1,
-                        cols: kib * 256,
-                        mm_stride: kib * 1024,
-                        sp_stride: kib * 1024,
-                    },
-                };
-                nodes.push(FlatNode { kind, deps, core });
             }
-            ExecutableTog { name: "fuzz".into(), nodes }
-        },
-    )
+            let kind = match kind {
+                NodeKind::Compute { cycles, matrix } => FlatNodeKind::Compute {
+                    kernel: "k".into(),
+                    cycles,
+                    unit: if matrix { ExecUnit::Matrix } else { ExecUnit::Vector },
+                    args: Vec::new(),
+                },
+                NodeKind::Load { kib } => FlatNodeKind::LoadDma {
+                    addr: (i as u64) * 0x1_0000,
+                    sp: 0,
+                    rows: 1,
+                    cols: kib * 256,
+                    mm_stride: kib * 1024,
+                    sp_stride: kib * 1024,
+                    transpose: false,
+                },
+                NodeKind::Store { kib } => FlatNodeKind::StoreDma {
+                    addr: 0x800_0000 + (i as u64) * 0x1_0000,
+                    sp: 0,
+                    rows: 1,
+                    cols: kib * 256,
+                    mm_stride: kib * 1024,
+                    sp_stride: kib * 1024,
+                },
+            };
+            nodes.push(FlatNode { kind, deps, core });
+        }
+        ExecutableTog { name: "fuzz".into(), nodes }
+    })
 }
 
 fn critical_path(tog: &ExecutableTog) -> u64 {

@@ -1,0 +1,227 @@
+//! The typed event vocabulary recorded by a [`crate::Tracer`].
+//!
+//! Every event carries a start cycle, an optional duration (zero means an
+//! instantaneous marker), the [`Track`] it belongs to, and the tenant tag of
+//! the work that produced it. The payload is a closed enum rather than a
+//! string bag so hot paths can record without formatting; names are
+//! materialized only at export time.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// Which execution lane of a core an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lane {
+    /// The systolic-array (GEMM) pipeline.
+    Matrix,
+    /// The vector/SIMD pipeline.
+    Vector,
+    /// The DMA engines.
+    Dma,
+}
+
+impl Lane {
+    /// Stable lower-case name, used as the Chrome trace `tid`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Lane::Matrix => "matrix",
+            Lane::Vector => "vector",
+            Lane::Dma => "dma",
+        }
+    }
+}
+
+impl fmt::Display for Lane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The timeline an event is drawn on. Exporters map each variant to one
+/// Chrome trace (pid, tid) pair, so every core lane, DRAM channel, and the
+/// NoC get their own row in Perfetto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Track {
+    /// One lane of one NPU core.
+    Core { core: u32, lane: Lane },
+    /// One DRAM channel's command bus.
+    DramChannel(u32),
+    /// The on-chip (and chiplet) interconnect.
+    Noc,
+    /// The multi-tenant request scheduler.
+    Scheduler,
+    /// The multi-NPU cluster (collectives).
+    Cluster,
+}
+
+/// Row-buffer outcome of a DRAM transaction, mirrored from the DRAM model
+/// so `ptsim-trace` stays dependency-free below `ptsim-common`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowOutcome {
+    /// The row was already open.
+    Hit,
+    /// The bank was idle; an activate was needed.
+    Miss,
+    /// Another row was open; precharge + activate.
+    Conflict,
+}
+
+impl RowOutcome {
+    /// Stable lower-case name for exporters.
+    pub const fn name(self) -> &'static str {
+        match self {
+            RowOutcome::Hit => "hit",
+            RowOutcome::Miss => "miss",
+            RowOutcome::Conflict => "conflict",
+        }
+    }
+}
+
+/// Phase of a ring all-reduce collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllReducePhase {
+    /// Each device ends with one fully reduced shard.
+    ReduceScatter,
+    /// Reduced shards circulate until every device has all of them.
+    AllGather,
+}
+
+impl AllReducePhase {
+    /// Stable name for exporters.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AllReducePhase::ReduceScatter => "reduceScatter",
+            AllReducePhase::AllGather => "allGather",
+        }
+    }
+}
+
+/// Typed payload of one trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventData {
+    /// A tile kernel occupying a compute lane (span).
+    TileCompute { kernel: String },
+    /// A DMA descriptor accepted by a core's DMA engine (instant).
+    DmaIssue { bytes: u64, is_store: bool },
+    /// A completed DMA transfer from issue to last beat (span).
+    DmaTransfer { bytes: u64, is_store: bool },
+    /// One DRAM transaction retiring with its row-buffer outcome (instant).
+    DramTx { is_write: bool, outcome: RowOutcome, bytes: u64, latency: u64 },
+    /// One message accepted by the NoC (instant, stamped at delivery).
+    NocTransfer { src: u32, dst: u32, bytes: u64, latency: u64, crossed_chiplet: bool },
+    /// The scheduler dispatching a request onto the NPU (instant).
+    Dispatch { tenant: u32, model: String, batch: u32 },
+    /// One phase of a ring all-reduce (span).
+    AllReduce { phase: AllReducePhase, bytes: u64 },
+    /// Free-form annotation (instant).
+    Marker { label: String },
+}
+
+/// One recorded event, keyed by simulated cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Start cycle.
+    pub at: u64,
+    /// Duration in cycles; `0` marks an instantaneous event.
+    pub dur: u64,
+    /// Timeline this event belongs to.
+    pub track: Track,
+    /// Tenant tag of the work that produced the event.
+    pub tag: u32,
+    /// Typed payload.
+    pub data: EventData,
+}
+
+impl TraceEvent {
+    /// Display name used by exporters.
+    pub fn name(&self) -> Cow<'_, str> {
+        match &self.data {
+            EventData::TileCompute { kernel } => Cow::Borrowed(kernel.as_str()),
+            EventData::DmaIssue { is_store, .. } => {
+                Cow::Borrowed(if *is_store { "storeDMAissue" } else { "loadDMAissue" })
+            }
+            EventData::DmaTransfer { is_store, .. } => {
+                Cow::Borrowed(if *is_store { "storeDMA" } else { "loadDMA" })
+            }
+            EventData::DramTx { is_write, .. } => {
+                Cow::Borrowed(if *is_write { "dramWr" } else { "dramRd" })
+            }
+            EventData::NocTransfer { .. } => Cow::Borrowed("nocXfer"),
+            EventData::Dispatch { .. } => Cow::Borrowed("dispatch"),
+            EventData::AllReduce { phase, .. } => Cow::Borrowed(phase.name()),
+            EventData::Marker { label } => Cow::Borrowed(label.as_str()),
+        }
+    }
+
+    /// Category string used by exporters (`cat` in Chrome traces).
+    pub const fn category(&self) -> &'static str {
+        match self.data {
+            EventData::TileCompute { .. } => "compute",
+            EventData::DmaIssue { .. } | EventData::DmaTransfer { .. } => "dma",
+            EventData::DramTx { .. } => "dram",
+            EventData::NocTransfer { .. } => "noc",
+            EventData::Dispatch { .. } => "sched",
+            EventData::AllReduce { .. } => "collective",
+            EventData::Marker { .. } => "marker",
+        }
+    }
+
+    /// Whether the event is a span (has a duration) rather than an instant.
+    pub const fn is_span(&self) -> bool {
+        self.dur > 0
+    }
+
+    /// End cycle (`at + dur`).
+    pub const fn end(&self) -> u64 {
+        self.at + self.dur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        let ev = TraceEvent {
+            at: 10,
+            dur: 5,
+            track: Track::Core { core: 0, lane: Lane::Matrix },
+            tag: 0,
+            data: EventData::TileCompute { kernel: "gemm_tile".into() },
+        };
+        assert_eq!(ev.name(), "gemm_tile");
+        assert_eq!(ev.category(), "compute");
+        assert!(ev.is_span());
+        assert_eq!(ev.end(), 15);
+
+        let dma = TraceEvent {
+            at: 0,
+            dur: 7,
+            track: Track::Core { core: 1, lane: Lane::Dma },
+            tag: 2,
+            data: EventData::DmaTransfer { bytes: 256, is_store: true },
+        };
+        assert_eq!(dma.name(), "storeDMA");
+        assert_eq!(dma.category(), "dma");
+    }
+
+    #[test]
+    fn instants_have_zero_duration() {
+        let tx = TraceEvent {
+            at: 42,
+            dur: 0,
+            track: Track::DramChannel(3),
+            tag: 0,
+            data: EventData::DramTx {
+                is_write: false,
+                outcome: RowOutcome::Conflict,
+                bytes: 64,
+                latency: 80,
+            },
+        };
+        assert!(!tx.is_span());
+        assert_eq!(tx.name(), "dramRd");
+        assert_eq!(RowOutcome::Conflict.name(), "conflict");
+    }
+}

@@ -1,0 +1,47 @@
+//! ptsim-trace — structured event tracing and metrics for PyTorchSim-rs.
+//!
+//! Simulators in this workspace are instrumented with an optional
+//! [`Tracer`] handle (`Option<Arc<Tracer>>`): when absent or disabled, the
+//! instrumentation costs one predictable branch; when enabled, typed events
+//! (tile compute spans, DMA issue/completion, DRAM transactions with their
+//! row-buffer outcome, NoC transfers, scheduler dispatches, all-reduce
+//! phases) are recorded into a bounded drop-oldest ring keyed by simulated
+//! cycle, track, and tenant tag.
+//!
+//! Recorded traces export to the Chrome trace-event JSON format
+//! ([`chrome::export_chrome_trace`]) — load the file at `chrome://tracing`
+//! or <https://ui.perfetto.dev> to see one row per core lane, DRAM channel,
+//! and NoC — and can be structurally checked with
+//! [`validate::validate_chrome_trace`]. A [`MetricsRegistry`] of counters,
+//! gauges, and histograms covers always-on aggregate accounting with a
+//! plain-text summary table.
+//!
+//! # Examples
+//!
+//! ```
+//! use ptsim_trace::{Lane, Tracer};
+//!
+//! let tracer = Tracer::shared();
+//! tracer.compute_span(0, Lane::Matrix, "gemm_tile", 100, 400, 0);
+//! tracer.dma_span(0, 0, 120, 4096, false, 0);
+//!
+//! let json = ptsim_trace::chrome::export_chrome_trace(&tracer.events());
+//! let check = ptsim_trace::validate::validate_chrome_trace(&json)?;
+//! assert_eq!(check.spans + check.async_pairs, 2);
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod tracer;
+pub mod validate;
+
+pub use event::{AllReducePhase, EventData, Lane, RowOutcome, TraceEvent, Track};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use tracer::{Tracer, DEFAULT_CAPACITY};
+
+use std::sync::Arc;
+
+/// The handle type components hold: absent means tracing is off.
+pub type TraceHandle = Option<Arc<Tracer>>;

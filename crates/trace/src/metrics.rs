@@ -1,0 +1,329 @@
+//! A registry of named counters, gauges, and histograms.
+//!
+//! Instruments register once (cheaply cloneable handles) and bump on hot
+//! paths through a relaxed-atomic enabled check, so a disabled registry
+//! costs one branch per update. The registry renders a plain-text summary
+//! table for end-of-run reports.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of power-of-two histogram buckets (`u64` has 64 bit positions,
+/// plus one bucket for zero).
+const HIST_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Counter {
+    /// Adds `n` when the owning registry is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value (or running-max) gauge.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Gauge {
+    /// Overwrites the value when the owning registry is enabled.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the value to `v` if larger.
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A histogram over power-of-two buckets: bucket 0 counts zeros, bucket
+/// `i >= 1` counts values whose highest set bit is `i - 1` (i.e. values in
+/// `[2^(i-1), 2^i)`). Good enough to spot latency-distribution shifts
+/// without per-sample storage.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        match v {
+            0 => 0,
+            _ => 64 - v.leading_zeros() as usize,
+        }
+    }
+
+    /// Records one sample when the owning registry is enabled.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.inner.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples, or zero with no samples.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Upper bound (exclusive) of the bucket containing the p-th percentile
+    /// sample, `p` in `[0, 100]`. Zero with no samples.
+    pub fn approx_percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.inner.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A registry of named instruments sharing one enabled flag.
+///
+/// `counter`/`gauge`/`histogram` return the existing instrument when the
+/// name is already registered, so call sites can look handles up by name
+/// without coordinating registration order. Registering one name as two
+/// different kinds panics — that is always a bug.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: Arc<AtomicBool>,
+    instruments: Mutex<Vec<(String, Instrument)>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an enabled registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            instruments: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether instrument updates are applied.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns updates on or off for every instrument at once.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Registers (or looks up) a counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut slots = self.instruments.lock().unwrap();
+        if let Some((_, inst)) = slots.iter().find(|(n, _)| n == name) {
+            match inst {
+                Instrument::Counter(c) => return c.clone(),
+                _ => panic!("metric {name:?} already registered with a different kind"),
+            }
+        }
+        let c = Counter { value: Arc::new(AtomicU64::new(0)), enabled: self.enabled.clone() };
+        slots.push((name.to_string(), Instrument::Counter(c.clone())));
+        c
+    }
+
+    /// Registers (or looks up) a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut slots = self.instruments.lock().unwrap();
+        if let Some((_, inst)) = slots.iter().find(|(n, _)| n == name) {
+            match inst {
+                Instrument::Gauge(g) => return g.clone(),
+                _ => panic!("metric {name:?} already registered with a different kind"),
+            }
+        }
+        let g = Gauge { value: Arc::new(AtomicU64::new(0)), enabled: self.enabled.clone() };
+        slots.push((name.to_string(), Instrument::Gauge(g.clone())));
+        g
+    }
+
+    /// Registers (or looks up) a histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut slots = self.instruments.lock().unwrap();
+        if let Some((_, inst)) = slots.iter().find(|(n, _)| n == name) {
+            match inst {
+                Instrument::Histogram(h) => return h.clone(),
+                _ => panic!("metric {name:?} already registered with a different kind"),
+            }
+        }
+        let h = Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+            enabled: self.enabled.clone(),
+        };
+        slots.push((name.to_string(), Instrument::Histogram(h.clone())));
+        h
+    }
+
+    /// Renders every instrument as an aligned plain-text table, in
+    /// registration order.
+    pub fn summary_table(&self) -> String {
+        let slots = self.instruments.lock().unwrap();
+        let name_w = slots.iter().map(|(n, _)| n.len()).max().unwrap_or(6).max(6);
+        let mut out = format!("{:<name_w$}  {:<9}  value\n", "metric", "kind");
+        out.push_str(&format!("{}  {}  {}\n", "-".repeat(name_w), "-".repeat(9), "-".repeat(5)));
+        for (name, inst) in slots.iter() {
+            match inst {
+                Instrument::Counter(c) => {
+                    out.push_str(&format!("{name:<name_w$}  {:<9}  {}\n", "counter", c.get()));
+                }
+                Instrument::Gauge(g) => {
+                    out.push_str(&format!("{name:<name_w$}  {:<9}  {}\n", "gauge", g.get()));
+                }
+                Instrument::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{name:<name_w$}  {:<9}  n={} mean={:.1} p50<{} p99<{}\n",
+                        "histogram",
+                        h.count(),
+                        h.mean(),
+                        h.approx_percentile(50.0),
+                        h.approx_percentile(99.0),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_disable() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("dram.reads");
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), 4);
+        reg.set_enabled(false);
+        c.add(100);
+        assert_eq!(c.get(), 4, "disabled registry must ignore updates");
+        // Lookup by name returns the same instrument.
+        assert_eq!(reg.counter("dram.reads").get(), 4);
+    }
+
+    #[test]
+    fn gauges_track_last_and_max() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("queue.depth");
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("dma.latency");
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert!(h.mean() > 0.0);
+        assert!(h.approx_percentile(50.0) <= h.approx_percentile(99.0));
+        assert_eq!(h.approx_percentile(100.0), 1024, "1000 lands in [512, 1024)");
+    }
+
+    #[test]
+    fn summary_table_lists_all_instruments() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.count").add(2);
+        reg.gauge("b.depth").set(9);
+        reg.histogram("c.lat").observe(5);
+        let table = reg.summary_table();
+        assert!(table.contains("a.count"));
+        assert!(table.contains("counter"));
+        assert!(table.contains("b.depth"));
+        assert!(table.contains("n=1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+}

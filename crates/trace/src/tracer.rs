@@ -1,0 +1,331 @@
+//! The ring-buffered event recorder.
+//!
+//! A [`Tracer`] is shared as `Arc<Tracer>` between the front-end that wants
+//! the trace and every simulator component that produces events. Recording
+//! is interior-mutable so producers only need `&Tracer`; the enabled flag is
+//! a relaxed atomic load, making the disabled path a single predictable
+//! branch with no allocation and no lock.
+
+use crate::event::{AllReducePhase, EventData, Lane, RowOutcome, TraceEvent, Track};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default ring capacity: enough for every event of the bundled workloads
+/// while bounding memory on week-long simulations.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// A bounded, shareable recorder of [`TraceEvent`]s.
+///
+/// The buffer is a drop-oldest ring: once `capacity` events are held, each
+/// new event evicts the oldest and bumps the dropped counter, so a trace
+/// always covers the *end* of a run (where steady-state behaviour lives).
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// Creates an enabled tracer with the default capacity.
+    pub fn new() -> Self {
+        Tracer::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates an enabled tracer holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            enabled: AtomicBool::new(true),
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring::default()),
+        }
+    }
+
+    /// Creates a shared handle, ready to thread through simulators.
+    pub fn shared() -> Arc<Tracer> {
+        Arc::new(Tracer::new())
+    }
+
+    /// Whether events are currently recorded. This is the cheap guard hot
+    /// paths take: a relaxed atomic load.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off; events recorded so far are kept.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Records one event, evicting the oldest if the ring is full.
+    /// A disabled tracer returns before taking the lock.
+    pub fn record(&self, ev: TraceEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut ring = self.ring.lock().unwrap();
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(ev);
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().events.len()
+    }
+
+    /// Whether the buffer holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+
+    /// Maximum number of buffered events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Discards all buffered events and resets the dropped counter.
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock().unwrap();
+        ring.events.clear();
+        ring.dropped = 0;
+    }
+
+    /// Snapshot of the buffered events in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().unwrap().events.iter().cloned().collect()
+    }
+
+    // ---- typed emit helpers -------------------------------------------
+    //
+    // Every helper checks the enabled flag *before* allocating (kernel and
+    // model names are `&str` until then), so instrumented hot paths cost one
+    // branch when tracing is off.
+
+    /// A tile kernel occupying a compute lane for `dur` cycles.
+    #[inline]
+    pub fn compute_span(&self, core: usize, lane: Lane, kernel: &str, at: u64, dur: u64, tag: u32) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            at,
+            dur,
+            track: Track::Core { core: core as u32, lane },
+            tag,
+            data: EventData::TileCompute { kernel: kernel.to_string() },
+        });
+    }
+
+    /// A DMA descriptor accepted by `core`'s DMA engine.
+    #[inline]
+    pub fn dma_issue(&self, core: usize, at: u64, bytes: u64, is_store: bool, tag: u32) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            at,
+            dur: 0,
+            track: Track::Core { core: core as u32, lane: Lane::Dma },
+            tag,
+            data: EventData::DmaIssue { bytes, is_store },
+        });
+    }
+
+    /// A completed DMA transfer spanning `[start, end]` cycles.
+    #[inline]
+    pub fn dma_span(
+        &self,
+        core: usize,
+        start: u64,
+        end: u64,
+        bytes: u64,
+        is_store: bool,
+        tag: u32,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            at: start,
+            dur: end.saturating_sub(start),
+            track: Track::Core { core: core as u32, lane: Lane::Dma },
+            tag,
+            data: EventData::DmaTransfer { bytes, is_store },
+        });
+    }
+
+    /// One DRAM transaction retiring on `channel` with its row outcome.
+    #[inline]
+    pub fn dram_tx(
+        &self,
+        channel: usize,
+        at: u64,
+        is_write: bool,
+        outcome: RowOutcome,
+        bytes: u64,
+        latency: u64,
+        tag: u32,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            at,
+            dur: 0,
+            track: Track::DramChannel(channel as u32),
+            tag,
+            data: EventData::DramTx { is_write, outcome, bytes, latency },
+        });
+    }
+
+    /// One NoC message, stamped at its delivery cycle.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn noc_transfer(
+        &self,
+        at: u64,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        latency: u64,
+        crossed_chiplet: bool,
+        tag: u32,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            at,
+            dur: 0,
+            track: Track::Noc,
+            tag,
+            data: EventData::NocTransfer {
+                src: src as u32,
+                dst: dst as u32,
+                bytes,
+                latency,
+                crossed_chiplet,
+            },
+        });
+    }
+
+    /// The scheduler dispatching a request onto the NPU.
+    #[inline]
+    pub fn dispatch(&self, at: u64, tenant: u32, model: &str, batch: u32) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            at,
+            dur: 0,
+            track: Track::Scheduler,
+            tag: tenant,
+            data: EventData::Dispatch { tenant, model: model.to_string(), batch },
+        });
+    }
+
+    /// One phase of a ring all-reduce on the cluster track.
+    #[inline]
+    pub fn allreduce(&self, at: u64, dur: u64, phase: AllReducePhase, bytes: u64, tag: u32) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            at,
+            dur,
+            track: Track::Cluster,
+            tag,
+            data: EventData::AllReduce { phase, bytes },
+        });
+    }
+
+    /// A free-form instant annotation on any track.
+    #[inline]
+    pub fn marker(&self, at: u64, track: Track, label: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            at,
+            dur: 0,
+            track,
+            tag: 0,
+            data: EventData::Marker { label: label.to_string() },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        t.set_enabled(false);
+        t.compute_span(0, Lane::Matrix, "k", 0, 10, 0);
+        t.dma_issue(0, 5, 64, false, 0);
+        t.dram_tx(0, 9, true, RowOutcome::Hit, 64, 20, 0);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = Tracer::with_capacity(3);
+        for i in 0..5u64 {
+            t.marker(i, Track::Noc, "m");
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let evs = t.events();
+        assert_eq!(evs.first().unwrap().at, 2);
+        assert_eq!(evs.last().unwrap().at, 4);
+    }
+
+    #[test]
+    fn reenabling_appends_after_pause() {
+        let t = Tracer::new();
+        t.marker(1, Track::Noc, "a");
+        t.set_enabled(false);
+        t.marker(2, Track::Noc, "b");
+        t.set_enabled(true);
+        t.marker(3, Track::Noc, "c");
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[1].at, 3);
+    }
+
+    #[test]
+    fn clear_resets_buffer_and_dropped() {
+        let t = Tracer::with_capacity(1);
+        t.marker(0, Track::Noc, "a");
+        t.marker(1, Track::Noc, "b");
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+}

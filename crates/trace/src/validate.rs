@@ -1,0 +1,414 @@
+//! Structural validation of exported Chrome traces.
+//!
+//! Ships a minimal recursive-descent JSON parser (the workspace avoids
+//! pulling heavyweight dependencies into simulator crates) plus a checker
+//! asserting the properties tools rely on: every record is an object with
+//! the mandatory keys, timestamps are non-decreasing per `(pid, tid)` row,
+//! complete (`X`) spans nest properly within their row, and async `b`/`e`
+//! pairs are balanced. Tests use it to prove exported traces load cleanly
+//! in Perfetto-compatible viewers.
+
+use std::collections::HashMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {msg}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(&format!("unexpected {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {lit}")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("bad number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err(self.err("truncated \\u escape"));
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                        let cp =
+                            u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+                        self.pos += 4;
+                        // Surrogates are not produced by our exporter.
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(c) => {
+                    // Re-decode the multi-byte UTF-8 sequence.
+                    let len = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("bad utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(fields)),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+/// What a validated trace contained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total records, metadata included.
+    pub records: usize,
+    /// Complete (`X`) span events.
+    pub spans: usize,
+    /// Instant (`i`) events.
+    pub instants: usize,
+    /// Async begin/end pairs.
+    pub async_pairs: usize,
+    /// Distinct `(pid, tid)` rows carrying events.
+    pub tracks: usize,
+}
+
+/// Validates a Chrome trace-event JSON array.
+///
+/// Checks that the document is an array of objects; that every record has
+/// string `name`/`ph` and numeric `pid` plus a `tid`; that non-metadata
+/// records carry a numeric `ts`; that per `(pid, tid)` row timestamps are
+/// non-decreasing and `X` spans nest properly; and that async `b`/`e`
+/// events pair up with matching ids. Returns counts on success.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceCheck, String> {
+    let doc = parse_json(json)?;
+    let Json::Arr(records) = doc else {
+        return Err("trace must be a JSON array".to_string());
+    };
+    let mut check = TraceCheck { records: records.len(), ..Default::default() };
+    // Per-row state: last timestamp and the stack of open X-span end times.
+    let mut last_ts: HashMap<String, f64> = HashMap::new();
+    let mut open_spans: HashMap<String, Vec<f64>> = HashMap::new();
+    // Open async begins keyed by (cat, id).
+    let mut open_async: HashMap<String, f64> = HashMap::new();
+
+    for (i, rec) in records.iter().enumerate() {
+        let obj_err = |what: &str| format!("record {i}: {what}");
+        if !matches!(rec, Json::Obj(_)) {
+            return Err(obj_err("not an object"));
+        }
+        let ph =
+            rec.get("ph").and_then(Json::as_str).ok_or_else(|| obj_err("missing string \"ph\""))?;
+        rec.get("name").and_then(Json::as_str).ok_or_else(|| obj_err("missing string \"name\""))?;
+        let pid = rec
+            .get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| obj_err("missing numeric \"pid\""))?;
+        let tid = match rec.get("tid") {
+            Some(Json::Str(s)) => s.clone(),
+            Some(Json::Num(n)) => format!("{n}"),
+            _ => return Err(obj_err("missing \"tid\"")),
+        };
+        if ph == "M" {
+            continue;
+        }
+        let ts = rec
+            .get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| obj_err("missing numeric \"ts\""))?;
+        let row = format!("{pid}/{tid}");
+        let prev = last_ts.insert(row.clone(), ts).unwrap_or(f64::NEG_INFINITY);
+        if ts < prev {
+            return Err(obj_err(&format!("timestamps regress on row {row}: {ts} after {prev}")));
+        }
+        match ph {
+            "X" => {
+                let dur = rec
+                    .get("dur")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| obj_err("X event missing \"dur\""))?;
+                let end = ts + dur;
+                let stack = open_spans.entry(row.clone()).or_default();
+                while matches!(stack.last(), Some(&top) if top <= ts) {
+                    stack.pop();
+                }
+                if let Some(&top) = stack.last() {
+                    if end > top {
+                        return Err(obj_err(&format!(
+                            "span [{ts}, {end}) straddles enclosing span ending at {top} on row {row}"
+                        )));
+                    }
+                }
+                stack.push(end);
+                check.spans += 1;
+            }
+            "i" | "I" => check.instants += 1,
+            "b" => {
+                let key = async_key(rec, i)?;
+                if open_async.insert(key.clone(), ts).is_some() {
+                    return Err(obj_err(&format!("duplicate async begin for id {key}")));
+                }
+            }
+            "e" => {
+                let key = async_key(rec, i)?;
+                let begin = open_async
+                    .remove(&key)
+                    .ok_or_else(|| obj_err(&format!("async end without begin for id {key}")))?;
+                if ts < begin {
+                    return Err(obj_err("async end precedes its begin"));
+                }
+                check.async_pairs += 1;
+            }
+            other => return Err(obj_err(&format!("unsupported phase {other:?}"))),
+        }
+    }
+    if !open_async.is_empty() {
+        return Err(format!("{} async span(s) never ended", open_async.len()));
+    }
+    check.tracks = last_ts.len();
+    Ok(check)
+}
+
+fn async_key(rec: &Json, i: usize) -> Result<String, String> {
+    let cat = rec.get("cat").and_then(Json::as_str).unwrap_or("");
+    match rec.get("id") {
+        Some(Json::Num(n)) => Ok(format!("{cat}:{n}")),
+        Some(Json::Str(s)) => Ok(format!("{cat}:{s}")),
+        _ => Err(format!("record {i}: async event missing \"id\"")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::export_chrome_trace;
+    use crate::event::{Lane, RowOutcome};
+    use crate::Tracer;
+
+    #[test]
+    fn parser_round_trips_basic_values() {
+        let v = parse_json(r#"{"a":[1,2.5,-3],"b":"x\ny","c":true,"d":null}"#).unwrap();
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("c"), Some(&Json::Bool(true)));
+        let Json::Arr(items) = v.get("a").unwrap() else { panic!() };
+        assert_eq!(items[2], Json::Num(-3.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("[] trailing").is_err());
+    }
+
+    #[test]
+    fn exported_trace_validates() {
+        let t = Tracer::new();
+        t.compute_span(0, Lane::Matrix, "a", 0, 100, 0);
+        t.compute_span(0, Lane::Matrix, "b", 100, 50, 0);
+        t.dma_span(0, 10, 80, 64, false, 0);
+        t.dma_span(0, 20, 90, 64, true, 0); // overlapping DMA on one row
+        t.dram_tx(0, 30, false, RowOutcome::Hit, 64, 12, 0);
+        let json = export_chrome_trace(&t.events());
+        let check = validate_chrome_trace(&json).unwrap();
+        assert_eq!(check.spans, 2);
+        assert_eq!(check.async_pairs, 2);
+        assert_eq!(check.instants, 1);
+        assert!(check.tracks >= 3);
+    }
+
+    #[test]
+    fn regressing_timestamps_are_rejected() {
+        let json = r#"[
+            {"name":"a","ph":"i","s":"t","ts":10,"pid":0,"tid":"x"},
+            {"name":"b","ph":"i","s":"t","ts":5,"pid":0,"tid":"x"}
+        ]"#;
+        let err = validate_chrome_trace(json).unwrap_err();
+        assert!(err.contains("regress"), "{err}");
+    }
+
+    #[test]
+    fn straddling_spans_are_rejected() {
+        let json = r#"[
+            {"name":"outer","ph":"X","ts":0,"dur":10,"pid":0,"tid":"x"},
+            {"name":"bad","ph":"X","ts":5,"dur":10,"pid":0,"tid":"x"}
+        ]"#;
+        let err = validate_chrome_trace(json).unwrap_err();
+        assert!(err.contains("straddles"), "{err}");
+    }
+
+    #[test]
+    fn unbalanced_async_is_rejected() {
+        let json = r#"[{"name":"d","cat":"dma","ph":"b","id":1,"ts":0,"pid":0,"tid":"dma"}]"#;
+        let err = validate_chrome_trace(json).unwrap_err();
+        assert!(err.contains("never ended"), "{err}");
+    }
+}

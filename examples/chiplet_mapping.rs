@@ -26,7 +26,11 @@ fn numa_tog(core: usize, local_of_4: usize, channels: usize, tiles: u64) -> Exec
     for part in 0..4usize {
         // Choose a channel on the local or remote chiplet.
         let local = part < local_of_4;
-        let ch = if local { local_base + part % (channels / 2) } else { (local_base + channels / 2 + part) % channels };
+        let ch = if local {
+            local_base + part % (channels / 2)
+        } else {
+            (local_base + channels / 2 + part) % channels
+        };
         let ld = b.node(
             TogOpKind::LoadDma {
                 mm: AddrExpr::new((ch * 64) as u64).with_term(i, 256 * chan_round),

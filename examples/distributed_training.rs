@@ -23,13 +23,8 @@ fn main() -> ptsim_common::Result<()> {
         fabric.link_gbps, fabric.link_latency_ns
     );
     println!("npus   compute(cy)   allreduce(cy)   total(cy)   compute%   efficiency");
-    let report = ClusterSim::scaling(
-        npu,
-        fabric,
-        &[1, 2, 4, 8],
-        |shard| mlp(shard, 256),
-        global_batch,
-    )?;
+    let report =
+        ClusterSim::scaling(npu, fabric, &[1, 2, 4, 8], |shard| mlp(shard, 256), global_batch)?;
     for (i, (n, it)) in report.points.iter().enumerate() {
         println!(
             "{n:>4} {:>13} {:>15} {:>11} {:>9.0}% {:>11.0}%",

@@ -38,10 +38,8 @@ fn main() -> ptsim_common::Result<()> {
     let mut sim_full = Simulator::new(full);
     let bert_c = sim_full.compile(&bert)?;
     let resnet_c = sim_full.compile(&resnet)?;
-    let shared = sim_full.run_tenants(&[
-        (bert_c, 0, 1, 0, Cycle::ZERO),
-        (resnet_c, 1, 1, 1, Cycle::ZERO),
-    ])?;
+    let shared = sim_full
+        .run_tenants(&[(bert_c, 0, 1, 0, Cycle::ZERO), (resnet_c, 1, 1, 1, Cycle::ZERO)])?;
     let bert_shared = shared.jobs[0].cycles();
     let resnet_shared = shared.jobs[1].cycles();
 

@@ -47,9 +47,6 @@ fn main() -> ptsim_common::Result<()> {
         r1.cycles_per_iteration as f64 / r0.cycles_per_iteration as f64,
         *b1 as f64 / *b0 as f64
     );
-    println!(
-        "epoch time {b1} vs {b0}: {:.2}x",
-        (r1.total_cycles as f64 / r0.total_cycles as f64),
-    );
+    println!("epoch time {b1} vs {b0}: {:.2}x", (r1.total_cycles as f64 / r0.total_cycles as f64),);
     Ok(())
 }

@@ -25,20 +25,17 @@ fn heterogeneous_dense_sparse_unfairness() {
     // Sparse job: SpMSpM tiles with scattered small transfers on core 1.
     let a = CsrMatrix::random(192, 192, 0.05, 70);
     let b = CsrMatrix::random(192, 192, 0.05, 71);
-    let sparse =
-        SpmspmLowering::new(SparseCoreConfig::flexagon_like(), 48).lower(&a, &b, 0x4000_0000).unwrap();
+    let sparse = SpmspmLowering::new(SparseCoreConfig::flexagon_like(), 48)
+        .lower(&a, &b, 0x4000_0000)
+        .unwrap();
     let sparse_tog = sparse.tog.expand().unwrap();
 
     let run = |jobs: Vec<(bool, usize)>| {
         let mut t = TogSim::new(&cfg);
         let mut ids = Vec::new();
         for (is_dense, core) in jobs {
-            let spec = JobSpec {
-                core_offset: core,
-                cores: 1,
-                tag: core as u32,
-                ..JobSpec::default()
-            };
+            let spec =
+                JobSpec { core_offset: core, cores: 1, tag: core as u32, ..JobSpec::default() };
             if is_dense {
                 ids.push(t.add_shared_job(std::sync::Arc::new(dense.tog.clone()), spec));
             } else {
@@ -76,17 +73,10 @@ fn multi_model_tenancy_asymmetry() {
     let heavy = sim.compile(&models::gemm_rect(256, 64, 256)).unwrap();
     let light = sim.compile(&models::gemm(64)).unwrap();
 
-    let solo_light = sim
-        .run_tenants(&[(light.clone(), 1, 1, 1, Cycle::ZERO)])
-        .unwrap()
-        .jobs[0]
-        .cycles();
-    let both = sim
-        .run_tenants(&[
-            (heavy, 0, 1, 0, Cycle::ZERO),
-            (light, 1, 1, 1, Cycle::ZERO),
-        ])
-        .unwrap();
+    let solo_light =
+        sim.run_tenants(&[(light.clone(), 1, 1, 1, Cycle::ZERO)]).unwrap().jobs[0].cycles();
+    let both =
+        sim.run_tenants(&[(heavy, 0, 1, 0, Cycle::ZERO), (light, 1, 1, 1, Cycle::ZERO)]).unwrap();
     let shared_light = both.jobs[1].cycles();
     assert!(
         shared_light > solo_light,
@@ -101,11 +91,8 @@ fn chiplet_mapping_locality_matters() {
     let mut cfg = SimConfig::tiny();
     cfg.npu.cores = 2;
     cfg.dram.channels = 2;
-    cfg.noc.chiplet = Some(ChipletLinkConfig {
-        chiplets: 2,
-        link_bytes_per_cycle: 8,
-        link_latency_ns: 20.0,
-    });
+    cfg.noc.chiplet =
+        Some(ChipletLinkConfig { chiplets: 2, link_bytes_per_cycle: 8, link_latency_ns: 20.0 });
 
     // One job per core; data placement controlled by address: channel 0
     // (chiplet 0) serves even 64 B blocks, channel 1 (chiplet 1) odd ones.

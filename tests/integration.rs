@@ -46,8 +46,9 @@ fn training_iteration_on_npu_matches_eager_loss_and_gradients() {
     let cfg = SimConfig::tiny();
     let spec = models::mlp(8, 32);
     let train = build_training_graph(&spec.graph, spec.loss.unwrap()).unwrap();
-    let compiled =
-        Compiler::new(cfg.clone(), CompilerOptions::default()).compile(&train, "mlp_train", 1).unwrap();
+    let compiled = Compiler::new(cfg.clone(), CompilerOptions::default())
+        .compile(&train, "mlp_train", 1)
+        .unwrap();
 
     let params = spec.init_params(9);
     let data = SyntheticMnist::generate(32, 10);
@@ -87,11 +88,9 @@ fn multi_tenant_inference_interferes() {
     let a = sim.compile(&models::gemm(96)).unwrap();
     let b = sim.compile(&models::gemm_rect(96, 96, 48)).unwrap();
 
-    let solo_a = sim
-        .run_tenants(&[(a.clone(), 0, 1, 0, ptsim_common::Cycle::ZERO)])
-        .unwrap()
-        .jobs[0]
-        .cycles();
+    let solo_a = sim.run_tenants(&[(a.clone(), 0, 1, 0, ptsim_common::Cycle::ZERO)]).unwrap().jobs
+        [0]
+    .cycles();
     let shared = sim
         .run_tenants(&[
             (a, 0, 1, 0, ptsim_common::Cycle::ZERO),
