@@ -1,0 +1,72 @@
+//! Offline type-check stub for `criterion`: runs each bench body once.
+
+pub struct Criterion;
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = f();
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, _name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _name: &str, mut f: F) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion
+    }
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _name: &str, mut f: F) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

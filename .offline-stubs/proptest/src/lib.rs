@@ -1,0 +1,333 @@
+//! Offline stub for `proptest`: a miniature strategy/sampler covering the
+//! API surface this workspace uses. Cases are sampled uniformly with a
+//! deterministic RNG instead of proptest's guided search + shrinking, which
+//! is plenty for type-checking and for smoke-running the suite offline.
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 test RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 16 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_int {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty strategy range");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let v = (rng.next_u64() as u128) % span;
+                        (self.start as i128 + v as i128) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_float {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        self.start + (self.end - self.start) * rng.next_f64() as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_float!(f32, f64);
+
+    macro_rules! impl_tuple {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple!(A);
+    impl_tuple!(A, B);
+    impl_tuple!(A, B, C);
+    impl_tuple!(A, B, C, D);
+    impl_tuple!(A, B, C, D, E);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary_sample(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_sample(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {
+            $(
+                impl Arbitrary for $t {
+                    fn arbitrary_sample(rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_sample(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty vec size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $st:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::new(0x5EED_0000 ^ config.cases as u64);
+                for __case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($st), &mut __rng);)*
+                    let mut __run = || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        Ok(())
+                    };
+                    if let Err(e) = __run() {
+                        panic!("proptest stub case {} failed: {}", __case, e);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_cfg (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(
+                {
+                    let boxed: ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>> =
+                        ::std::boxed::Box::new($arm);
+                    boxed
+                }
+            ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!("assertion failed: {:?} != {:?}", a, b));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!($($fmt)*));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a != b) {
+            return Err(format!("assertion failed: {:?} == {:?}", a, b));
+        }
+    }};
+}

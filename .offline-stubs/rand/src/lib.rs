@@ -1,0 +1,95 @@
+//! Offline stub for `rand` 0.8: a deterministic SplitMix64 generator behind
+//! the small API surface the workspace uses (`StdRng`, `SeedableRng`,
+//! `Rng::gen_range`, `Rng::gen_bool`). Uniformity is good enough for the
+//! statistical assertions in the test suite; the stream differs from the
+//! real `StdRng`.
+
+use std::ops::Range;
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_f64(&mut self) -> f64 {
+        // 53 random bits into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types that `gen_range` can produce uniformly from a `Range`.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {
+        $(
+            impl SampleUniform for $t {
+                fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self {
+                    assert!(range.start < range.end, "empty range");
+                    let span = (range.end as i128 - range.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (range.start as i128 + v as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {
+        $(
+            impl SampleUniform for $t {
+                fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self {
+                    assert!(range.start < range.end, "empty range");
+                    range.start + (range.end - range.start) * rng.next_f64() as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_float!(f32, f64);
+
+pub trait Rng: RngCore + Sized {
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 — deterministic, fast, and statistically fine for tests.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}

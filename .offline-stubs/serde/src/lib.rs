@@ -1,0 +1,50 @@
+//! Offline type-check stub for `serde`. Traits are empty markers; the
+//! derive macros emit empty impls. Good enough for `cargo check`, not for
+//! real (de)serialization.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+macro_rules! impl_prims {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_prims!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {}
+impl<'de, K: Deserialize<'de> + std::hash::Hash + Eq, V: Deserialize<'de>, S: Default + std::hash::BuildHasher> Deserialize<'de> for std::collections::HashMap<K, V, S> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<K, V> {}
+
+macro_rules! impl_tuples {
+    ($(($($n:ident),+))*) => {
+        $(
+            impl<$($n: Serialize),+> Serialize for ($($n,)+) {}
+            impl<'de, $($n: Deserialize<'de>),+> Deserialize<'de> for ($($n,)+) {}
+        )*
+    };
+}
+
+impl_tuples!((A) (A, B) (A, B, C) (A, B, C, D));

@@ -1,0 +1,29 @@
+//! Offline type-check stub for `serde_json`. Signatures only: every entry
+//! point returns an error at runtime.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error("serde_json stub: serialization unavailable offline".into()))
+}
+
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error("serde_json stub: serialization unavailable offline".into()))
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error("serde_json stub: deserialization unavailable offline".into()))
+}
