@@ -11,18 +11,18 @@ fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
 
-    g.bench_function("fig5_accuracy", |b| b.iter(|| fig5::run(Scale::Bench)));
-    g.bench_function("fig6_speed", |b| b.iter(|| fig6::run(Scale::Bench)));
-    g.bench_function("fig7a_hetero", |b| b.iter(|| fig7::run_hetero(Scale::Bench)));
+    g.bench_function("fig5_accuracy", |b| b.iter(|| fig5::run(Scale::Bench, 1)));
+    g.bench_function("fig6_speed", |b| b.iter(|| fig6::run(Scale::Bench, 1)));
+    g.bench_function("fig7a_hetero", |b| b.iter(|| fig7::run_hetero(Scale::Bench, 1)));
     g.bench_function("fig7a_sparse_validation", |b| {
         b.iter(|| fig7::run_sparse_validation(Scale::Bench))
     });
-    g.bench_function("fig7b_tenancy", |b| b.iter(|| fig7::run_tenancy(Scale::Bench)));
-    g.bench_function("fig8a_dma", |b| b.iter(|| fig8::run_dma(Scale::Bench)));
-    g.bench_function("fig8b_conv_batch1", |b| b.iter(|| fig8::run_conv_batch1(Scale::Bench)));
-    g.bench_function("fig8c_conv_small_c", |b| b.iter(|| fig8::run_conv_small_c(Scale::Bench)));
-    g.bench_function("fig9_chiplet", |b| b.iter(|| fig9::run(Scale::Bench)));
-    g.bench_function("fig10_training", |b| b.iter(|| fig10::run(Scale::Bench)));
+    g.bench_function("fig7b_tenancy", |b| b.iter(|| fig7::run_tenancy(Scale::Bench, 1)));
+    g.bench_function("fig8a_dma", |b| b.iter(|| fig8::run_dma(Scale::Bench, 1)));
+    g.bench_function("fig8b_conv_batch1", |b| b.iter(|| fig8::run_conv_batch1(Scale::Bench, 1)));
+    g.bench_function("fig8c_conv_small_c", |b| b.iter(|| fig8::run_conv_small_c(Scale::Bench, 1)));
+    g.bench_function("fig9_chiplet", |b| b.iter(|| fig9::run(Scale::Bench, 1)));
+    g.bench_function("fig10_training", |b| b.iter(|| fig10::run(Scale::Bench, 1)));
     g.finish();
 }
 

@@ -1,11 +1,12 @@
 //! Regenerates Fig. 10 (training batch-size study) with the §5.5
-//! functional validation.
+//! functional validation. Pass `--jobs N` to parallelize the per-batch
+//! timing sweep.
 
-use ptsim_bench::{fig10, print_table, Scale};
+use ptsim_bench::{cli_scale_and_jobs, fig10, print_table};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
-    let rows = fig10::run(scale);
+    let (scale, jobs) = cli_scale_and_jobs();
+    let rows = fig10::run(scale, jobs);
     if std::env::args().any(|a| a == "--json") {
         println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
         return;

@@ -1,11 +1,12 @@
 //! Regenerates Fig. 5 (simulation accuracy) at paper scale.
-//! Pass `--bench` for the reduced workload set, `--json` for JSON output.
+//! Pass `--bench` for the reduced workload set, `--json` for JSON output,
+//! `--jobs N` to run the sweep over N worker threads.
 
-use ptsim_bench::{fig5, print_table, Scale};
+use ptsim_bench::{cli_scale_and_jobs, fig5, print_table};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
-    let rows = fig5::run(scale);
+    let (scale, jobs) = cli_scale_and_jobs();
+    let rows = fig5::run(scale, jobs);
     if std::env::args().any(|a| a == "--json") {
         println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
         return;

@@ -1,11 +1,12 @@
 //! Regenerates Fig. 6 (simulation speed) at paper scale.
-//! Pass `--bench` for the reduced workload set, `--json` for JSON output.
+//! Pass `--bench` for the reduced workload set, `--json` for JSON output,
+//! `--jobs N` to parallelize the compile warm-up (timings stay serial).
 
-use ptsim_bench::{fig6, fmt_x, print_table, Scale};
+use ptsim_bench::{cli_scale_and_jobs, fig6, fmt_x, print_table};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
-    let rows = fig6::run(scale);
+    let (scale, jobs) = cli_scale_and_jobs();
+    let rows = fig6::run(scale, jobs);
     if std::env::args().any(|a| a == "--json") {
         println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
         return;

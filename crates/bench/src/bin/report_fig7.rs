@@ -1,8 +1,11 @@
 //! Regenerates Fig. 7 (heterogeneous dense-sparse NPU, multi-model
-//! tenancy) plus the §5.1 sparse-TLS validation. Pass `--json` for JSON.
+//! tenancy) plus the §5.1 sparse-TLS validation. Pass `--json` for JSON,
+//! `--jobs N` to run the sweeps over N worker threads.
 
-use ptsim_bench::{fig7, print_table, Scale};
+use ptsim_bench::{cli_scale_and_jobs, fig7, print_table};
 
+// Fields are read only through the serde derive (the `--json` path).
+#[allow(dead_code)]
 #[derive(serde::Serialize)]
 struct JsonOut {
     hetero: fig7::HeteroResult,
@@ -11,14 +14,14 @@ struct JsonOut {
 }
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
+    let (scale, jobs) = cli_scale_and_jobs();
 
-    let h = fig7::run_hetero(scale);
+    let h = fig7::run_hetero(scale, jobs);
     if std::env::args().any(|a| a == "--json") {
         let out = JsonOut {
             hetero: h,
             sparse_validation: fig7::run_sparse_validation(scale),
-            tenancy: fig7::run_tenancy(scale),
+            tenancy: fig7::run_tenancy(scale, jobs),
         };
         println!("{}", serde_json::to_string_pretty(&out).expect("results serialize"));
         return;
@@ -59,7 +62,7 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
-    let t = fig7::run_tenancy(scale);
+    let t = fig7::run_tenancy(scale, jobs);
     let (bert_chg, resnet_chg) = t.latency_changes();
     print_table(
         "Fig. 7b — multi-model tenancy: solo (half BW) vs co-located",

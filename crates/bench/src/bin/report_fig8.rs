@@ -1,6 +1,7 @@
-//! Regenerates Fig. 8 (compiler optimization impact). Pass `--json` for JSON.
+//! Regenerates Fig. 8 (compiler optimization impact). Pass `--json` for
+//! JSON, `--jobs N` to run the sweeps over N worker threads.
 
-use ptsim_bench::{fig8, print_table, Scale};
+use ptsim_bench::{cli_scale_and_jobs, fig8, print_table};
 
 fn print_rows(title: &str, rows: &[fig8::Row]) {
     let table: Vec<Vec<String>> = rows
@@ -24,11 +25,11 @@ struct JsonOut {
 }
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
+    let (scale, jobs) = cli_scale_and_jobs();
     let out = JsonOut {
-        dma: fig8::run_dma(scale),
-        conv_batch1: fig8::run_conv_batch1(scale),
-        conv_small_c: fig8::run_conv_small_c(scale),
+        dma: fig8::run_dma(scale, jobs),
+        conv_batch1: fig8::run_conv_batch1(scale, jobs),
+        conv_small_c: fig8::run_conv_small_c(scale, jobs),
     };
     if std::env::args().any(|a| a == "--json") {
         println!("{}", serde_json::to_string_pretty(&out).expect("results serialize"));

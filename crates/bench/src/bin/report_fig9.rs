@@ -1,10 +1,11 @@
-//! Regenerates Fig. 9 (chiplet NUMA mapping).
+//! Regenerates Fig. 9 (chiplet NUMA mapping). Pass `--jobs N` to run the
+//! mapping points over N worker threads.
 
-use ptsim_bench::{fig9, print_table, Scale};
+use ptsim_bench::{cli_scale_and_jobs, fig9, print_table};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
-    let rows = fig9::run(scale);
+    let (scale, jobs) = cli_scale_and_jobs();
+    let rows = fig9::run(scale, jobs);
     if std::env::args().any(|a| a == "--json") {
         println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
         return;

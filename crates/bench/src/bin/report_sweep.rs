@@ -1,0 +1,99 @@
+//! Demonstrates the parallel sweep harness on a Fig. 7-style grid
+//! (GEMM, BERT-mini, ResNet-18 across NPU configurations).
+//!
+//! Usage: `report_sweep [--bench] [--jobs N] [--json] [--bench-harness]`
+//!
+//! `--jobs N` runs the sweep over N worker threads (results are
+//! bit-identical at any count). `--bench-harness` instead benchmarks the
+//! harness itself: it executes the same grid serially and in parallel on a
+//! cold cache each time, verifies the reports match, and prints the
+//! wall-clock speedup — the sanity check that parallel sweeps actually pay.
+
+use ptsim_bench::{cli_scale_and_jobs, print_table, Scale};
+use ptsim_common::config::{NocConfig, SimConfig};
+use pytorchsim::models::{self, ModelSpec};
+use pytorchsim::sweep::{Sweep, SweepOptions};
+
+fn grid(scale: Scale) -> Sweep {
+    let specs: Vec<ModelSpec> = match scale {
+        Scale::Bench => vec![
+            models::gemm(256),
+            models::bert(
+                models::BertConfig { layers: 2, ..models::BertConfig::base(128, 1) },
+                "bert_mini",
+            ),
+            models::resnet18(1),
+        ],
+        Scale::Full => vec![models::gemm(1024), models::bert_base(512, 1), models::resnet18(1)],
+    };
+    let cn = SimConfig::tpu_v3_single_core();
+    let sn = SimConfig { noc: NocConfig::simple(), ..cn.clone() };
+    let configs = [("cn".to_string(), cn), ("sn".to_string(), sn)];
+    Sweep::grid(specs, &configs)
+}
+
+fn bench_harness(scale: Scale, jobs: usize) {
+    let sweep = grid(scale);
+    let jobs = if jobs > 1 {
+        jobs
+    } else {
+        std::thread::available_parallelism().map_or(4, |n| n.get().min(sweep.len()))
+    };
+
+    // Cold caches on both sides: the harness benchmark measures compile +
+    // simulate, which is what a fresh exploration sweep pays.
+    let serial = sweep.run(&SweepOptions::with_jobs(1)).expect("serial sweep succeeds");
+    let parallel = sweep.run(&SweepOptions::with_jobs(jobs)).expect("parallel sweep succeeds");
+
+    assert_eq!(
+        serial.sim_reports(),
+        parallel.sim_reports(),
+        "parallel sweep must be bit-identical to serial"
+    );
+    assert_eq!(serial.cache.compiles, parallel.cache.compiles, "same unique compiles");
+
+    println!("sweep harness self-benchmark ({} points)", sweep.len());
+    println!("  serial   (--jobs 1):  {:8.3}s", serial.wall_seconds);
+    println!("  parallel (--jobs {jobs}):  {:8.3}s", parallel.wall_seconds);
+    println!(
+        "  speedup: {:.2}x  (reports bit-identical, {} unique compiles each)",
+        serial.wall_seconds / parallel.wall_seconds.max(1e-9),
+        serial.cache.compiles,
+    );
+}
+
+fn main() {
+    let (scale, jobs) = cli_scale_and_jobs();
+    if std::env::args().any(|a| a == "--bench-harness") {
+        bench_harness(scale, jobs);
+        return;
+    }
+
+    let sweep = grid(scale);
+    let report = sweep.run(&SweepOptions::with_jobs(jobs)).expect("sweep succeeds");
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+        return;
+    }
+    let table: Vec<Vec<String>> = report
+        .results
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.report.total_cycles.to_string(),
+                r.report.dram.bytes.to_string(),
+                format!("{:.3}s", r.wall_seconds),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Sweep — {} points over {} worker(s)", report.results.len(), report.jobs),
+        &["point", "cycles", "DRAM bytes", "wall"],
+        &table,
+    );
+    println!(
+        "\nwall {:.3}s; compile cache: {} compiles, {} hits",
+        report.wall_seconds, report.cache.compiles, report.cache.hits
+    );
+}

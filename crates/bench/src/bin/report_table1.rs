@@ -1,5 +1,7 @@
 //! Prints Table 1 — the feature matrix — as realized by this reproduction.\n//! Pass `--json` for JSON output.
 
+// Fields are read only through the serde derive (the `--json` path).
+#[allow(dead_code)]
 #[derive(serde::Serialize)]
 struct FeatureRow {
     feature: &'static str,

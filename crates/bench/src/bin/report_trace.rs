@@ -11,7 +11,7 @@
 use ptsim_common::config::SimConfig;
 use pytorchsim::models::{self, ModelSpec};
 use pytorchsim::trace::{chrome, validate, EventData, MetricsRegistry, Tracer};
-use pytorchsim::Simulator;
+use pytorchsim::{RunOptions, Simulator};
 
 struct Args {
     model: String,
@@ -55,10 +55,10 @@ fn workload(name: &str, bench: bool) -> ModelSpec {
 fn main() {
     let args = parse_args();
     let spec = workload(&args.model, args.bench);
-    let mut sim = Simulator::new(SimConfig::tpu_v3_single_core());
+    let sim = Simulator::new(SimConfig::tpu_v3_single_core());
     let tracer = Tracer::shared();
-    sim.set_tracer(tracer.clone());
-    let report = sim.run_inference(&spec).expect("simulation succeeds");
+    let report =
+        sim.run(&spec, RunOptions::tls().with_tracer(tracer.clone())).expect("simulation succeeds");
 
     if let Some(path) = &args.trace_path {
         let json = chrome::export_chrome_trace(&tracer.events());

@@ -14,7 +14,8 @@ use ptsim_common::config::SimConfig;
 use ptsim_common::util::mean_abs_pct_error;
 use pytorchsim::baselines::{MaestroModel, RooflineModel, ScaleSimModel};
 use pytorchsim::models::{self, ModelSpec};
-use pytorchsim::Simulator;
+use pytorchsim::sweep::{Sweep, SweepOptions, SweepPoint};
+use pytorchsim::RunOptions;
 
 /// One workload's accuracy row.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -70,29 +71,41 @@ pub fn workloads(scale: Scale) -> Vec<ModelSpec> {
     }
 }
 
-/// Runs the accuracy comparison.
-pub fn run(scale: Scale) -> Vec<Row> {
+/// Runs the accuracy comparison over `jobs` sweep workers. Each workload
+/// contributes two sweep points — the ILS timing reference and the TLS
+/// measurement — sharing one compiled model through the sweep's cache.
+pub fn run(scale: Scale, jobs: usize) -> Vec<Row> {
     let cfg = SimConfig::tpu_v3_single_core();
-    let mut sim = Simulator::new(cfg.clone());
     let roofline = RooflineModel::new(&cfg);
     let scalesim = ScaleSimModel::new(&cfg);
     let maestro = MaestroModel::new(&cfg);
-    workloads(scale)
-        .into_iter()
-        .map(|spec| {
-            // Timing-only ILS: functional execution does not change
-            // simulated cycles, only wall time (which Fig. 6 measures).
-            let reference =
-                sim.run_inference_ils_timing(&spec).expect("ils simulation succeeds").total_cycles;
-            let tls = sim.run_inference(&spec).expect("tls simulation succeeds").total_cycles;
-            Row {
-                name: spec.name.clone(),
-                reference,
-                tls,
-                roofline: roofline.estimate(&spec.graph),
-                scalesim: scalesim.estimate(&spec.graph),
-                maestro: maestro.estimate(&spec.graph),
-            }
+    let specs = workloads(scale);
+
+    let mut sweep = Sweep::new();
+    for spec in &specs {
+        // Timing-only ILS: functional execution does not change simulated
+        // cycles, only wall time (which Fig. 6 measures).
+        sweep.push(
+            SweepPoint::model(spec.clone(), cfg.clone())
+                .with_label(format!("{}#ils", spec.name))
+                .with_run(RunOptions::ils_timing()),
+        );
+        sweep.push(
+            SweepPoint::model(spec.clone(), cfg.clone()).with_label(format!("{}#tls", spec.name)),
+        );
+    }
+    let report = sweep.run(&SweepOptions::with_jobs(jobs)).expect("fig5 sweep succeeds");
+
+    specs
+        .iter()
+        .zip(report.results.chunks(2))
+        .map(|(spec, pair)| Row {
+            name: spec.name.clone(),
+            reference: pair[0].report.total_cycles,
+            tls: pair[1].report.total_cycles,
+            roofline: roofline.estimate(&spec.graph),
+            scalesim: scalesim.estimate(&spec.graph),
+            maestro: maestro.estimate(&spec.graph),
         })
         .collect()
 }

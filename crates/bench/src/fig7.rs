@@ -5,8 +5,9 @@ use ptsim_common::config::{MemSchedulerPolicy, SimConfig};
 use ptsim_common::Cycle;
 use pytorchsim::models;
 use pytorchsim::sparse::{DetailedSparseSim, SparseCoreConfig, SpmspmLowering};
+use pytorchsim::sweep::{Sweep, SweepOptions, SweepPoint};
 use pytorchsim::tensor::CsrMatrix;
-use pytorchsim::togsim::{JobSpec, TogSim};
+use pytorchsim::togsim::JobSpec;
 use pytorchsim::Simulator;
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,8 +39,11 @@ impl HeteroResult {
 
 /// Runs Fig. 7a: a dense (systolic) core and a sparse (Flexagon-like) core,
 /// each alone with half the HBM (the 240 GB/s chips) versus integrated in
-/// one NPU sharing the doubled memory system (480 GB/s) under FR-FCFS.
-pub fn run_hetero(scale: Scale) -> HeteroResult {
+/// one NPU sharing the doubled memory system (480 GB/s) under FR-FCFS. The
+/// three scenarios are independent sweep points executed over `jobs`
+/// workers; the dense GEMM is compiled once (against the standalone-chip
+/// config, as the paper's dense binary is) and replayed as a raw TOG.
+pub fn run_hetero(scale: Scale, jobs: usize) -> HeteroResult {
     let (gemm_n, spm_n, tile) = match scale {
         Scale::Bench => (256, 256, 64),
         Scale::Full => (1024, 512, 64),
@@ -51,9 +55,10 @@ pub fn run_hetero(scale: Scale) -> HeteroResult {
     let mut alone_cfg = hetero_cfg.clone();
     alone_cfg.dram.channels = 4; // 240 GB/s-equivalent each
 
-    let mut compiler = Simulator::new(alone_cfg.clone());
+    let compiler = Simulator::new(alone_cfg.clone());
     let dense_spec = models::gemm(gemm_n);
     let dense = compiler.compile(&dense_spec).expect("dense compiles");
+    let dense_tog = Arc::new(dense.tog.clone());
 
     let a = CsrMatrix::random(spm_n, spm_n, 0.05, 900);
     let b = CsrMatrix::random(spm_n, spm_n, 0.05, 901);
@@ -62,29 +67,26 @@ pub fn run_hetero(scale: Scale) -> HeteroResult {
         .expect("sparse lowers");
     let sparse_tog = Arc::new(sparse.tog.expand().expect("sparse tog expands"));
 
-    let run = |cfg: &SimConfig, dense_on: bool, sparse_on: bool| {
-        let mut sim = TogSim::new(cfg);
-        if dense_on {
-            sim.add_shared_job(
-                Arc::new(dense.tog.clone()),
-                JobSpec { core_offset: 0, cores: 1, tag: 0, ..JobSpec::default() },
-            );
-        }
-        if sparse_on {
-            sim.add_shared_job(
-                Arc::clone(&sparse_tog),
-                JobSpec { core_offset: 1, cores: 1, tag: 1, ..JobSpec::default() },
-            );
-        }
-        sim.run().expect("hetero sim runs")
+    let dense_job = || {
+        (Arc::clone(&dense_tog), JobSpec { core_offset: 0, cores: 1, tag: 0, ..JobSpec::default() })
+    };
+    let sparse_job = || {
+        (
+            Arc::clone(&sparse_tog),
+            JobSpec { core_offset: 1, cores: 1, tag: 1, ..JobSpec::default() },
+        )
     };
 
-    let dense_alone = run(&alone_cfg, true, false).jobs[0].cycles();
-    let sparse_alone = run(&alone_cfg, false, true).jobs[0].cycles();
-    let both = run(&hetero_cfg, true, true);
+    let mut sweep = Sweep::new();
+    sweep.push(SweepPoint::raw("dense-alone", alone_cfg.clone(), [dense_job()]));
+    sweep.push(SweepPoint::raw("sparse-alone", alone_cfg, [sparse_job()]));
+    sweep.push(SweepPoint::raw("hetero", hetero_cfg, [dense_job(), sparse_job()]));
+    let report = sweep.run(&SweepOptions::with_jobs(jobs)).expect("hetero sweep succeeds");
+
+    let both = &report.results[2].report;
     HeteroResult {
-        dense_alone,
-        sparse_alone,
+        dense_alone: report.results[0].report.jobs[0].cycles(),
+        sparse_alone: report.results[1].report.jobs[0].cycles(),
         dense_hetero: both.jobs[0].cycles(),
         sparse_hetero: both.jobs[1].cycles(),
     }
@@ -192,8 +194,9 @@ impl TenancyResult {
 }
 
 /// Runs Fig. 7b: BERT-Base and ResNet-18 co-located on one NPU versus solo
-/// runs with half the DRAM bandwidth each (the paper's allocation).
-pub fn run_tenancy(scale: Scale) -> TenancyResult {
+/// runs with half the DRAM bandwidth each (the paper's allocation). The two
+/// solo points and the co-located tenancy point run as one sweep.
+pub fn run_tenancy(scale: Scale, jobs: usize) -> TenancyResult {
     let (bert_spec, resnet_spec) = match scale {
         Scale::Bench => (
             models::bert(
@@ -209,19 +212,29 @@ pub fn run_tenancy(scale: Scale) -> TenancyResult {
     let mut half = full.clone();
     half.dram.channels = full.dram.channels / 2;
 
-    let mut sim_half = Simulator::new(half);
-    let bert_alone = sim_half.run_inference(&bert_spec).expect("bert solo").jobs[0].cycles();
-    let resnet_alone = sim_half.run_inference(&resnet_spec).expect("resnet solo").jobs[0].cycles();
+    let mut sweep = Sweep::new();
+    sweep.push(SweepPoint::model(bert_spec.clone(), half.clone()).with_label("bert-solo"));
+    sweep.push(SweepPoint::model(resnet_spec.clone(), half).with_label("resnet-solo"));
+    sweep.push(SweepPoint::tenants(
+        "co-located",
+        full,
+        [
+            (
+                bert_spec,
+                JobSpec { core_offset: 0, cores: 1, tag: 0, start_at: Cycle::ZERO, kernels: None },
+            ),
+            (
+                resnet_spec,
+                JobSpec { core_offset: 1, cores: 1, tag: 1, start_at: Cycle::ZERO, kernels: None },
+            ),
+        ],
+    ));
+    let report = sweep.run(&SweepOptions::with_jobs(jobs)).expect("tenancy sweep succeeds");
 
-    let mut sim_full = Simulator::new(full);
-    let bert = sim_full.compile(&bert_spec).expect("bert compiles");
-    let resnet = sim_full.compile(&resnet_spec).expect("resnet compiles");
-    let both = sim_full
-        .run_tenants(&[(bert, 0, 1, 0, Cycle::ZERO), (resnet, 1, 1, 1, Cycle::ZERO)])
-        .expect("co-located run");
+    let both = &report.results[2].report;
     TenancyResult {
-        bert_alone,
-        resnet_alone,
+        bert_alone: report.results[0].report.jobs[0].cycles(),
+        resnet_alone: report.results[1].report.jobs[0].cycles(),
         bert_shared: both.jobs[0].cycles(),
         resnet_shared: both.jobs[1].cycles(),
         bert_bw: both.dram_bytes_for_tag(0) as f64 / both.jobs[0].cycles().max(1) as f64,

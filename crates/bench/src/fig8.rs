@@ -5,7 +5,7 @@ use crate::Scale;
 use ptsim_common::config::{DmaGranularity, SimConfig};
 use pytorchsim::compiler::CompilerOptions;
 use pytorchsim::models::{self, ModelSpec};
-use pytorchsim::Simulator;
+use pytorchsim::sweep::{Sweep, SweepOptions, SweepPoint};
 
 /// One workload simulated under several compiler configurations.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -25,20 +25,43 @@ impl Row {
     }
 }
 
-fn run_variants(spec: &ModelSpec, variants: &[(&str, CompilerOptions)]) -> Row {
+/// Runs every (workload × compiler-variant) combination as one sweep over
+/// `jobs` workers and folds the results back into per-workload rows.
+fn run_variants(
+    specs: &[ModelSpec],
+    variants: &[(&str, CompilerOptions)],
+    jobs: usize,
+) -> Vec<Row> {
     let cfg = SimConfig::tpu_v3_single_core();
-    let mut results = Vec::new();
-    for (label, opts) in variants {
-        let mut sim = Simulator::with_options(cfg.clone(), opts.clone());
-        let cycles = sim.run_inference(spec).expect("simulation succeeds").total_cycles;
-        results.push((label.to_string(), cycles));
+    let mut sweep = Sweep::new();
+    for spec in specs {
+        for (label, opts) in variants {
+            sweep.push(
+                SweepPoint::model(spec.clone(), cfg.clone())
+                    .with_label(format!("{}#{label}", spec.name))
+                    .with_options(opts.clone()),
+            );
+        }
     }
-    Row { name: spec.name.clone(), baseline: results[0].1, variants: results }
+    let report = sweep.run(&SweepOptions::with_jobs(jobs)).expect("fig8 sweep succeeds");
+
+    specs
+        .iter()
+        .zip(report.results.chunks(variants.len()))
+        .map(|(spec, chunk)| {
+            let results: Vec<(String, u64)> = variants
+                .iter()
+                .zip(chunk)
+                .map(|((label, _), point)| (label.to_string(), point.report.total_cycles))
+                .collect();
+            Row { name: spec.name.clone(), baseline: results[0].1, variants: results }
+        })
+        .collect()
 }
 
 /// Fig. 8a: coarse-grained vs fine-grained vs selective fine-grained DMA
 /// for square GEMMs.
-pub fn run_dma(scale: Scale) -> Vec<Row> {
+pub fn run_dma(scale: Scale, jobs: usize) -> Vec<Row> {
     let sizes: &[usize] = match scale {
         Scale::Bench => &[512],
         Scale::Full => &[512, 1024, 2048],
@@ -51,11 +74,12 @@ pub fn run_dma(scale: Scale) -> Vec<Row> {
             CompilerOptions { dma: DmaGranularity::SelectiveFine, ..CompilerOptions::default() },
         ),
     ];
-    sizes.iter().map(|&n| run_variants(&models::gemm(n), &variants)).collect()
+    let specs: Vec<ModelSpec> = sizes.iter().map(|&n| models::gemm(n)).collect();
+    run_variants(&specs, &variants, jobs)
 }
 
 /// Fig. 8b: CONV layout optimization for batch-1 ResNet-style convolutions.
-pub fn run_conv_batch1(scale: Scale) -> Vec<Row> {
+pub fn run_conv_batch1(scale: Scale, jobs: usize) -> Vec<Row> {
     let specs: Vec<ModelSpec> = match scale {
         Scale::Bench => vec![models::conv_kernel(3, 1)],
         Scale::Full => {
@@ -72,12 +96,12 @@ pub fn run_conv_batch1(scale: Scale) -> Vec<Row> {
         ("baseline", CompilerOptions { conv_layout_opt: false, ..CompilerOptions::default() }),
         ("layout-opt", CompilerOptions::default()),
     ];
-    specs.iter().map(|spec| run_variants(spec, &variants)).collect()
+    run_variants(&specs, &variants, jobs)
 }
 
 /// Fig. 8c: CONV layout optimization for small input-channel counts, at
 /// batch sizes 1 and 64.
-pub fn run_conv_small_c(scale: Scale) -> Vec<Row> {
+pub fn run_conv_small_c(scale: Scale, jobs: usize) -> Vec<Row> {
     let geometries: Vec<ModelSpec> = match scale {
         Scale::Bench => vec![models::conv_custom(1, 3, 64, 56, 7, 2, 3)],
         Scale::Full => vec![
@@ -91,5 +115,5 @@ pub fn run_conv_small_c(scale: Scale) -> Vec<Row> {
         ("baseline", CompilerOptions { conv_layout_opt: false, ..CompilerOptions::default() }),
         ("layout-opt", CompilerOptions::default()),
     ];
-    geometries.iter().map(|spec| run_variants(spec, &variants)).collect()
+    run_variants(&geometries, &variants, jobs)
 }

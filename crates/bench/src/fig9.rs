@@ -8,8 +8,10 @@
 
 use crate::Scale;
 use ptsim_common::config::{ChipletLinkConfig, SimConfig};
+use pytorchsim::sweep::{Sweep, SweepOptions, SweepPoint};
 use pytorchsim::tog::{AddrExpr, ExecUnit, ExecutableTog, TogBuilder, TogOpKind};
-use pytorchsim::togsim::{JobSpec, TogSim};
+use pytorchsim::togsim::JobSpec;
+use std::sync::Arc;
 
 /// One mapping strategy's result.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -64,8 +66,9 @@ fn numa_tog(
     b.finish().expand().expect("numa tog is well-formed")
 }
 
-/// Runs the mapping sweep.
-pub fn run(scale: Scale) -> Vec<Row> {
+/// Runs the mapping sweep: the monolithic baseline and the three chiplet
+/// mappings are four raw-TOG sweep points executed over `jobs` workers.
+pub fn run(scale: Scale, jobs: usize) -> Vec<Row> {
     let (tiles, rows) = match scale {
         Scale::Bench => (16u64, 64u64),
         Scale::Full => (128, 128),
@@ -77,33 +80,42 @@ pub fn run(scale: Scale) -> Vec<Row> {
     mono.noc.chiplet = None;
 
     let channels = cfg.dram.channels;
-    let run_one = |cfg: &SimConfig, local_of_4: usize| {
-        let mut sim = TogSim::new(cfg);
-        for core in 0..2 {
-            sim.add_job(
-                numa_tog(core, local_of_4, channels, tiles, rows),
-                JobSpec { core_offset: core, cores: 1, tag: core as u32, ..JobSpec::default() },
-            );
-        }
-        sim.run().expect("numa sim runs").total_cycles
+    let point = |name: &str, cfg: &SimConfig, local_of_4: usize| {
+        SweepPoint::raw(
+            name,
+            cfg.clone(),
+            (0..2).map(|core| {
+                (
+                    Arc::new(numa_tog(core, local_of_4, channels, tiles, rows)),
+                    JobSpec { core_offset: core, cores: 1, tag: core as u32, ..JobSpec::default() },
+                )
+            }),
+        )
     };
 
     // Monolithic baseline: no chiplet link and interleaved placement
     // (half the accesses on each side of the now-unified memory).
-    let monolithic = run_one(&mono, 2);
+    let mappings = [("best-case", 3usize), ("random", 2), ("worst-case", 1)];
+    let mut sweep = Sweep::new();
+    sweep.push(point("monolithic", &mono, 2));
+    for (name, local) in mappings {
+        sweep.push(point(name, &cfg, local));
+    }
+    let report = sweep.run(&SweepOptions::with_jobs(jobs)).expect("numa sweep succeeds");
+
+    let monolithic = report.results[0].report.total_cycles;
     let mut rows_out = vec![Row {
         name: "monolithic".into(),
         local_fraction: 1.0,
         cycles: monolithic,
         normalized: 1.0,
     }];
-    for (name, local) in [("best-case", 3usize), ("random", 2), ("worst-case", 1)] {
-        let cycles = run_one(&cfg, local);
+    for ((name, local), result) in mappings.iter().zip(&report.results[1..]) {
         rows_out.push(Row {
-            name: name.into(),
-            local_fraction: local as f64 / 4.0,
-            cycles,
-            normalized: cycles as f64 / monolithic as f64,
+            name: (*name).into(),
+            local_fraction: *local as f64 / 4.0,
+            cycles: result.report.total_cycles,
+            normalized: result.report.total_cycles as f64 / monolithic as f64,
         });
     }
     rows_out

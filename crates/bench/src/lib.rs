@@ -25,6 +25,21 @@ pub enum Scale {
     Full,
 }
 
+/// Parses the report binaries' shared command line: `--bench` selects the
+/// reduced scale, `--jobs N` sets the sweep worker count (default 1 —
+/// results are bit-identical at any count, see `pytorchsim::sweep`).
+pub fn cli_scale_and_jobs() -> (Scale, usize) {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--bench") { Scale::Bench } else { Scale::Full };
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("--jobs expects a number, got {v:?}")))
+        .unwrap_or(1);
+    (scale, jobs)
+}
+
 /// Formats a ratio as `x.xx×`.
 pub fn fmt_x(r: f64) -> String {
     format!("{r:.2}x")

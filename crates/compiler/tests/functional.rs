@@ -283,7 +283,7 @@ fn autotuned_compilation_is_functionally_identical_and_not_slower() {
 #[test]
 fn compiled_models_stay_within_scratchpad() {
     // Every op class, on both the tiny and the TPUv3 configurations.
-    let graphs = vec![
+    let graphs = [
         matmul_graph(20, 19, 13),
         {
             let mut g = GraphBuilder::new();

@@ -1,11 +1,11 @@
 use ptsim_common::config::SimConfig;
-use pytorchsim::{models, Simulator};
+use pytorchsim::{models, RunOptions, Simulator};
 
 fn main() {
-    let mut sim = Simulator::new(SimConfig::tpu_v3_single_core());
+    let sim = Simulator::new(SimConfig::tpu_v3_single_core());
     let spec = models::albert(512, 1);
-    let ils = sim.run_inference_ils_timing(&spec).unwrap().total_cycles;
-    let tls = sim.run_inference(&spec).unwrap().total_cycles;
+    let ils = sim.run(&spec, RunOptions::ils_timing()).unwrap().total_cycles;
+    let tls = sim.run(&spec, RunOptions::tls()).unwrap().total_cycles;
     println!(
         "albert_s512_b1: reference {ils}, TLS {tls}, err {:+.1}%",
         100.0 * (tls as f64 - ils as f64) / ils as f64

@@ -1,0 +1,234 @@
+//! The shared, thread-safe compile cache (the §3.10 TOG cache).
+//!
+//! Compilation — tiling, kernel generation, offline latency measurement —
+//! dominates the cost of a simulation *sweep*: the same (model, batch)
+//! point recurs across configurations and fidelities, and TLS replays are
+//! orders of magnitude cheaper than the compile that feeds them. A
+//! [`CompileCache`] makes every compilation happen exactly once per unique
+//! [`CacheKey`] no matter how many [`crate::Simulator`]s — or worker
+//! threads of a [`crate::sweep::Sweep`] — request it.
+//!
+//! Concurrency design: a `RwLock` map of finished models gives lock-free
+//! read scaling on the hot hit path, while a per-key in-flight gate
+//! serializes *only* the workers racing to compile the same key; distinct
+//! keys compile in parallel.
+
+use ptsim_common::config::SimConfig;
+use ptsim_common::Result;
+use ptsim_compiler::{CompiledModel, Compiler, CompilerOptions};
+use ptsim_models::ModelSpec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Identity of one compilation.
+///
+/// The model's `name` identifies its architecture; the input shapes carry
+/// the specialization (batch size and sequence length live in the input
+/// dimensions), so two batch sizes of one model never alias. The target
+/// configuration and compiler options complete the key: tiling and kernel
+/// selection depend on both.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    name: String,
+    input_shapes: Vec<Vec<usize>>,
+    target: String,
+    options: String,
+}
+
+impl CacheKey {
+    /// Builds the key for compiling `spec` against `cfg` with `opts`.
+    pub fn new(spec: &ModelSpec, cfg: &SimConfig, opts: &CompilerOptions) -> Self {
+        CacheKey {
+            name: spec.name.clone(),
+            input_shapes: spec
+                .graph
+                .inputs()
+                .iter()
+                .map(|&v| spec.graph.node(v).shape.dims().to_vec())
+                .collect(),
+            // Configs hold floats, so they cannot derive `Hash`; their
+            // `Debug` rendering is deterministic and total, which is all a
+            // fingerprint needs.
+            target: format!("{cfg:?}"),
+            options: format!("{opts:?}"),
+        }
+    }
+
+    /// The model name component of the key.
+    pub fn model_name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Hit/compile counters of a [`CompileCache`], for sweep reporting and for
+/// asserting that each unique point compiled exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+pub struct CompileCacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Compilations performed (equals the number of unique keys requested).
+    pub compiles: u64,
+}
+
+/// A thread-safe map from [`CacheKey`] to compiled models, shareable as
+/// `Arc<CompileCache>` between simulators and sweep workers.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    ready: RwLock<HashMap<CacheKey, Arc<CompiledModel>>>,
+    inflight: Mutex<HashMap<CacheKey, Arc<Mutex<()>>>>,
+    hits: AtomicU64,
+    compiles: AtomicU64,
+}
+
+impl CompileCache {
+    /// Creates an empty cache behind an [`Arc`], ready to share.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(CompileCache::default())
+    }
+
+    /// Number of cached compiled models.
+    pub fn len(&self) -> usize {
+        self.ready.read().expect("compile cache poisoned").len()
+    }
+
+    /// Whether the cache holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/compile counters so far.
+    pub fn stats(&self) -> CompileCacheStats {
+        CompileCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The cached model for `key`, if present (does not count as a hit).
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<CompiledModel>> {
+        self.ready.read().expect("compile cache poisoned").get(key).cloned()
+    }
+
+    /// Returns the model for `key`, compiling it with `compile` on the
+    /// first request. Concurrent requests for the same key block until the
+    /// single compilation finishes; requests for distinct keys proceed in
+    /// parallel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compiler's error. Failures are not cached: the next
+    /// request retries.
+    pub fn get_or_compile(
+        &self,
+        key: CacheKey,
+        compile: impl FnOnce() -> Result<CompiledModel>,
+    ) -> Result<Arc<CompiledModel>> {
+        if let Some(hit) = self.ready.read().expect("compile cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        // Per-key gate: the first worker in compiles, the rest wait here
+        // and then take the re-check hit below.
+        let gate = {
+            let mut inflight = self.inflight.lock().expect("compile cache poisoned");
+            Arc::clone(inflight.entry(key.clone()).or_default())
+        };
+        let _guard = gate.lock().expect("compile cache poisoned");
+        if let Some(hit) = self.ready.read().expect("compile cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let model = Arc::new(compile()?);
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.ready.write().expect("compile cache poisoned").insert(key.clone(), Arc::clone(&model));
+        self.inflight.lock().expect("compile cache poisoned").remove(&key);
+        Ok(model)
+    }
+
+    /// Compiles `spec` with `compiler` through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn compile_spec(
+        &self,
+        compiler: &Compiler,
+        spec: &ModelSpec,
+    ) -> Result<Arc<CompiledModel>> {
+        let key = CacheKey::new(spec, compiler.config(), compiler.options());
+        self.get_or_compile(key, || compiler.compile(&spec.graph, &spec.name, 1))
+    }
+
+    /// Drops every cached model and resets the counters.
+    pub fn clear(&self) {
+        self.ready.write().expect("compile cache poisoned").clear();
+        self.inflight.lock().expect("compile cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.compiles.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_models::{gemm, mlp};
+
+    fn key(spec: &ModelSpec) -> CacheKey {
+        CacheKey::new(spec, &SimConfig::tiny(), &CompilerOptions::default())
+    }
+
+    #[test]
+    fn distinct_batches_of_one_model_get_distinct_keys() {
+        // Regression for the name-only cache key: same architecture and
+        // name, different batch dimension in the input shapes.
+        let mut a = mlp(4, 32);
+        let mut b = mlp(8, 32);
+        a.name = "mlp".into();
+        b.name = "mlp".into();
+        assert_ne!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn key_depends_on_config_and_options() {
+        let spec = gemm(16);
+        let base = key(&spec);
+        let other_cfg = CacheKey::new(&spec, &SimConfig::tpu_v3(), &CompilerOptions::default());
+        let other_opts = CacheKey::new(&spec, &SimConfig::tiny(), &CompilerOptions::unoptimized());
+        assert_ne!(base, other_cfg);
+        assert_ne!(base, other_opts);
+        assert_eq!(base, key(&spec));
+    }
+
+    #[test]
+    fn concurrent_requests_compile_exactly_once() {
+        let cache = CompileCache::shared();
+        let cfg = SimConfig::tiny();
+        let compiler = Compiler::new(cfg, CompilerOptions::default());
+        let spec = gemm(32);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| cache.compile_spec(&compiler, &spec).expect("compiles"));
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.compiles, 1, "exactly one compile for one key");
+        assert_eq!(stats.hits, 7);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = CompileCache::default();
+        let spec = gemm(8);
+        let k = key(&spec);
+        let err = cache
+            .get_or_compile(k.clone(), || Err(ptsim_common::Error::Unsupported("nope".into())));
+        assert!(err.is_err());
+        assert_eq!(cache.stats().compiles, 0);
+        let compiler = Compiler::new(SimConfig::tiny(), CompilerOptions::default());
+        let ok = cache.get_or_compile(k, || compiler.compile(&spec.graph, &spec.name, 1));
+        assert!(ok.is_ok());
+        assert_eq!(cache.stats().compiles, 1);
+    }
+}

@@ -13,7 +13,10 @@ use ptsim_common::config::SimConfig;
 use ptsim_common::cycles::ns_to_cycles;
 use ptsim_common::{Error, Result};
 use ptsim_models::ModelSpec;
+use std::sync::Arc;
 
+use crate::cache::CompileCache;
+use crate::simulator::RunOptions;
 use crate::training::TrainingSim;
 
 /// The inter-NPU fabric of a multi-NPU system.
@@ -74,24 +77,80 @@ impl ScalingReport {
     }
 }
 
+/// Construction-time configuration of a [`ClusterSim`], mirroring
+/// [`crate::SimulatorBuilder`].
+#[derive(Debug, Clone)]
+pub struct ClusterSimBuilder {
+    npu: SimConfig,
+    cluster: ClusterConfig,
+    run: RunOptions,
+    cache: Option<Arc<CompileCache>>,
+}
+
+impl ClusterSimBuilder {
+    /// Run options (fidelity, tracer, safety limit) of the per-NPU TOGSim
+    /// runs. The tracer additionally records all-reduce phase spans on the
+    /// cluster track.
+    #[must_use]
+    pub fn run_options(mut self, run: RunOptions) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Tracer shorthand — see [`ClusterSimBuilder::run_options`].
+    #[must_use]
+    pub fn tracer(mut self, tracer: Arc<ptsim_trace::Tracer>) -> Self {
+        self.run.tracer = Some(tracer);
+        self
+    }
+
+    /// Shares an existing compile cache between the per-NPU training
+    /// simulations (and any other simulator holding the same cache).
+    #[must_use]
+    pub fn shared_cache(mut self, cache: Arc<CompileCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Builds the cluster simulator.
+    pub fn build(self) -> ClusterSim {
+        ClusterSim {
+            npu: self.npu,
+            cluster: self.cluster,
+            run: self.run,
+            cache: self.cache.unwrap_or_default(),
+        }
+    }
+}
+
 /// Simulates data-parallel training over a cluster of identical NPUs.
 pub struct ClusterSim {
     npu: SimConfig,
     cluster: ClusterConfig,
-    tracer: Option<std::sync::Arc<ptsim_trace::Tracer>>,
+    run: RunOptions,
+    cache: Arc<CompileCache>,
 }
 
 impl ClusterSim {
     /// Creates a cluster of `cluster.npus` NPUs of configuration `npu`.
     pub fn new(npu: SimConfig, cluster: ClusterConfig) -> Self {
-        ClusterSim { npu, cluster, tracer: None }
+        ClusterSim::builder(npu, cluster).build()
+    }
+
+    /// Starts construction-time configuration.
+    pub fn builder(npu: SimConfig, cluster: ClusterConfig) -> ClusterSimBuilder {
+        ClusterSimBuilder { npu, cluster, run: RunOptions::default(), cache: None }
     }
 
     /// Attaches a tracer: per-NPU TOGSim runs record into it, and each
     /// iteration's gradient all-reduce appears as reduce-scatter and
     /// all-gather phase spans on the cluster track.
-    pub fn set_tracer(&mut self, tracer: std::sync::Arc<ptsim_trace::Tracer>) {
-        self.tracer = Some(tracer);
+    #[deprecated(
+        since = "0.2.0",
+        note = "configure via ClusterSim::builder(npu, cluster).tracer(t)"
+    )]
+    pub fn set_tracer(&mut self, tracer: Arc<ptsim_trace::Tracer>) {
+        self.run.tracer = Some(tracer);
     }
 
     /// Ring all-reduce cycles for `bytes` of gradients: each NPU sends
@@ -131,14 +190,14 @@ impl ClusterSim {
         }
         let shard = global_batch / n;
         let spec = make_model(shard);
-        let mut sim = TrainingSim::new(self.npu.clone());
-        if let Some(t) = &self.tracer {
-            sim.set_tracer(t.clone());
-        }
+        let sim = TrainingSim::builder(self.npu.clone())
+            .run_options(self.run.clone())
+            .shared_cache(Arc::clone(&self.cache))
+            .build();
         let compute_cycles = sim.iteration_cycles(&spec)?;
         let grad_bytes = (spec.param_count() * 4) as u64;
         let allreduce_cycles = self.allreduce_cycles(grad_bytes);
-        if let Some(t) = &self.tracer {
+        if let Some(t) = &self.run.tracer {
             if allreduce_cycles > 0 {
                 // The ring collective splits evenly: N−1 reduce-scatter
                 // steps followed by N−1 all-gather steps of equal volume.
@@ -175,9 +234,14 @@ impl ClusterSim {
         make_model: impl Fn(usize) -> ModelSpec + Copy,
         global_batch: usize,
     ) -> Result<ScalingReport> {
+        // One compile cache across NPU counts: identical shard sizes (e.g.
+        // weak scaling, or repeated counts) compile once.
+        let cache = CompileCache::shared();
         let mut points = Vec::new();
         for &n in npu_counts {
-            let sim = ClusterSim::new(npu.clone(), ClusterConfig { npus: n, ..base });
+            let sim = ClusterSim::builder(npu.clone(), ClusterConfig { npus: n, ..base })
+                .shared_cache(Arc::clone(&cache))
+                .build();
             points.push((n, sim.iteration(make_model, global_batch)?));
         }
         Ok(ScalingReport { points })

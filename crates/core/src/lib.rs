@@ -22,21 +22,61 @@
 //!
 //! ```
 //! use ptsim_common::config::SimConfig;
-//! use pytorchsim::Simulator;
+//! use pytorchsim::{RunOptions, Simulator};
 //!
-//! let mut sim = Simulator::new(SimConfig::tiny());
-//! let report = sim.run_inference(&ptsim_models::gemm(32))?;
+//! let sim = Simulator::new(SimConfig::tiny());
+//! let report = sim.run(&ptsim_models::gemm(32), RunOptions::tls())?;
 //! assert!(report.total_cycles > 0);
 //! # Ok::<(), ptsim_common::Error>(())
 //! ```
+//!
+//! Sweeps of many (model × config × options × fidelity) points run through
+//! the parallel [`sweep`] harness, which shares one [`CompileCache`] across
+//! worker threads:
+//!
+//! ```
+//! use ptsim_common::config::SimConfig;
+//! use pytorchsim::sweep::{Sweep, SweepOptions, SweepPoint};
+//!
+//! let mut sweep = Sweep::new();
+//! sweep.push(SweepPoint::model(ptsim_models::gemm(16), SimConfig::tiny()));
+//! sweep.push(SweepPoint::model(ptsim_models::gemm(32), SimConfig::tiny()));
+//! let report = sweep.run(&SweepOptions::with_jobs(2))?;
+//! assert_eq!(report.cache.compiles, 2);
+//! # Ok::<(), ptsim_common::Error>(())
+//! ```
 
+pub mod cache;
 pub mod distributed;
 pub mod simulator;
+pub mod sweep;
 pub mod training;
 
+pub use cache::{CacheKey, CompileCache, CompileCacheStats};
 pub use distributed::{ClusterConfig, ClusterIteration, ClusterSim, ScalingReport};
-pub use simulator::Simulator;
+pub use simulator::{RunOptions, Simulator, SimulatorBuilder};
+pub use sweep::{Sweep, SweepOptions, SweepPoint, SweepReport};
 pub use training::{TrainingRun, TrainingSim};
+
+// Compile-time thread-safety audit: everything the sweep harness shares
+// across worker threads (or moves into them) must be Send + Sync. A type
+// regressing here (e.g. an Rc or RefCell sneaking into a report) fails the
+// build instead of failing deep inside `std::thread::scope`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Simulator>();
+    assert_send_sync::<SimulatorBuilder>();
+    assert_send_sync::<RunOptions>();
+    assert_send_sync::<CompileCache>();
+    assert_send_sync::<Sweep>();
+    assert_send_sync::<SweepReport>();
+    assert_send_sync::<TrainingSim>();
+    assert_send_sync::<ClusterSim>();
+    assert_send_sync::<ptsim_compiler::CompiledModel>();
+    assert_send_sync::<ptsim_tog::ExecutableTog>();
+    assert_send_sync::<ptsim_togsim::SimReport>();
+    assert_send_sync::<ptsim_trace::Tracer>();
+};
 
 // Re-export the workspace's public surface for downstream users.
 pub use ptsim_baselines as baselines;

@@ -1,23 +1,158 @@
 //! The top-level simulator facade.
+//!
+//! # API migration
+//!
+//! The historical `run_inference*` trio collapsed into one entry point,
+//! [`Simulator::run`], configured by [`RunOptions`]:
+//!
+//! | old method                        | replacement                                |
+//! |-----------------------------------|--------------------------------------------|
+//! | `run_inference(spec)`             | `run(spec, RunOptions::tls())`             |
+//! | `run_inference_ils(spec)`         | `run(spec, RunOptions::ils())`             |
+//! | `run_inference_ils_timing(spec)`  | `run(spec, RunOptions::ils_timing())`      |
+//! | `set_tracer(t)` after `new`       | `Simulator::builder(cfg).tracer(t).build()`|
+//!
+//! The deprecated wrappers remain as thin shims. `run` takes `&self`: the
+//! compile cache is interior-locked and shareable, so one `Simulator` (or
+//! one [`crate::CompileCache`] across many) can serve concurrent sweep
+//! workers — see [`crate::sweep`].
 
+use crate::cache::CompileCache;
 use ptsim_common::config::SimConfig;
 use ptsim_common::{Cycle, Result};
 use ptsim_compiler::{execute_functional, CompiledModel, Compiler, CompilerOptions};
 use ptsim_models::ModelSpec;
 use ptsim_tensor::Tensor;
 use ptsim_togsim::{Fidelity, JobSpec, SimReport, TogSim};
-use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A complete PyTorchSim instance: compiler, caches, and simulators for a
-/// fixed NPU configuration.
+/// Default per-tile pipeline-restart overhead of the ILS fidelity mode,
+/// cycles (the descriptor/refill cost between tile kernels).
+pub const ILS_PER_TILE_OVERHEAD: u64 = 24;
+
+/// Per-run configuration of [`Simulator::run`]: fidelity, tracing, and the
+/// simulation safety limit, in one vocabulary shared by the inference,
+/// training, and cluster facades.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Compute-node fidelity (TLS by default).
+    pub fidelity: Fidelity,
+    /// Per-run tracer; overrides the simulator's construction-time tracer.
+    pub tracer: Option<Arc<ptsim_trace::Tracer>>,
+    /// Simulation-length safety limit in cycles, when set.
+    pub max_cycles: Option<u64>,
+}
+
+impl RunOptions {
+    /// Tile-Level Simulation — the fast default.
+    pub fn tls() -> Self {
+        RunOptions::default()
+    }
+
+    /// Instruction-level fidelity: every tile kernel's machine code is
+    /// timed on the core pipeline model *and* executed functionally (the
+    /// slow ILS mode of Fig. 6, the high-fidelity reference of Fig. 5).
+    pub fn ils() -> Self {
+        RunOptions {
+            fidelity: Fidelity::Ils { per_tile_overhead: ILS_PER_TILE_OVERHEAD, functional: true },
+            ..RunOptions::default()
+        }
+    }
+
+    /// ILS with functional execution disabled: identical simulated cycles
+    /// at a fraction of the wall-clock cost, since functional execution
+    /// affects only how long the *simulator* takes, never simulated time.
+    pub fn ils_timing() -> Self {
+        RunOptions {
+            fidelity: Fidelity::Ils { per_tile_overhead: ILS_PER_TILE_OVERHEAD, functional: false },
+            ..RunOptions::default()
+        }
+    }
+
+    /// Selects an explicit fidelity.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Attaches a tracer to this run.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<ptsim_trace::Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Sets the cycle safety limit.
+    #[must_use]
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = Some(max_cycles);
+        self
+    }
+
+    /// Whether this run needs kernel programs attached (ILS re-executes
+    /// machine code).
+    pub fn needs_kernels(&self) -> bool {
+        matches!(self.fidelity, Fidelity::Ils { .. })
+    }
+}
+
+/// Construction-time configuration of a [`Simulator`].
+#[derive(Debug, Clone, Default)]
+pub struct SimulatorBuilder {
+    cfg: SimConfig,
+    opts: CompilerOptions,
+    tracer: Option<Arc<ptsim_trace::Tracer>>,
+    cache: Option<Arc<CompileCache>>,
+}
+
+impl SimulatorBuilder {
+    /// Compiler options (for the §5.3 optimization studies).
+    #[must_use]
+    pub fn compiler_options(mut self, opts: CompilerOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Default tracer for every run (a per-run [`RunOptions::tracer`]
+    /// takes precedence).
+    #[must_use]
+    pub fn tracer(mut self, tracer: Arc<ptsim_trace::Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Shares an existing compile cache instead of creating a private one,
+    /// so identical (model, batch, config, options) points compile once
+    /// across simulators and threads.
+    #[must_use]
+    pub fn shared_cache(mut self, cache: Arc<CompileCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Builds the simulator.
+    pub fn build(self) -> Simulator {
+        Simulator {
+            compiler: Compiler::new(self.cfg.clone(), self.opts),
+            cfg: self.cfg,
+            cache: self.cache.unwrap_or_default(),
+            tracer: self.tracer,
+        }
+    }
+}
+
+/// A complete PyTorchSim instance: compiler, compile cache, and simulators
+/// for a fixed NPU configuration.
 ///
-/// Compiled models are cached by name (the §3.10 TOG cache): recompilation
-/// happens only the first time a (model, batch) combination is seen.
+/// Compiled models are cached by (name, input shapes, config, compiler
+/// options) — the §3.10 TOG cache — so recompilation happens only the
+/// first time a (model, batch) combination is seen, even when the cache is
+/// shared across simulators or threads.
 pub struct Simulator {
     cfg: SimConfig,
     compiler: Compiler,
-    cache: HashMap<String, Arc<CompiledModel>>,
+    cache: Arc<CompileCache>,
     tracer: Option<Arc<ptsim_trace::Tracer>>,
 }
 
@@ -30,12 +165,13 @@ impl Simulator {
     /// Creates a simulator with explicit compiler options (for the §5.3
     /// optimization studies).
     pub fn with_options(cfg: SimConfig, opts: CompilerOptions) -> Self {
-        Simulator {
-            compiler: Compiler::new(cfg.clone(), opts),
-            cfg,
-            cache: HashMap::new(),
-            tracer: None,
-        }
+        Simulator::builder(cfg).compiler_options(opts).build()
+    }
+
+    /// Starts construction-time configuration: compiler options, tracer,
+    /// and cache sharing.
+    pub fn builder(cfg: SimConfig) -> SimulatorBuilder {
+        SimulatorBuilder { cfg, ..SimulatorBuilder::default() }
     }
 
     /// The NPU configuration.
@@ -43,23 +179,31 @@ impl Simulator {
         &self.cfg
     }
 
+    /// The active compiler options.
+    pub fn compiler_options(&self) -> &CompilerOptions {
+        self.compiler.options()
+    }
+
+    /// The compile cache (private by default, shared when built with
+    /// [`SimulatorBuilder::shared_cache`]).
+    pub fn cache(&self) -> &Arc<CompileCache> {
+        &self.cache
+    }
+
     /// Attaches a tracer: every subsequent simulation run records compute,
     /// DMA, DRAM, and NoC events into it.
+    #[deprecated(
+        since = "0.2.0",
+        note = "configure via Simulator::builder(cfg).tracer(t), \
+                                          or per run via RunOptions::with_tracer"
+    )]
     pub fn set_tracer(&mut self, tracer: Arc<ptsim_trace::Tracer>) {
         self.tracer = Some(tracer);
     }
 
-    /// The attached tracer, if any.
+    /// The construction-time tracer, if any.
     pub fn tracer(&self) -> Option<&Arc<ptsim_trace::Tracer>> {
         self.tracer.as_ref()
-    }
-
-    fn new_togsim(&self) -> TogSim {
-        let mut sim = TogSim::new(&self.cfg);
-        if let Some(t) = &self.tracer {
-            sim.set_tracer(t.clone());
-        }
-        sim
     }
 
     /// Compiles (or fetches from the cache) a model.
@@ -67,66 +211,80 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns an error if lowering fails.
-    pub fn compile(&mut self, spec: &ModelSpec) -> Result<Arc<CompiledModel>> {
-        if let Some(hit) = self.cache.get(&spec.name) {
-            return Ok(Arc::clone(hit));
-        }
-        let model = Arc::new(self.compiler.compile(&spec.graph, &spec.name, 1)?);
-        self.cache.insert(spec.name.clone(), Arc::clone(&model));
-        Ok(model)
+    pub fn compile(&self, spec: &ModelSpec) -> Result<Arc<CompiledModel>> {
+        self.cache.compile_spec(&self.compiler, spec)
     }
 
-    /// Number of cached compiled models.
+    /// Number of cached compiled models (over the whole shared cache).
     pub fn cache_len(&self) -> usize {
         self.cache.len()
     }
 
-    /// Runs one inference of `spec` with Tile-Level Simulation on the full
-    /// NPU.
+    /// Runs one inference of `spec` under `opts` — the single entry point
+    /// replacing the `run_inference*` trio (see the module docs for the
+    /// migration table).
     ///
     /// # Errors
     ///
     /// Returns an error if compilation or simulation fails.
-    pub fn run_inference(&mut self, spec: &ModelSpec) -> Result<SimReport> {
+    pub fn run(&self, spec: &ModelSpec, opts: RunOptions) -> Result<SimReport> {
         let model = self.compile(spec)?;
-        let mut sim = self.new_togsim();
-        sim.add_shared_job(Arc::new(model.tog.clone()), JobSpec::default());
+        self.run_compiled(&model, &opts)
+    }
+
+    /// Runs one inference of an already compiled model under `opts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if simulation fails.
+    pub fn run_compiled(&self, model: &CompiledModel, opts: &RunOptions) -> Result<SimReport> {
+        let kernels = opts.needs_kernels().then(|| Arc::new(model.kernels.clone()));
+        let mut sim = self.new_togsim(opts);
+        sim.add_shared_job(Arc::new(model.tog.clone()), JobSpec { kernels, ..JobSpec::default() });
         sim.run()
     }
 
-    /// Runs one inference at instruction-level fidelity: every tile
-    /// kernel's machine code is re-executed on the core timing model (the
-    /// slow ILS mode of Fig. 6, and the high-fidelity reference of Fig. 5).
+    /// A TOGSim configured for one run: fidelity, tracer (per-run wins
+    /// over construction-time), and safety limit applied.
+    pub(crate) fn new_togsim(&self, opts: &RunOptions) -> TogSim {
+        let mut sim = TogSim::new(&self.cfg).with_fidelity(opts.fidelity);
+        if let Some(limit) = opts.max_cycles {
+            sim.set_max_cycles(limit);
+        }
+        if let Some(t) = opts.tracer.as_ref().or(self.tracer.as_ref()) {
+            sim.set_tracer(Arc::clone(t));
+        }
+        sim
+    }
+
+    /// Runs one inference with Tile-Level Simulation on the full NPU.
     ///
     /// # Errors
     ///
     /// Returns an error if compilation or simulation fails.
-    pub fn run_inference_ils(&mut self, spec: &ModelSpec) -> Result<SimReport> {
-        self.run_ils_inner(spec, true)
+    #[deprecated(since = "0.2.0", note = "use run(spec, RunOptions::tls())")]
+    pub fn run_inference(&self, spec: &ModelSpec) -> Result<SimReport> {
+        self.run(spec, RunOptions::tls())
     }
 
-    /// ILS with functional execution disabled: same simulated cycles (the
-    /// timing reference of Fig. 5) at a fraction of the wall-clock cost,
-    /// since functional execution affects only how long the *simulator*
-    /// takes, never the simulated time.
+    /// Runs one inference at instruction-level fidelity.
     ///
     /// # Errors
     ///
     /// Returns an error if compilation or simulation fails.
-    pub fn run_inference_ils_timing(&mut self, spec: &ModelSpec) -> Result<SimReport> {
-        self.run_ils_inner(spec, false)
+    #[deprecated(since = "0.2.0", note = "use run(spec, RunOptions::ils())")]
+    pub fn run_inference_ils(&self, spec: &ModelSpec) -> Result<SimReport> {
+        self.run(spec, RunOptions::ils())
     }
 
-    fn run_ils_inner(&mut self, spec: &ModelSpec, functional: bool) -> Result<SimReport> {
-        let model = self.compile(spec)?;
-        let kernels = Arc::new(model.kernels.clone());
-        let mut sim =
-            self.new_togsim().with_fidelity(Fidelity::Ils { per_tile_overhead: 24, functional });
-        sim.add_shared_job(
-            Arc::new(model.tog.clone()),
-            JobSpec { kernels: Some(kernels), ..JobSpec::default() },
-        );
-        sim.run()
+    /// ILS with functional execution disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if compilation or simulation fails.
+    #[deprecated(since = "0.2.0", note = "use run(spec, RunOptions::ils_timing())")]
+    pub fn run_inference_ils_timing(&self, spec: &ModelSpec) -> Result<SimReport> {
+        self.run(spec, RunOptions::ils_timing())
     }
 
     /// Runs several compiled models concurrently (multi-model tenancy,
@@ -136,10 +294,10 @@ impl Simulator {
     ///
     /// Returns an error if simulation deadlocks.
     pub fn run_tenants(
-        &mut self,
+        &self,
         tenants: &[(Arc<CompiledModel>, usize, usize, u32, Cycle)],
     ) -> Result<SimReport> {
-        let mut sim = self.new_togsim();
+        let mut sim = self.new_togsim(&RunOptions::tls());
         for (model, core_offset, cores, tag, start_at) in tenants {
             sim.add_shared_job(
                 Arc::new(model.tog.clone()),
@@ -163,7 +321,7 @@ impl Simulator {
     ///
     /// Returns an error on binding mismatches or kernel faults.
     pub fn execute(
-        &mut self,
+        &self,
         spec: &ModelSpec,
         inputs: &[Tensor],
         params: &[Tensor],
@@ -176,22 +334,42 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ptsim_models::gemm;
+    use ptsim_models::{gemm, mlp};
 
     #[test]
-    fn compile_cache_hits_by_name() {
-        let mut sim = Simulator::new(SimConfig::tiny());
+    fn compile_cache_hits_for_identical_specs() {
+        let sim = Simulator::new(SimConfig::tiny());
         let spec = gemm(16);
         let a = sim.compile(&spec).unwrap();
         let b = sim.compile(&spec).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(sim.cache_len(), 1);
+        assert_eq!(sim.cache().stats().hits, 1);
+    }
+
+    #[test]
+    fn compile_cache_does_not_alias_batches_of_one_name() {
+        // Regression: the cache used to key on `spec.name` alone, so two
+        // batch sizes of the same model aliased to whichever compiled
+        // first. The key now includes the input shapes.
+        let sim = Simulator::new(SimConfig::tiny());
+        let mut small = mlp(4, 32);
+        let mut large = mlp(16, 32);
+        small.name = "mlp".into();
+        large.name = "mlp".into();
+        let a = sim.compile(&small).unwrap();
+        let b = sim.compile(&large).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "distinct batches must compile separately");
+        assert_eq!(sim.cache_len(), 2);
+        let small_cycles = sim.run(&small, RunOptions::tls()).unwrap().total_cycles;
+        let large_cycles = sim.run(&large, RunOptions::tls()).unwrap().total_cycles;
+        assert!(large_cycles > small_cycles, "{small_cycles} vs {large_cycles}");
     }
 
     #[test]
     fn inference_produces_nonzero_cycles_and_traffic() {
-        let mut sim = Simulator::new(SimConfig::tiny());
-        let r = sim.run_inference(&gemm(32)).unwrap();
+        let sim = Simulator::new(SimConfig::tiny());
+        let r = sim.run(&gemm(32), RunOptions::tls()).unwrap();
         assert!(r.total_cycles > 0);
         assert!(r.dram.bytes >= 3 * 32 * 32 * 4);
     }
@@ -201,11 +379,46 @@ mod tests {
         // TLS is derived from the same kernels measured offline, so the
         // simulated cycle counts must be close (the error is the per-tile
         // overhead ILS adds) — this is the heart of the TLS argument.
-        let mut sim = Simulator::new(SimConfig::tiny());
+        let sim = Simulator::new(SimConfig::tiny());
         let spec = gemm(48);
-        let tls = sim.run_inference(&spec).unwrap().total_cycles;
-        let ils = sim.run_inference_ils(&spec).unwrap().total_cycles;
+        let tls = sim.run(&spec, RunOptions::tls()).unwrap().total_cycles;
+        let ils = sim.run(&spec, RunOptions::ils()).unwrap().total_cycles;
         let err = (tls as f64 - ils as f64).abs() / ils as f64;
         assert!(err < 0.35, "tls {tls} vs ils {ils} ({:.1}% error)", err * 100.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_run_options() {
+        let sim = Simulator::new(SimConfig::tiny());
+        let spec = gemm(32);
+        assert_eq!(sim.run_inference(&spec).unwrap(), sim.run(&spec, RunOptions::tls()).unwrap());
+        assert_eq!(
+            sim.run_inference_ils_timing(&spec).unwrap().total_cycles,
+            sim.run(&spec, RunOptions::ils_timing()).unwrap().total_cycles
+        );
+    }
+
+    #[test]
+    fn ils_timing_matches_ils_functional_cycles() {
+        let sim = Simulator::new(SimConfig::tiny());
+        let spec = gemm(32);
+        assert_eq!(
+            sim.run(&spec, RunOptions::ils_timing()).unwrap().total_cycles,
+            sim.run(&spec, RunOptions::ils()).unwrap().total_cycles
+        );
+    }
+
+    #[test]
+    fn builder_shares_cache_between_simulators() {
+        let cache = crate::CompileCache::shared();
+        let a = Simulator::builder(SimConfig::tiny()).shared_cache(Arc::clone(&cache)).build();
+        let b = Simulator::builder(SimConfig::tiny()).shared_cache(Arc::clone(&cache)).build();
+        let spec = gemm(16);
+        let ma = a.compile(&spec).unwrap();
+        let mb = b.compile(&spec).unwrap();
+        assert!(Arc::ptr_eq(&ma, &mb));
+        assert_eq!(cache.stats().compiles, 1);
+        assert_eq!(cache.stats().hits, 1);
     }
 }

@@ -9,6 +9,8 @@
 //! iterations), matching the paper's observation that functional outputs
 //! can be computed on the host.
 
+use crate::cache::CompileCache;
+use crate::simulator::RunOptions;
 use ptsim_common::config::SimConfig;
 use ptsim_common::{Error, Result};
 use ptsim_compiler::{Compiler, CompilerOptions};
@@ -18,6 +20,7 @@ use ptsim_graph::train::Sgd;
 use ptsim_models::{ModelSpec, SyntheticMnist};
 use ptsim_tensor::Tensor;
 use ptsim_togsim::{JobSpec, TogSim};
+use std::sync::Arc;
 
 /// The result of a simulated training run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
@@ -41,45 +44,120 @@ impl TrainingRun {
     }
 }
 
+/// Construction-time configuration of a [`TrainingSim`], mirroring
+/// [`crate::SimulatorBuilder`] so the facades share one vocabulary.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingSimBuilder {
+    cfg: SimConfig,
+    opts: CompilerOptions,
+    run: RunOptions,
+    cache: Option<Arc<CompileCache>>,
+}
+
+impl TrainingSimBuilder {
+    /// Compiler options for the forward+backward TOG.
+    #[must_use]
+    pub fn compiler_options(mut self, opts: CompilerOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Run options (fidelity, tracer, safety limit) of the per-iteration
+    /// TOGSim run.
+    #[must_use]
+    pub fn run_options(mut self, run: RunOptions) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Tracer for the per-iteration run — shorthand for a
+    /// [`RunOptions::with_tracer`] run configuration.
+    #[must_use]
+    pub fn tracer(mut self, tracer: Arc<ptsim_trace::Tracer>) -> Self {
+        self.run.tracer = Some(tracer);
+        self
+    }
+
+    /// Shares an existing compile cache (e.g. one pre-warmed by a
+    /// [`crate::sweep::Sweep`] over the training graphs).
+    #[must_use]
+    pub fn shared_cache(mut self, cache: Arc<CompileCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Builds the training simulator.
+    pub fn build(self) -> TrainingSim {
+        TrainingSim {
+            cfg: self.cfg,
+            opts: self.opts,
+            run: self.run,
+            cache: self.cache.unwrap_or_default(),
+        }
+    }
+}
+
 /// Simulates training of a trainable [`ModelSpec`] on a synthetic dataset.
 pub struct TrainingSim {
     cfg: SimConfig,
     opts: CompilerOptions,
-    tracer: Option<std::sync::Arc<ptsim_trace::Tracer>>,
+    run: RunOptions,
+    cache: Arc<CompileCache>,
 }
 
 impl TrainingSim {
-    /// Creates a training simulator.
+    /// Creates a training simulator with default options.
     pub fn new(cfg: SimConfig) -> Self {
-        TrainingSim { cfg, opts: CompilerOptions::default(), tracer: None }
+        TrainingSim::builder(cfg).build()
+    }
+
+    /// Starts construction-time configuration.
+    pub fn builder(cfg: SimConfig) -> TrainingSimBuilder {
+        TrainingSimBuilder { cfg, ..TrainingSimBuilder::default() }
     }
 
     /// Attaches a tracer; the per-iteration TOGSim run records into it.
-    pub fn set_tracer(&mut self, tracer: std::sync::Arc<ptsim_trace::Tracer>) {
-        self.tracer = Some(tracer);
+    #[deprecated(since = "0.2.0", note = "configure via TrainingSim::builder(cfg).tracer(t)")]
+    pub fn set_tracer(&mut self, tracer: Arc<ptsim_trace::Tracer>) {
+        self.run.tracer = Some(tracer);
+    }
+
+    /// The forward+backward pass of `spec` as a compilable model: the
+    /// autodiff-expanded graph under the canonical `{name}_train` name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model has no loss or autodiff fails.
+    pub fn training_spec(spec: &ModelSpec) -> Result<ModelSpec> {
+        let loss = spec
+            .loss
+            .ok_or_else(|| Error::InvalidGraph(format!("model {} has no loss", spec.name)))?;
+        Ok(ModelSpec {
+            name: format!("{}_train", spec.name),
+            graph: build_training_graph(&spec.graph, loss)?,
+            loss: None,
+        })
     }
 
     /// Per-iteration NPU cycles for the model's forward+backward pass,
-    /// from the compiled training TOG on TOGSim.
+    /// from the compiled training TOG on TOGSim. Compilation goes through
+    /// the (shareable) compile cache.
     ///
     /// # Errors
     ///
     /// Returns an error if the model has no loss or compilation fails.
     pub fn iteration_cycles(&self, spec: &ModelSpec) -> Result<u64> {
-        let loss = spec
-            .loss
-            .ok_or_else(|| Error::InvalidGraph(format!("model {} has no loss", spec.name)))?;
-        let train_graph = build_training_graph(&spec.graph, loss)?;
-        let compiled = Compiler::new(self.cfg.clone(), self.opts.clone()).compile(
-            &train_graph,
-            &format!("{}_train", spec.name),
-            1,
-        )?;
-        let mut sim = TogSim::new(&self.cfg);
-        if let Some(t) = &self.tracer {
+        let train_spec = Self::training_spec(spec)?;
+        let compiler = Compiler::new(self.cfg.clone(), self.opts.clone());
+        let compiled = self.cache.compile_spec(&compiler, &train_spec)?;
+        let mut sim = TogSim::new(&self.cfg).with_fidelity(self.run.fidelity);
+        if let Some(limit) = self.run.max_cycles {
+            sim.set_max_cycles(limit);
+        }
+        if let Some(t) = &self.run.tracer {
             sim.set_tracer(t.clone());
         }
-        sim.add_job(compiled.tog.clone(), JobSpec::default());
+        sim.add_shared_job(Arc::new(compiled.tog.clone()), JobSpec::default());
         Ok(sim.run()?.total_cycles)
     }
 
@@ -99,11 +177,33 @@ impl TrainingSim {
         lr: f32,
         seed: u64,
     ) -> Result<TrainingRun> {
+        let cycles_per_iteration = self.iteration_cycles(spec)?;
+        self.train_mlp_with_cycles(spec, batch, dataset, epochs, lr, seed, cycles_per_iteration)
+    }
+
+    /// [`TrainingSim::train_mlp`] with externally supplied per-iteration
+    /// cycles — for callers that already timed the forward+backward TOG
+    /// (e.g. through a parallel [`crate::sweep::Sweep`] over batch sizes)
+    /// and only need the functional loss trajectory here.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model is not trainable or execution fails.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_mlp_with_cycles(
+        &self,
+        spec: &ModelSpec,
+        batch: usize,
+        dataset: &SyntheticMnist,
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+        cycles_per_iteration: u64,
+    ) -> Result<TrainingRun> {
         let loss_value = spec
             .loss
             .ok_or_else(|| Error::InvalidGraph(format!("model {} has no loss", spec.name)))?;
         let train_graph = build_training_graph(&spec.graph, loss_value)?;
-        let cycles_per_iteration = self.iteration_cycles(spec)?;
 
         let mut params = spec.init_params(seed);
         let opt = Sgd::new(lr);

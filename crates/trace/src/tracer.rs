@@ -178,6 +178,7 @@ impl Tracer {
 
     /// One DRAM transaction retiring on `channel` with its row outcome.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     pub fn dram_tx(
         &self,
         channel: usize,

@@ -11,8 +11,10 @@
 //! mappings against a monolithic NPU.
 
 use ptsim_common::config::{ChipletLinkConfig, SimConfig};
+use pytorchsim::sweep::{Sweep, SweepOptions, SweepPoint};
 use pytorchsim::tog::{AddrExpr, ExecUnit, ExecutableTog, TogBuilder, TogOpKind};
-use pytorchsim::togsim::{JobSpec, TogSim};
+use pytorchsim::togsim::JobSpec;
+use std::sync::Arc;
 
 /// Builds a per-core TOG whose tile loads target local memory with
 /// probability-like ratio `local_of_4` out of 4, by steering each load's
@@ -59,22 +61,34 @@ fn main() -> ptsim_common::Result<()> {
 
     let channels = cfg.dram.channels;
     let tiles = 64;
-    let run = |cfg: &SimConfig, local_of_4: usize| -> ptsim_common::Result<u64> {
-        let mut sim = TogSim::new(cfg);
-        for core in 0..2 {
-            sim.add_job(
-                numa_tog(core, local_of_4, channels, tiles),
-                JobSpec { core_offset: core, cores: 1, tag: core as u32, ..JobSpec::default() },
-            );
-        }
-        Ok(sim.run()?.total_cycles)
+    let point = |name: &str, cfg: &SimConfig, local_of_4: usize| {
+        SweepPoint::raw(
+            name,
+            cfg.clone(),
+            (0..2).map(|core| {
+                (
+                    Arc::new(numa_tog(core, local_of_4, channels, tiles)),
+                    JobSpec { core_offset: core, cores: 1, tag: core as u32, ..JobSpec::default() },
+                )
+            }),
+        )
     };
 
-    let monolithic = run(&mono, 4)?;
+    // The four mappings are independent simulations: declare them as a
+    // sweep and run them over four worker threads.
+    let mappings = [("best-case", 3), ("random", 2), ("worst-case", 1)];
+    let mut sweep = Sweep::new();
+    sweep.push(point("monolithic", &mono, 4));
+    for (name, local) in mappings {
+        sweep.push(point(name, &cfg, local));
+    }
+    let report = sweep.run(&SweepOptions::with_jobs(4))?;
+
+    let monolithic = report.results[0].report.total_cycles;
     println!("mapping        local%   cycles      vs monolithic");
     println!("monolithic      100%    {monolithic:>9}        1.00x");
-    for (name, local) in [("best-case", 3), ("random", 2), ("worst-case", 1)] {
-        let cycles = run(&cfg, local)?;
+    for ((name, local), result) in mappings.iter().zip(&report.results[1..]) {
+        let cycles = result.report.total_cycles;
         println!(
             "{name:<14} {:>4}%    {cycles:>9}       {:>5.2}x",
             local * 25,

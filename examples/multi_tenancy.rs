@@ -10,9 +10,9 @@
 //! shifts are reported.
 
 use ptsim_common::config::SimConfig;
-use ptsim_common::Cycle;
 use pytorchsim::models;
-use pytorchsim::Simulator;
+use pytorchsim::sweep::{Sweep, SweepOptions, SweepPoint};
+use pytorchsim::togsim::JobSpec;
 
 fn main() -> ptsim_common::Result<()> {
     let mut full = SimConfig::tpu_v3();
@@ -29,17 +29,25 @@ fn main() -> ptsim_common::Result<()> {
     );
     let resnet = models::resnet18(2);
 
-    // Solo runs: half the bandwidth each.
-    let mut sim_half = Simulator::new(half);
-    let bert_solo = sim_half.run_inference(&bert)?.jobs[0].cycles();
-    let resnet_solo = sim_half.run_inference(&resnet)?.jobs[0].cycles();
+    // The two solo runs (half the bandwidth each) and the co-located run
+    // (full bandwidth, one core each) are three independent simulations —
+    // a sweep, run here over three worker threads.
+    let mut sweep = Sweep::new();
+    sweep.push(SweepPoint::model(bert.clone(), half.clone()).with_label("bert-solo"));
+    sweep.push(SweepPoint::model(resnet.clone(), half).with_label("resnet-solo"));
+    sweep.push(SweepPoint::tenants(
+        "co-located",
+        full,
+        [
+            (bert, JobSpec { core_offset: 0, cores: 1, tag: 0, ..JobSpec::default() }),
+            (resnet, JobSpec { core_offset: 1, cores: 1, tag: 1, ..JobSpec::default() }),
+        ],
+    ));
+    let report = sweep.run(&SweepOptions::with_jobs(3))?;
 
-    // Co-located: full bandwidth, one core each.
-    let mut sim_full = Simulator::new(full);
-    let bert_c = sim_full.compile(&bert)?;
-    let resnet_c = sim_full.compile(&resnet)?;
-    let shared = sim_full
-        .run_tenants(&[(bert_c, 0, 1, 0, Cycle::ZERO), (resnet_c, 1, 1, 1, Cycle::ZERO)])?;
+    let bert_solo = report.results[0].report.jobs[0].cycles();
+    let resnet_solo = report.results[1].report.jobs[0].cycles();
+    let shared = &report.results[2].report;
     let bert_shared = shared.jobs[0].cycles();
     let resnet_shared = shared.jobs[1].cycles();
 

@@ -14,7 +14,7 @@ use ptsim_common::config::SimConfig;
 use pytorchsim::graph::exec;
 use pytorchsim::models;
 use pytorchsim::tensor::Tensor;
-use pytorchsim::Simulator;
+use pytorchsim::{RunOptions, Simulator};
 
 fn main() -> ptsim_common::Result<()> {
     // The paper's TPUv3 validation target: 128x128 systolic arrays,
@@ -29,7 +29,7 @@ fn main() -> ptsim_common::Result<()> {
         cfg.npu.systolic_arrays_per_core,
         cfg.npu.scratchpad_bytes / 1024,
     );
-    let mut sim = Simulator::new(cfg);
+    let sim = Simulator::new(cfg);
 
     // --- Timing: simulate a 512-square GEMM. ---
     let spec = models::gemm(512);
@@ -42,7 +42,7 @@ fn main() -> ptsim_common::Result<()> {
         model.stats.fused_ops,
         model.layout.total_bytes() >> 20,
     );
-    let report = sim.run_inference(&spec)?;
+    let report = sim.run(&spec, RunOptions::tls())?;
     let ms = report.total_cycles as f64 / (sim.config().npu.freq_mhz * 1e3);
     println!(
         "TLS: {} cycles ({ms:.3} ms simulated), DRAM {} MiB moved, row-hit rate {:.0}%",

@@ -10,12 +10,12 @@
 use ptsim_common::config::SimConfig;
 use pytorchsim::models;
 use pytorchsim::tog::FlatNodeKind;
-use pytorchsim::Simulator;
+use pytorchsim::{RunOptions, Simulator};
 use std::time::Instant;
 
 fn main() -> ptsim_common::Result<()> {
     let cfg = SimConfig::tpu_v3_single_core();
-    let mut sim = Simulator::new(cfg);
+    let sim = Simulator::new(cfg);
     let spec = models::resnet18(1);
     println!("model: {} ({:.1}M parameters)", spec.name, spec.param_count() as f64 / 1e6);
 
@@ -39,7 +39,7 @@ fn main() -> ptsim_common::Result<()> {
     println!("TOG: {loads} loads, {stores} stores, {computes} computes");
 
     let t1 = Instant::now();
-    let report = sim.run_inference(&spec)?;
+    let report = sim.run(&spec, RunOptions::tls())?;
     let wall = t1.elapsed().as_secs_f64();
     let sim_ms = report.total_cycles as f64 / (sim.config().npu.freq_mhz * 1e3);
     println!(

@@ -20,7 +20,7 @@ fn heterogeneous_dense_sparse_unfairness() {
     cfg.dram.scheduler = MemSchedulerPolicy::FrFcfs;
 
     // Dense job: a bandwidth-hungry GEMM on core 0.
-    let mut sim = Simulator::new(cfg.clone());
+    let sim = Simulator::new(cfg.clone());
     let dense = sim.compile(&models::gemm(96)).unwrap();
     // Sparse job: SpMSpM tiles with scattered small transfers on core 1.
     let a = CsrMatrix::random(192, 192, 0.05, 70);
@@ -68,7 +68,7 @@ fn multi_model_tenancy_asymmetry() {
     cfg.npu.cores = 2;
     // A single DRAM channel makes bandwidth the scarce resource.
     cfg.dram.channels = 1;
-    let mut sim = Simulator::new(cfg);
+    let sim = Simulator::new(cfg);
     // Heavy: big rectangular GEMM; light: smaller GEMM.
     let heavy = sim.compile(&models::gemm_rect(256, 64, 256)).unwrap();
     let light = sim.compile(&models::gemm(64)).unwrap();
@@ -141,10 +141,10 @@ fn conv_layout_optimization_helps_batch_one() {
     // Batch 1 with 3 input channels: the optimized layout folds the filter
     // width into the reduction dimension (HWC/HNWC) and groups width rows.
     let spec = models::conv_custom(1, 3, 16, 16, 3, 1, 1);
-    let mut opt_sim = Simulator::with_options(cfg.clone(), CompilerOptions::default());
-    let mut base_sim = Simulator::with_options(cfg, CompilerOptions::unoptimized());
-    let optimized = opt_sim.run_inference(&spec).unwrap().total_cycles;
-    let baseline = base_sim.run_inference(&spec).unwrap().total_cycles;
+    let opt_sim = Simulator::with_options(cfg.clone(), CompilerOptions::default());
+    let base_sim = Simulator::with_options(cfg, CompilerOptions::unoptimized());
+    let optimized = opt_sim.run(&spec, pytorchsim::RunOptions::tls()).unwrap().total_cycles;
+    let baseline = base_sim.run(&spec, pytorchsim::RunOptions::tls()).unwrap().total_cycles;
     assert!(
         (optimized as f64) * 1.3 < baseline as f64,
         "layout optimization must win at batch 1: {optimized} vs {baseline}"

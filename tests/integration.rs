@@ -9,13 +9,13 @@ use pytorchsim::graph::exec;
 use pytorchsim::models::{self, SyntheticMnist};
 use pytorchsim::tensor::Tensor;
 use pytorchsim::togsim::{JobSpec, TogSim};
-use pytorchsim::Simulator;
+use pytorchsim::{RunOptions, Simulator};
 
 #[test]
 fn end_to_end_gemm_pipeline() {
-    let mut sim = Simulator::new(SimConfig::tiny());
+    let sim = Simulator::new(SimConfig::tiny());
     let spec = models::gemm(64);
-    let report = sim.run_inference(&spec).unwrap();
+    let report = sim.run(&spec, RunOptions::tls()).unwrap();
     assert!(report.total_cycles > 0);
     // Traffic covers at least both operands and the result once.
     assert!(report.dram.bytes >= 3 * 64 * 64 * 4);
@@ -26,7 +26,7 @@ fn end_to_end_gemm_pipeline() {
 
 #[test]
 fn npu_functional_execution_matches_eager_for_mlp_inference() {
-    let mut sim = Simulator::new(SimConfig::tiny());
+    let sim = Simulator::new(SimConfig::tiny());
     let spec = models::mlp(8, 32);
     let params = spec.init_params(3);
     let data = SyntheticMnist::generate(8, 4);
@@ -72,19 +72,20 @@ fn training_iteration_on_npu_matches_eager_loss_and_gradients() {
 
 #[test]
 fn tog_cache_makes_recompilation_free() {
-    let mut sim = Simulator::new(SimConfig::tiny());
+    let sim = Simulator::new(SimConfig::tiny());
     let spec = models::gemm(48);
-    sim.run_inference(&spec).unwrap();
+    sim.run(&spec, RunOptions::tls()).unwrap();
     let before = sim.cache_len();
-    sim.run_inference(&spec).unwrap();
+    sim.run(&spec, RunOptions::tls()).unwrap();
     assert_eq!(sim.cache_len(), before);
+    assert_eq!(sim.cache().stats().hits, 1);
 }
 
 #[test]
 fn multi_tenant_inference_interferes() {
     let mut cfg = SimConfig::tiny();
     cfg.npu.cores = 2;
-    let mut sim = Simulator::new(cfg);
+    let sim = Simulator::new(cfg);
     let a = sim.compile(&models::gemm(96)).unwrap();
     let b = sim.compile(&models::gemm_rect(96, 96, 48)).unwrap();
 
@@ -127,7 +128,7 @@ fn scheduler_feeds_togsim() {
     };
     let mut cfg = SimConfig::tiny();
     cfg.npu.cores = 2;
-    let mut sim = Simulator::new(cfg.clone());
+    let sim = Simulator::new(cfg.clone());
     let spec = models::gemm(48);
     let compiled = sim.compile(&spec).unwrap();
 
@@ -150,7 +151,7 @@ fn scheduler_feeds_togsim() {
 #[test]
 fn isa_binary_round_trip_through_compiled_model() {
     // Every compiled kernel assembles to binary and disassembles back.
-    let mut sim = Simulator::new(SimConfig::tiny());
+    let sim = Simulator::new(SimConfig::tiny());
     let model = sim.compile(&models::gemm(32)).unwrap();
     assert!(!model.kernels.is_empty());
     for (name, program) in &model.kernels {

@@ -1,0 +1,146 @@
+//! Sweep harness acceptance tests: parallel execution is bit-identical to
+//! serial, the shared compile cache compiles each unique point exactly
+//! once, and per-point tracers stay isolated across worker threads.
+
+use std::sync::Arc;
+
+use ptsim_common::config::{NocConfig, SimConfig};
+use pytorchsim::cache::CompileCache;
+use pytorchsim::models;
+use pytorchsim::sweep::{Sweep, SweepOptions, SweepPoint};
+use pytorchsim::trace::Tracer;
+use pytorchsim::RunOptions;
+
+/// A small gemm/bert/resnet-layer grid over two NPU configurations —
+/// the shape of the paper's exploration sweeps, scaled to run in seconds.
+fn grid() -> Sweep {
+    let cn = SimConfig::tpu_v3_single_core();
+    let sn = SimConfig { noc: NocConfig::simple(), ..cn.clone() };
+    Sweep::grid(
+        [
+            models::gemm(128),
+            models::bert(
+                models::BertConfig { layers: 1, ..models::BertConfig::base(32, 1) },
+                "bert_tiny",
+            ),
+            // ResNet-18's conv4 layer geometry (paper Fig. 8 kernel set).
+            models::conv_kernel(3, 1),
+        ],
+        &[("cn".to_string(), cn), ("sn".to_string(), sn)],
+    )
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let sweep = grid();
+    let serial = sweep.run(&SweepOptions::with_jobs(1)).unwrap();
+    let parallel = sweep.run(&SweepOptions::with_jobs(4)).unwrap();
+
+    assert_eq!(serial.results.len(), 6);
+    assert_eq!(
+        serial.sim_reports(),
+        parallel.sim_reports(),
+        "a sweep must produce bit-identical reports at any worker count"
+    );
+    // Results come back in input order regardless of completion order.
+    let serial_labels: Vec<&str> = serial.results.iter().map(|r| r.label.as_str()).collect();
+    let parallel_labels: Vec<&str> = parallel.results.iter().map(|r| r.label.as_str()).collect();
+    assert_eq!(serial_labels, parallel_labels);
+    assert_eq!(parallel.jobs, 4);
+}
+
+#[test]
+fn shared_cache_compiles_each_unique_point_exactly_once() {
+    let sweep = grid();
+    // 3 models × 2 configs = 6 unique (model, config) cache keys; a cold
+    // parallel run must compile each exactly once even with 4 workers
+    // racing for them.
+    let cold = sweep.run(&SweepOptions::with_jobs(4)).unwrap();
+    assert_eq!(cold.cache.compiles, 6, "each unique point compiles exactly once");
+    assert_eq!(cold.cache.hits, 0);
+
+    // A second run against an externally shared cache is all hits.
+    let cache = CompileCache::shared();
+    let opts = SweepOptions::with_jobs(4).with_cache(Arc::clone(&cache));
+    sweep.run(&opts).unwrap();
+    let warm = sweep.run(&opts).unwrap();
+    assert_eq!(warm.cache.compiles, 0, "warm sweep must not recompile");
+    assert_eq!(warm.cache.hits, 6);
+    assert_eq!(cache.len(), 6);
+}
+
+#[test]
+fn duplicate_points_share_one_compile_and_one_result() {
+    let cfg = SimConfig::tiny();
+    let mut sweep = Sweep::new();
+    for i in 0..4 {
+        sweep.push(SweepPoint::model(models::gemm(64), cfg.clone()).with_label(format!("dup{i}")));
+    }
+    let report = sweep.run(&SweepOptions::with_jobs(4)).unwrap();
+    assert_eq!(report.cache.compiles, 1, "identical points race to a single compile");
+    assert_eq!(report.cache.hits, 3);
+    let first = &report.results[0].report;
+    for r in &report.results[1..] {
+        assert_eq!(&r.report, first, "identical points must report identically");
+    }
+}
+
+#[test]
+fn per_point_tracers_stay_isolated_under_parallel_runs() {
+    let cfg = SimConfig::tiny();
+    let sizes = [32usize, 64, 96, 128];
+    let tracers: Vec<_> = sizes.iter().map(|_| Tracer::shared()).collect();
+    let mut sweep = Sweep::new();
+    for (&n, tracer) in sizes.iter().zip(&tracers) {
+        sweep.push(
+            SweepPoint::model(models::gemm(n), cfg.clone())
+                .with_run(RunOptions::tls().with_tracer(tracer.clone())),
+        );
+    }
+    sweep.run(&SweepOptions::with_jobs(4)).unwrap();
+
+    // Each point's tracer saw exactly what a solo serial run of that point
+    // records — no cross-thread bleed, no missing events.
+    for (i, (&n, tracer)) in sizes.iter().zip(&tracers).enumerate() {
+        let solo = Tracer::shared();
+        let mut one = Sweep::new();
+        one.push(
+            SweepPoint::model(models::gemm(n), cfg.clone())
+                .with_run(RunOptions::tls().with_tracer(solo.clone())),
+        );
+        one.run(&SweepOptions::with_jobs(1)).unwrap();
+        assert!(!tracer.is_empty(), "point {i} must have traced");
+        assert_eq!(
+            tracer.events().len(),
+            solo.events().len(),
+            "tracer {i} must match its solo run"
+        );
+    }
+}
+
+/// Wall-clock sanity: on a multi-core box a cold parallel sweep beats the
+/// serial one. Timing-sensitive, so opt-in:
+/// `cargo test --release --test sweep -- --ignored`
+#[test]
+#[ignore = "wall-clock benchmark; run explicitly with -- --ignored"]
+fn parallel_sweep_is_faster_than_serial() {
+    let sweep = grid();
+    let jobs = std::thread::available_parallelism().map_or(2, |n| n.get()).min(sweep.len());
+    let serial = sweep.run(&SweepOptions::with_jobs(1)).unwrap();
+    let parallel = sweep.run(&SweepOptions::with_jobs(jobs)).unwrap();
+    assert_eq!(serial.sim_reports(), parallel.sim_reports());
+    if jobs > 1 {
+        assert!(
+            parallel.wall_seconds < serial.wall_seconds,
+            "{jobs} workers must beat serial: {:.3}s vs {:.3}s",
+            parallel.wall_seconds,
+            serial.wall_seconds
+        );
+    }
+    println!(
+        "serial {:.3}s, {jobs} workers {:.3}s ({:.2}x)",
+        serial.wall_seconds,
+        parallel.wall_seconds,
+        serial.wall_seconds / parallel.wall_seconds.max(1e-9)
+    );
+}

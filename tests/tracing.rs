@@ -5,18 +5,17 @@
 use ptsim_common::config::SimConfig;
 use pytorchsim::models;
 use pytorchsim::trace::{chrome, validate, EventData, Tracer};
-use pytorchsim::{ClusterConfig, ClusterSim, Simulator};
+use pytorchsim::{ClusterConfig, ClusterSim, RunOptions, Simulator};
 
 #[test]
 fn bert_run_exports_a_valid_perfetto_trace() {
-    let mut sim = Simulator::new(SimConfig::tiny());
     let tracer = Tracer::shared();
-    sim.set_tracer(tracer.clone());
+    let sim = Simulator::builder(SimConfig::tiny()).tracer(tracer.clone()).build();
     // A depth-reduced BERT-Base: the full encoder block (attention +
     // FFN + layernorms) at real widths, truncated to 2 layers so the
     // test stays fast while exercising every instrumented layer.
     let cfg = models::BertConfig { layers: 2, ..models::BertConfig::base(32, 1) };
-    let report = sim.run_inference(&models::bert(cfg, "bert_base")).unwrap();
+    let report = sim.run(&models::bert(cfg, "bert_base"), RunOptions::tls()).unwrap();
     assert!(report.total_cycles > 0);
 
     // The run touched every instrumented layer.
@@ -38,11 +37,10 @@ fn bert_run_exports_a_valid_perfetto_trace() {
 
 #[test]
 fn disabled_tracer_records_nothing_on_hot_paths() {
-    let mut sim = Simulator::new(SimConfig::tiny());
+    let sim = Simulator::new(SimConfig::tiny());
     let tracer = Tracer::shared();
     tracer.set_enabled(false);
-    sim.set_tracer(tracer.clone());
-    sim.run_inference(&models::gemm(64)).unwrap();
+    sim.run(&models::gemm(64), RunOptions::tls().with_tracer(tracer.clone())).unwrap();
     assert!(tracer.is_empty(), "disabled tracer must take the cheap-guard branch");
     assert_eq!(tracer.dropped(), 0);
     assert_eq!(chrome::export_chrome_trace(&tracer.events()), "[]");
@@ -50,9 +48,10 @@ fn disabled_tracer_records_nothing_on_hot_paths() {
 
 #[test]
 fn cluster_iteration_traces_both_allreduce_phases() {
-    let mut sim = ClusterSim::new(SimConfig::tiny(), ClusterConfig::pod_of(4));
     let tracer = Tracer::shared();
-    sim.set_tracer(tracer.clone());
+    let sim = ClusterSim::builder(SimConfig::tiny(), ClusterConfig::pod_of(4))
+        .tracer(tracer.clone())
+        .build();
     sim.iteration(|b| models::mlp(b, 32), 16).unwrap();
 
     let events = tracer.events();
