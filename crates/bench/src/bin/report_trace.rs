@@ -4,14 +4,18 @@
 //! Usage: `report_trace [gemm|bert|resnet] [--bench] [--trace out.json] [--json]`
 //!
 //! `--trace <path>` writes the Chrome trace-event JSON (open it at
-//! <https://ui.perfetto.dev> or `chrome://tracing`); `--json` prints the
-//! [`SimReport`](pytorchsim::togsim::SimReport) as JSON instead of the
-//! human-readable summary; `--bench` shrinks the workload for CI.
+//! <https://ui.perfetto.dev> or `chrome://tracing`); `--json` prints a
+//! JSON object with the run summary, the trace roll-up metrics, and the
+//! engine's per-phase self-profiling counters (`togsim.*` — the
+//! machine-readable replacement of the old `PTSIM_PROFILE` stderr dump)
+//! instead of the human-readable summary; `--bench` shrinks the workload
+//! for CI.
 
 use ptsim_common::config::SimConfig;
 use pytorchsim::models::{self, ModelSpec};
 use pytorchsim::trace::{chrome, validate, EventData, MetricsRegistry, Tracer};
 use pytorchsim::{RunOptions, Simulator};
+use std::sync::Arc;
 
 struct Args {
     model: String,
@@ -57,8 +61,13 @@ fn main() {
     let spec = workload(&args.model, args.bench);
     let sim = Simulator::new(SimConfig::tpu_v3_single_core());
     let tracer = Tracer::shared();
-    let report =
-        sim.run(&spec, RunOptions::tls().with_tracer(tracer.clone())).expect("simulation succeeds");
+    let engine_metrics = Arc::new(MetricsRegistry::new());
+    let report = sim
+        .run(
+            &spec,
+            RunOptions::tls().with_tracer(tracer.clone()).with_metrics(engine_metrics.clone()),
+        )
+        .expect("simulation succeeds");
 
     if let Some(path) = &args.trace_path {
         let json = chrome::export_chrome_trace(&tracer.events());
@@ -74,7 +83,31 @@ fn main() {
     }
 
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+        let jobs = report
+            .jobs
+            .iter()
+            .map(|j| {
+                format!(
+                    "{{\"name\":\"{}\",\"start\":{},\"end\":{},\
+                     \"compute_nodes\":{},\"dma_bytes\":{}}}",
+                    j.name,
+                    j.start.raw(),
+                    j.end.raw(),
+                    j.compute_nodes,
+                    j.dma_bytes
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "{{\"workload\":\"{}\",\"total_cycles\":{},\"traced_events\":{},\
+             \"jobs\":[{jobs}],\"trace_metrics\":{},\"engine_metrics\":{}}}",
+            spec.name,
+            report.total_cycles,
+            tracer.len(),
+            summarize(&tracer).json(),
+            engine_metrics.json()
+        );
     } else {
         println!("workload: {}", spec.name);
         println!("total cycles: {}", report.total_cycles);

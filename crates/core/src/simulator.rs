@@ -41,6 +41,9 @@ pub struct RunOptions {
     pub tracer: Option<Arc<ptsim_trace::Tracer>>,
     /// Simulation-length safety limit in cycles, when set.
     pub max_cycles: Option<u64>,
+    /// Metrics registry; the engine registers its per-phase counters
+    /// (`togsim.iterations`, `togsim.issue_ns`, …) here when set.
+    pub metrics: Option<Arc<ptsim_trace::MetricsRegistry>>,
 }
 
 impl RunOptions {
@@ -90,11 +93,43 @@ impl RunOptions {
         self
     }
 
+    /// Attaches a metrics registry: the simulation engine registers its
+    /// per-phase counters there (simulator self-profiling, the
+    /// machine-readable replacement of the old `PTSIM_PROFILE` stderr
+    /// dump — surfaced by `report_trace --json`).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<ptsim_trace::MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Whether this run needs kernel programs attached (ILS re-executes
     /// machine code).
     pub fn needs_kernels(&self) -> bool {
         matches!(self.fidelity, Fidelity::Ils { .. })
     }
+}
+
+/// A TOGSim configured by `opts`: fidelity, tracer (a per-run tracer wins
+/// over the facade's `default_tracer`), safety limit, and metrics applied.
+/// One construction path shared by the inference, tenancy, sweep, and
+/// training facades, so a [`RunOptions`] means the same thing everywhere.
+pub(crate) fn build_togsim(
+    cfg: &SimConfig,
+    opts: &RunOptions,
+    default_tracer: Option<&Arc<ptsim_trace::Tracer>>,
+) -> TogSim {
+    let mut sim = TogSim::new(cfg).with_fidelity(opts.fidelity);
+    if let Some(limit) = opts.max_cycles {
+        sim.set_max_cycles(limit);
+    }
+    if let Some(t) = opts.tracer.as_ref().or(default_tracer) {
+        sim.set_tracer(Arc::clone(t));
+    }
+    if let Some(m) = &opts.metrics {
+        sim.set_metrics(m);
+    }
+    sim
 }
 
 /// Construction-time configuration of a [`Simulator`].
@@ -245,16 +280,9 @@ impl Simulator {
     }
 
     /// A TOGSim configured for one run: fidelity, tracer (per-run wins
-    /// over construction-time), and safety limit applied.
+    /// over construction-time), safety limit, and metrics applied.
     pub(crate) fn new_togsim(&self, opts: &RunOptions) -> TogSim {
-        let mut sim = TogSim::new(&self.cfg).with_fidelity(opts.fidelity);
-        if let Some(limit) = opts.max_cycles {
-            sim.set_max_cycles(limit);
-        }
-        if let Some(t) = opts.tracer.as_ref().or(self.tracer.as_ref()) {
-            sim.set_tracer(Arc::clone(t));
-        }
-        sim
+        build_togsim(&self.cfg, opts, self.tracer.as_ref())
     }
 
     /// Runs one inference with Tile-Level Simulation on the full NPU.

@@ -19,7 +19,7 @@ use ptsim_graph::exec::execute;
 use ptsim_graph::train::Sgd;
 use ptsim_models::{ModelSpec, SyntheticMnist};
 use ptsim_tensor::Tensor;
-use ptsim_togsim::{JobSpec, TogSim};
+use ptsim_togsim::JobSpec;
 use std::sync::Arc;
 
 /// The result of a simulated training run.
@@ -150,13 +150,7 @@ impl TrainingSim {
         let train_spec = Self::training_spec(spec)?;
         let compiler = Compiler::new(self.cfg.clone(), self.opts.clone());
         let compiled = self.cache.compile_spec(&compiler, &train_spec)?;
-        let mut sim = TogSim::new(&self.cfg).with_fidelity(self.run.fidelity);
-        if let Some(limit) = self.run.max_cycles {
-            sim.set_max_cycles(limit);
-        }
-        if let Some(t) = &self.run.tracer {
-            sim.set_tracer(t.clone());
-        }
+        let mut sim = crate::simulator::build_togsim(&self.cfg, &self.run, None);
         sim.add_shared_job(Arc::new(compiled.tog.clone()), JobSpec::default());
         Ok(sim.run()?.total_cycles)
     }

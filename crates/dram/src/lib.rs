@@ -9,6 +9,10 @@
 //! preserving cycle-level interleaving under contention — the property the
 //! multi-tenancy and heterogeneous-NPU case studies depend on (§5.1–5.2).
 //!
+//! The model implements the [`ptsim_event::Component`] protocol (and
+//! [`ptsim_event::CompletionSource`] for allocation-free completion
+//! draining), so any event-kernel driver can schedule it generically.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,6 +37,7 @@ pub use stats::DramStats;
 use channel::Channel;
 use ptsim_common::config::DramConfig;
 use ptsim_common::{Cycle, RequestId};
+use ptsim_event::{CompletionSource, Component};
 
 /// The multi-channel DRAM simulator.
 #[derive(Debug, Clone)]
@@ -84,6 +89,9 @@ impl DramSim {
     }
 
     /// Drains the completed-request list.
+    ///
+    /// Allocates a fresh `Vec` per call; hot loops should prefer the
+    /// buffer-reusing [`CompletionSource::drain_completions_into`].
     pub fn pop_completed(&mut self) -> Vec<(RequestId, Cycle)> {
         std::mem::take(&mut self.completed)
     }
@@ -110,6 +118,28 @@ impl DramSim {
     /// Total free request-queue slots (diagnostic).
     pub fn free_slots(&self) -> usize {
         self.channels.iter().map(Channel::free_slots).sum()
+    }
+}
+
+impl Component for DramSim {
+    fn advance(&mut self, to: Cycle) {
+        DramSim::advance(self, to);
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        DramSim::next_event(self)
+    }
+
+    fn busy(&self) -> bool {
+        DramSim::busy(self)
+    }
+}
+
+impl CompletionSource for DramSim {
+    type Completion = (RequestId, Cycle);
+
+    fn drain_completions_into(&mut self, out: &mut Vec<Self::Completion>) {
+        out.append(&mut self.completed);
     }
 }
 

@@ -1,0 +1,52 @@
+//! The component protocol of the event kernel.
+
+use ptsim_common::Cycle;
+
+/// A simulated subsystem with its own internal timeline.
+///
+/// A component accepts work through its own typed entry points (e.g.
+/// `try_enqueue` on a DRAM model, `try_send` on an interconnect — admission
+/// is deliberately not part of this trait, since payload types differ), and
+/// exposes the three operations every event-driven driver needs:
+///
+/// - [`advance`](Component::advance) moves the component's timeline forward
+///   to the global clock, retiring whatever completes on the way;
+/// - [`next_event`](Component::next_event) reports the earliest time at
+///   which the component will do something on its own, so the driver can
+///   skip straight to it;
+/// - [`busy`](Component::busy) reports whether any work is queued or in
+///   flight, which drivers use for quiescence and deadlock checks.
+///
+/// The contract: after `advance(t)`, `next_event()` is either `None` or
+/// strictly greater than `t` unless new work was admitted at `t` with zero
+/// latency — the one boundary case the [`crate::Scheduler`] handles by
+/// draining at the current time before moving the clock.
+pub trait Component {
+    /// Advances the internal timeline to `to`, retiring completed work.
+    ///
+    /// Must be monotone: calling with a time at or before the previous
+    /// `advance` is a no-op.
+    fn advance(&mut self, to: Cycle);
+
+    /// The earliest future time at which something will complete, if any.
+    fn next_event(&self) -> Option<Cycle>;
+
+    /// True while any request is queued or in flight.
+    fn busy(&self) -> bool;
+}
+
+/// A [`Component`] whose retired work is handed back to the driver.
+///
+/// The drain appends into a caller-provided buffer instead of returning a
+/// fresh `Vec`: the driver keeps one buffer per source and clears it
+/// between polls, so the steady-state hot loop performs no allocation —
+/// the ONNXim-style property the TOG replay engine's speed rests on.
+pub trait CompletionSource: Component {
+    /// What one retired unit of work looks like.
+    type Completion;
+
+    /// Moves every retired completion into `out` (appending, in retirement
+    /// order), leaving the internal buffer empty but with its capacity
+    /// intact.
+    fn drain_completions_into(&mut self, out: &mut Vec<Self::Completion>);
+}

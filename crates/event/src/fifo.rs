@@ -1,0 +1,169 @@
+//! Time-ordered in-flight queues with bounded admission.
+
+use ptsim_common::Cycle;
+use std::collections::VecDeque;
+
+/// A FIFO of `(completion time, payload)` entries, oldest first, modelling
+/// a hardware queue that drains on its own timeline.
+///
+/// Two usage patterns, both taken from the core timing model:
+///
+/// - **Bounded admission** ([`admit`](DrainFifo::admit)): a serializer FIFO
+///   of fixed depth stalls the pusher until the oldest outstanding entry
+///   drains. `admit` retires what has already drained, applies the stall,
+///   and returns the (possibly delayed) issue time.
+/// - **Partial consumption** ([`front_mut`](DrainFifo::front_mut)): systolic
+///   array output tracking pops result elements a vector at a time, possibly
+///   consuming only part of the oldest entry.
+///
+/// Entries must be pushed with non-decreasing completion times — true by
+/// construction for serial pipelines, and required for
+/// [`next_event`](DrainFifo::next_event) to mean "earliest completion".
+///
+/// # Examples
+///
+/// ```
+/// use ptsim_common::Cycle;
+/// use ptsim_event::DrainFifo;
+///
+/// let mut fifo: DrainFifo<()> = DrainFifo::new();
+/// fifo.push(Cycle::new(10), ());
+/// fifo.push(Cycle::new(20), ());
+/// // Depth-2 FIFO is full: admission at t=5 stalls until the oldest
+/// // entry drains at t=10.
+/// assert_eq!(fifo.admit(Cycle::new(5), 2), Cycle::new(10));
+/// assert_eq!(fifo.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DrainFifo<P> {
+    entries: VecDeque<(u64, P)>,
+}
+
+impl<P> DrainFifo<P> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        DrainFifo { entries: VecDeque::new() }
+    }
+
+    /// Appends an entry completing at `at`.
+    pub fn push(&mut self, at: Cycle, payload: P) {
+        debug_assert!(
+            self.entries.back().is_none_or(|&(t, _)| t <= at.raw()),
+            "DrainFifo entries must be pushed in completion-time order"
+        );
+        self.entries.push_back((at.raw(), payload));
+    }
+
+    /// Number of outstanding entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The oldest outstanding entry.
+    pub fn front(&self) -> Option<(Cycle, &P)> {
+        self.entries.front().map(|(t, p)| (Cycle::new(*t), p))
+    }
+
+    /// Mutable payload of the oldest entry, for partial consumption.
+    pub fn front_mut(&mut self) -> Option<(Cycle, &mut P)> {
+        self.entries.front_mut().map(|(t, p)| (Cycle::new(*t), p))
+    }
+
+    /// The newest outstanding entry (the last to complete).
+    pub fn back(&self) -> Option<(Cycle, &P)> {
+        self.entries.back().map(|(t, p)| (Cycle::new(*t), p))
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop_front(&mut self) -> Option<(Cycle, P)> {
+        self.entries.pop_front().map(|(t, p)| (Cycle::new(t), p))
+    }
+
+    /// Retires every entry that has completed at or before `t`.
+    pub fn retire_until(&mut self, t: Cycle) {
+        while let Some(&(front, _)) = self.entries.front() {
+            if front <= t.raw() {
+                self.entries.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Admits a push at time `t` into a FIFO bounded at `depth` entries.
+    ///
+    /// Retires what has drained by `t`; if the queue is still full, stalls
+    /// to the completion time of the oldest outstanding entry (retiring it
+    /// and anything else that drains by then). Returns the issue time after
+    /// any stall. The caller then [`push`](DrainFifo::push)es the new
+    /// entry's own completion time.
+    pub fn admit(&mut self, t: Cycle, depth: usize) -> Cycle {
+        self.retire_until(t);
+        if self.entries.len() >= depth {
+            let (stall_to, _) = self.pop_front().expect("non-empty by len check");
+            self.retire_until(stall_to);
+            stall_to
+        } else {
+            t
+        }
+    }
+
+    /// The earliest outstanding completion time, if any.
+    pub fn next_event(&self) -> Option<Cycle> {
+        self.entries.front().map(|&(t, _)| Cycle::new(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_without_pressure_is_free() {
+        let mut f: DrainFifo<()> = DrainFifo::new();
+        f.push(Cycle::new(10), ());
+        assert_eq!(f.admit(Cycle::new(3), 4), Cycle::new(3));
+        assert_eq!(f.len(), 1, "undrained entry stays");
+    }
+
+    #[test]
+    fn admit_retires_drained_entries_first() {
+        let mut f: DrainFifo<()> = DrainFifo::new();
+        f.push(Cycle::new(5), ());
+        f.push(Cycle::new(8), ());
+        // Both drained by t=9: the depth-2 FIFO has room again, no stall.
+        assert_eq!(f.admit(Cycle::new(9), 2), Cycle::new(9));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn admit_stalls_to_oldest_and_cascades_retirement() {
+        let mut f: DrainFifo<()> = DrainFifo::new();
+        f.push(Cycle::new(10), ());
+        f.push(Cycle::new(10), ());
+        f.push(Cycle::new(12), ());
+        // Full at depth 3: stall to the oldest (10), which also retires the
+        // second entry completing at the same time.
+        assert_eq!(f.admit(Cycle::new(4), 3), Cycle::new(10));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.next_event(), Some(Cycle::new(12)));
+    }
+
+    #[test]
+    fn partial_consumption_through_front_mut() {
+        let mut f = DrainFifo::new();
+        f.push(Cycle::new(7), 16u64);
+        f.push(Cycle::new(9), 16u64);
+        let (t, elems) = f.front_mut().unwrap();
+        assert_eq!(t, Cycle::new(7));
+        *elems -= 10;
+        assert_eq!(f.front(), Some((Cycle::new(7), &6)));
+        assert_eq!(f.pop_front(), Some((Cycle::new(7), 6)));
+        assert_eq!(f.back(), Some((Cycle::new(9), &16)));
+    }
+}

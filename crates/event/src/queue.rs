@@ -1,0 +1,120 @@
+//! The typed event queue.
+
+use ptsim_common::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap of `(time, event)` pairs.
+///
+/// Events at the same time pop in `E`'s `Ord` order, which makes replay
+/// deterministic: drivers encode their tie-breaking policy (completions
+/// before arrivals before wake-ups, lowest job first, …) directly in the
+/// event type's derived ordering.
+///
+/// # Examples
+///
+/// ```
+/// use ptsim_common::Cycle;
+/// use ptsim_event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle::new(20), "late");
+/// q.push(Cycle::new(10), "early");
+/// assert_eq!(q.next_time(), Some(Cycle::new(10)));
+/// assert_eq!(q.pop_due(Cycle::new(15)), Some((Cycle::new(10), "early")));
+/// assert_eq!(q.pop_due(Cycle::new(15)), None, "the rest is in the future");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<E: Ord> {
+    heap: BinaryHeap<Reverse<(u64, E)>>,
+}
+
+impl<E: Ord> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new() }
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn push(&mut self, at: Cycle, event: E) {
+        self.heap.push(Reverse((at.raw(), event)));
+    }
+
+    /// The earliest scheduled time, if any.
+    pub fn next_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse((t, _))| Cycle::new(*t))
+    }
+
+    /// Pops the earliest event if it is due at or before `now`.
+    ///
+    /// Drivers drain with `while let Some((t, ev)) = q.pop_due(now)`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, E)> {
+        match self.heap.peek() {
+            Some(Reverse((t, _))) if *t <= now.raw() => {
+                let Reverse((t, ev)) = self.heap.pop().expect("peeked entry exists");
+                Some((Cycle::new(t), ev))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes every scheduled event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for t in [30u64, 10, 20] {
+            q.push(Cycle::new(t), t);
+        }
+        let mut seen = Vec::new();
+        while let Some((at, ev)) = q.pop_due(Cycle::MAX) {
+            assert_eq!(at.raw(), ev);
+            seen.push(ev);
+        }
+        assert_eq!(seen, vec![10, 20, 30]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_pop_in_event_order() {
+        #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+        enum Ev {
+            Done(u32),
+            Arrive(u32),
+        }
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(5), Ev::Arrive(0));
+        q.push(Cycle::new(5), Ev::Done(1));
+        q.push(Cycle::new(5), Ev::Done(0));
+        assert_eq!(q.pop_due(Cycle::new(5)), Some((Cycle::new(5), Ev::Done(0))));
+        assert_eq!(q.pop_due(Cycle::new(5)), Some((Cycle::new(5), Ev::Done(1))));
+        assert_eq!(q.pop_due(Cycle::new(5)), Some((Cycle::new(5), Ev::Arrive(0))));
+    }
+
+    #[test]
+    fn pop_due_respects_the_horizon() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(100), ());
+        assert_eq!(q.pop_due(Cycle::new(99)), None);
+        assert_eq!(q.next_time(), Some(Cycle::new(100)));
+        assert_eq!(q.pop_due(Cycle::new(100)), Some((Cycle::new(100), ())));
+    }
+}

@@ -1,0 +1,233 @@
+//! The clock-owning scheduler.
+
+use ptsim_common::Cycle;
+
+/// What the driver should do next, decided by [`Scheduler::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Advance the global clock to this time, then let every component
+    /// catch up (`advance`) and drain what retired.
+    Advance(Cycle),
+    /// A component reported an event at exactly the current time: drain it
+    /// *without* moving the clock, so same-cycle completions are observed
+    /// at the cycle they happen rather than one cycle late.
+    Drain,
+    /// No source reported any wake time while work remains: the simulated
+    /// system can make no further progress.
+    Deadlocked,
+    /// Advancing would exceed the configured safety limit.
+    LimitExceeded,
+}
+
+/// Owns the global clock of an event-driven simulation and decides, each
+/// iteration, where time goes next.
+///
+/// A driver loop runs the protocol:
+///
+/// 1. drain due events and issue work, calling [`note_progress`] whenever
+///    anything actually happened at the current time;
+/// 2. report every wake candidate: [`observe`] for *scheduled* events the
+///    driver queued itself (they are due strictly after the cycle that
+///    scheduled them), [`observe_component`] for [`Component`]
+///    `next_event()` bounds (which may legitimately land at `now` when a
+///    zero-latency path completes in the admission cycle);
+/// 3. call [`step`] and obey the verdict.
+///
+/// Forward progress is guaranteed without skewing same-cycle completions:
+/// a component event at exactly `now` yields [`Step::Drain`] as long as the
+/// current cycle made progress, while a stale conservative bound (no
+/// progress to show for it) bumps the clock by one cycle — the legacy
+/// clamp, now reachable only when it is actually needed.
+///
+/// [`note_progress`]: Scheduler::note_progress
+/// [`observe`]: Scheduler::observe
+/// [`observe_component`]: Scheduler::observe_component
+/// [`step`]: Scheduler::step
+/// [`Component`]: crate::Component
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    now: Cycle,
+    max_cycles: u64,
+    next_scheduled: Cycle,
+    next_component: Cycle,
+    progressed: bool,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+impl Scheduler {
+    /// Creates a scheduler at time zero with an effectively unlimited
+    /// safety horizon.
+    pub fn new() -> Self {
+        Scheduler {
+            now: Cycle::ZERO,
+            max_cycles: u64::MAX / 4,
+            next_scheduled: Cycle::MAX,
+            next_component: Cycle::MAX,
+            progressed: false,
+        }
+    }
+
+    /// Creates a scheduler with the clock already at `now` — for drivers
+    /// that resume a timeline a previous run left off mid-way.
+    pub fn starting_at(now: Cycle) -> Self {
+        Scheduler { now, ..Scheduler::new() }
+    }
+
+    /// The current global time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Sets the safety limit: a [`Step::LimitExceeded`] is returned instead
+    /// of advancing past this cycle count.
+    pub fn set_max_cycles(&mut self, max_cycles: u64) {
+        self.max_cycles = max_cycles;
+    }
+
+    /// The configured safety limit.
+    pub fn max_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    /// Records that the current cycle did something (drained an event,
+    /// issued work). Gates [`Step::Drain`]: only a productive cycle may
+    /// hold the clock still.
+    pub fn note_progress(&mut self) {
+        self.progressed = true;
+    }
+
+    /// Folds in the earliest due time of a driver-scheduled event source
+    /// (an [`crate::EventQueue`], a job-arrival list, a resource-rate
+    /// wake-up).
+    pub fn observe(&mut self, at: Option<Cycle>) {
+        if let Some(t) = at {
+            self.next_scheduled = self.next_scheduled.min(t);
+        }
+    }
+
+    /// Folds in a component's `next_event()` bound. Component events
+    /// landing at exactly `now` are drained before the clock moves.
+    pub fn observe_component(&mut self, at: Option<Cycle>) {
+        if let Some(t) = at {
+            self.next_component = self.next_component.min(t);
+        }
+    }
+
+    /// Consumes the observations made since the previous step and decides
+    /// the next clock action.
+    pub fn step(&mut self) -> Step {
+        let next = self.next_scheduled.min(self.next_component);
+        let comp = self.next_component;
+        let progressed = self.progressed;
+        self.next_scheduled = Cycle::MAX;
+        self.next_component = Cycle::MAX;
+        self.progressed = false;
+
+        if next == Cycle::MAX {
+            return Step::Deadlocked;
+        }
+        let target = if next > self.now {
+            next
+        } else if comp <= self.now && progressed {
+            // A component event at the current time: drain it in place.
+            return Step::Drain;
+        } else {
+            // Scheduled events fire on the next clock edge; conservative
+            // component bounds must not stall the clock.
+            self.now + 1
+        };
+        if target.raw() > self.max_cycles {
+            return Step::LimitExceeded;
+        }
+        self.now = target;
+        Step::Advance(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_to_the_earliest_observation() {
+        let mut s = Scheduler::new();
+        s.observe(Some(Cycle::new(50)));
+        s.observe_component(Some(Cycle::new(30)));
+        s.observe(None);
+        assert_eq!(s.step(), Step::Advance(Cycle::new(30)));
+        assert_eq!(s.now(), Cycle::new(30));
+    }
+
+    #[test]
+    fn no_observations_is_a_deadlock() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.step(), Step::Deadlocked);
+    }
+
+    /// The boundary the old TOGSim clamp got wrong: a component completion
+    /// at exactly `now` must be drained before the clock moves, not pushed
+    /// one cycle into the future.
+    #[test]
+    fn component_event_at_now_drains_before_the_clock_moves() {
+        let mut s = Scheduler::new();
+        s.observe_component(Some(Cycle::new(10)));
+        assert_eq!(s.step(), Step::Advance(Cycle::new(10)));
+        // The drain at cycle 10 produced work; the component now reports
+        // another event at the *same* cycle (zero-latency hop).
+        s.note_progress();
+        s.observe_component(Some(Cycle::new(10)));
+        assert_eq!(s.step(), Step::Drain, "same-cycle event drains in place");
+        assert_eq!(s.now(), Cycle::new(10), "the clock must not move");
+    }
+
+    /// A stale conservative bound with nothing to drain must not stall the
+    /// clock: the legacy one-cycle clamp still guarantees progress.
+    #[test]
+    fn unproductive_stale_bound_bumps_the_clock() {
+        let mut s = Scheduler::new();
+        s.observe_component(Some(Cycle::new(10)));
+        assert_eq!(s.step(), Step::Advance(Cycle::new(10)));
+        // No note_progress: the bound was conservative, nothing retired.
+        s.observe_component(Some(Cycle::new(10)));
+        assert_eq!(s.step(), Step::Advance(Cycle::new(11)));
+    }
+
+    /// Driver-scheduled events due at `now` were queued during the current
+    /// cycle; they fire on the next clock edge, exactly like the legacy
+    /// engine. (Zero-latency *scheduled* work is the driver's own doing and
+    /// pinning this keeps replay bit-identical.)
+    #[test]
+    fn scheduled_event_at_now_fires_next_edge() {
+        let mut s = Scheduler::new();
+        s.note_progress();
+        s.observe(Some(Cycle::ZERO));
+        assert_eq!(s.step(), Step::Advance(Cycle::new(1)));
+    }
+
+    #[test]
+    fn safety_limit_trips() {
+        let mut s = Scheduler::new();
+        s.set_max_cycles(100);
+        s.observe(Some(Cycle::new(101)));
+        assert_eq!(s.step(), Step::LimitExceeded);
+        assert_eq!(s.now(), Cycle::ZERO, "a refused step leaves time alone");
+        s.observe(Some(Cycle::new(100)));
+        assert_eq!(s.step(), Step::Advance(Cycle::new(100)));
+    }
+
+    #[test]
+    fn progress_flag_resets_every_step() {
+        let mut s = Scheduler::new();
+        s.note_progress();
+        s.observe_component(Some(Cycle::ZERO));
+        assert_eq!(s.step(), Step::Drain);
+        // Progress was consumed; the same observation now bumps instead.
+        s.observe_component(Some(Cycle::ZERO));
+        assert_eq!(s.step(), Step::Advance(Cycle::new(1)));
+    }
+}

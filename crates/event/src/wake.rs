@@ -1,0 +1,135 @@
+//! Dense dirty lists for wake-list scheduling.
+
+/// A set of small integer ids (core indices, channel indices) that need
+/// attention, with O(1) duplicate-free insertion and deterministic drain
+/// order.
+///
+/// Event-driven engines use this to visit only the components something
+/// actually happened to — a completion retired, backpressure lifted, a job
+/// arrived — instead of rescanning every core on every iteration. Draining
+/// always yields ascending ids so a rewired engine visits cores in exactly
+/// the order the full rescan used to, which keeps replay bit-identical.
+///
+/// # Examples
+///
+/// ```
+/// use ptsim_event::WakeSet;
+///
+/// let mut wake = WakeSet::new(4);
+/// wake.insert(2);
+/// wake.insert(0);
+/// wake.insert(2); // duplicate, ignored
+/// let mut order = Vec::new();
+/// wake.drain_into(&mut order);
+/// assert_eq!(order, vec![0, 2]);
+/// assert!(wake.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WakeSet {
+    dirty: Vec<bool>,
+    list: Vec<usize>,
+}
+
+impl WakeSet {
+    /// Creates a set over ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        WakeSet { dirty: vec![false; n], list: Vec::with_capacity(n) }
+    }
+
+    /// Number of distinct ids currently marked.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True when nothing is marked.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// True if `id` is currently marked.
+    pub fn contains(&self, id: usize) -> bool {
+        self.dirty.get(id).copied().unwrap_or(false)
+    }
+
+    /// Marks `id`; re-marking an already-dirty id is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the range the set was created with.
+    pub fn insert(&mut self, id: usize) {
+        if !self.dirty[id] {
+            self.dirty[id] = true;
+            self.list.push(id);
+        }
+    }
+
+    /// Marks every id — the "rescan everything" fallback a reference
+    /// implementation uses to mimic a legacy full-scan loop.
+    pub fn insert_all(&mut self) {
+        for id in 0..self.dirty.len() {
+            self.insert(id);
+        }
+    }
+
+    /// Moves every marked id into `out` in ascending order and clears the
+    /// set. `out` is cleared first; its capacity is reused across calls so
+    /// the steady state allocates nothing.
+    pub fn drain_into(&mut self, out: &mut Vec<usize>) {
+        out.clear();
+        out.append(&mut self.list);
+        out.sort_unstable();
+        for &id in out.iter() {
+            self.dirty[id] = false;
+        }
+    }
+
+    /// Unmarks everything without reporting the ids.
+    pub fn clear(&mut self) {
+        for &id in &self.list {
+            self.dirty[id] = false;
+        }
+        self.list.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_ascending_and_resets() {
+        let mut w = WakeSet::new(8);
+        for id in [5, 1, 7, 1, 5, 0] {
+            w.insert(id);
+        }
+        assert_eq!(w.len(), 4);
+        assert!(w.contains(7) && !w.contains(2));
+        let mut out = Vec::new();
+        w.drain_into(&mut out);
+        assert_eq!(out, vec![0, 1, 5, 7]);
+        assert!(w.is_empty());
+        // Reusable after a drain.
+        w.insert(7);
+        w.drain_into(&mut out);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn insert_all_marks_every_id_once() {
+        let mut w = WakeSet::new(3);
+        w.insert(1);
+        w.insert_all();
+        let mut out = Vec::new();
+        w.drain_into(&mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn clear_unmarks_without_draining() {
+        let mut w = WakeSet::new(3);
+        w.insert(2);
+        w.clear();
+        assert!(w.is_empty());
+        assert!(!w.contains(2));
+    }
+}

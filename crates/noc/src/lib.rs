@@ -15,6 +15,10 @@
 //! routes crossing messages over a per-direction serialized off-chip link
 //! with its own latency, producing NUMA behaviour.
 //!
+//! Both variants implement the [`ptsim_event::Component`] protocol (and
+//! [`ptsim_event::CompletionSource`] for allocation-free delivery draining),
+//! so any event-kernel driver can schedule them generically.
+//!
 //! # Examples
 //!
 //! ```
@@ -31,6 +35,7 @@
 use ptsim_common::config::{ChipletLinkConfig, NocConfig, NocKind};
 use ptsim_common::cycles::ns_to_cycles;
 use ptsim_common::{Cycle, RequestId};
+use ptsim_event::{CompletionSource, Component};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -259,6 +264,9 @@ impl NocSim {
     }
 
     /// Drains the delivered-message list.
+    ///
+    /// Allocates a fresh `Vec` per call; hot loops should prefer the
+    /// buffer-reusing [`CompletionSource::drain_completions_into`].
     pub fn pop_delivered(&mut self) -> Vec<(RequestId, Cycle)> {
         std::mem::take(&mut self.delivered)
     }
@@ -276,6 +284,28 @@ impl NocSim {
     /// Accumulated statistics.
     pub fn stats(&self) -> NocStats {
         self.stats
+    }
+}
+
+impl Component for NocSim {
+    fn advance(&mut self, to: Cycle) {
+        NocSim::advance(self, to);
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        NocSim::next_event(self)
+    }
+
+    fn busy(&self) -> bool {
+        NocSim::busy(self)
+    }
+}
+
+impl CompletionSource for NocSim {
+    type Completion = (RequestId, Cycle);
+
+    fn drain_completions_into(&mut self, out: &mut Vec<Self::Completion>) {
+        out.append(&mut self.delivered);
     }
 }
 

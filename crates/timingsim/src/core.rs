@@ -1,11 +1,11 @@
 //! The in-order pipelined core timing model.
 
 use ptsim_common::config::NpuConfig;
-use ptsim_common::{Error, Result};
+use ptsim_common::{Cycle, Error, Result};
+use ptsim_event::DrainFifo;
 use ptsim_isa::instr::Instr;
 use ptsim_isa::program::Program;
 use ptsim_isa::reg::Reg;
-use std::collections::VecDeque;
 
 /// Microarchitectural timing parameters of the core model.
 ///
@@ -63,45 +63,30 @@ pub struct TileLatency {
 }
 
 /// A serializer FIFO chain: pushes drain into the array at a fixed element
-/// rate; a full FIFO stalls the pusher.
+/// rate; a full FIFO stalls the pusher. Bounded admission is delegated to
+/// [`DrainFifo::admit`]; the serializer itself only owns the drain-rate
+/// arithmetic and the back-to-back serialization (`last_end`).
 #[derive(Debug, Clone)]
 struct Serializer {
     depth: usize,
-    drain_rate: u64,       // elements per cycle
-    drains: VecDeque<u64>, // completion times of outstanding pushes
+    drain_rate: u64, // elements per cycle
+    drains: DrainFifo<()>,
     last_end: u64,
 }
 
 impl Serializer {
     fn new(depth: usize, drain_rate: u64) -> Self {
-        Serializer { depth, drain_rate, drains: VecDeque::new(), last_end: 0 }
+        Serializer { depth, drain_rate, drains: DrainFifo::new(), last_end: 0 }
     }
 
     /// Pushes `elems` elements at time `t`; returns (issue time after any
     /// FIFO-full stall, drain completion time).
-    fn push(&mut self, mut t: u64, elems: u64) -> (u64, u64) {
-        while let Some(&front) = self.drains.front() {
-            if front <= t {
-                self.drains.pop_front();
-            } else {
-                break;
-            }
-        }
-        if self.drains.len() >= self.depth {
-            // Stall until the oldest outstanding push drains.
-            t = self.drains.pop_front().expect("non-empty by len check");
-            while let Some(&front) = self.drains.front() {
-                if front <= t {
-                    self.drains.pop_front();
-                } else {
-                    break;
-                }
-            }
-        }
+    fn push(&mut self, t: u64, elems: u64) -> (u64, u64) {
+        let t = self.drains.admit(Cycle::new(t), self.depth).raw();
         let start = t.max(self.last_end);
         let end = start + elems.div_ceil(self.drain_rate).max(1);
         self.last_end = end;
-        self.drains.push_back(end);
+        self.drains.push(Cycle::new(end), ());
         (t, end)
     }
 }
@@ -117,8 +102,9 @@ struct SaTiming {
     input_elems: u64,
     /// Completion of the previous fired vector's shift-in (rate limit).
     last_fire: u64,
-    /// Output elements and their ready times, oldest first.
-    outputs: VecDeque<(u64, u64)>, // (ready_time, elements)
+    /// Output elements keyed by ready time, oldest first; `Vpop` consumes
+    /// them a vector at a time, possibly splitting the front entry.
+    outputs: DrainFifo<u64>, // payload: elements
     fired_vectors: u64,
 }
 
@@ -274,8 +260,8 @@ impl TimingSim {
                         end = end.max(r);
                     }
                     end = end.max(weight_ser.last_end).max(input_ser.last_end);
-                    if let Some(&(t, _)) = sa.outputs.back() {
-                        end = end.max(t);
+                    if let Some((t, _)) = sa.outputs.back() {
+                        end = end.max(t.raw());
                     }
                     return Ok(TileLatency {
                         cycles: end,
@@ -425,7 +411,7 @@ impl TimingSim {
                         sa.fired_vectors += 1;
                         // Fill + drain skew of the array.
                         let ready = fire + self.sa_rows + self.sa_cols;
-                        sa.outputs.push_back((ready, self.sa_cols));
+                        sa.outputs.push(Cycle::new(ready), self.sa_cols);
                     }
                     vec_free = t + 1;
                     cycle = t + 1;
@@ -435,19 +421,19 @@ impl TimingSim {
                     let mut need = vl;
                     let mut ready = t;
                     while need > 0 {
-                        let (r, avail) = *sa.outputs.front().ok_or_else(|| {
+                        let (r, &avail) = sa.outputs.front().ok_or_else(|| {
                             Error::IsaFault(format!(
                                 "vpop of {need} elements with no array output pending in {}",
                                 program.name
                             ))
                         })?;
-                        ready = ready.max(r);
+                        ready = ready.max(r.raw());
                         let take = need.min(avail);
                         need -= take;
                         if take == avail {
                             sa.outputs.pop_front();
                         } else {
-                            sa.outputs.front_mut().expect("checked above").1 = avail - take;
+                            *sa.outputs.front_mut().expect("checked above").1 = avail - take;
                         }
                     }
                     t = t.max(ready);

@@ -1,4 +1,12 @@
-//! The event-driven TLS engine.
+//! The event-driven TLS engine, built on the [`ptsim_event`] kernel.
+//!
+//! The replay loop is a [`ptsim_event::Scheduler`] client: the DRAM and NoC
+//! models participate as [`ptsim_event::Component`]s, tile completions /
+//! cache hits / job arrivals / core wake-ups live in one typed
+//! [`EventQueue`], and a
+//! [`WakeSet`] of dirty cores limits each issue pass to the cores something
+//! actually happened to — O(active) per event instead of O(cores × jobs)
+//! per iteration.
 
 use crate::cache::L1Cache;
 use crate::report::{JobReport, SimReport};
@@ -6,14 +14,14 @@ use ptsim_common::config::SimConfig;
 use ptsim_common::id::RequestIdGen;
 use ptsim_common::{Cycle, Error, RequestId, Result};
 use ptsim_dram::{DramSim, MemRequest};
+use ptsim_event::{CompletionSource, EventQueue, Scheduler, Step, WakeSet};
 use ptsim_funcsim::FuncSim;
 use ptsim_isa::program::Program;
 use ptsim_noc::{NocMessage, NocSim};
 use ptsim_timingsim::TimingSim;
 use ptsim_tog::{ExecUnit, ExecutableTog, FlatNodeKind};
-use ptsim_trace::{Lane, Tracer};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use ptsim_trace::{Counter, Lane, MetricsRegistry, Tracer};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Identifies a submitted job.
@@ -124,6 +132,11 @@ struct Core {
     dma_wait_q: VecDeque<(usize, usize)>,
     active_dma: Vec<usize>,
     dma_issue_free: Cycle,
+    /// Latest [`Event::CoreWake`] already queued for the DMA issue pipe,
+    /// so a stall rediscovered within one fixed-point pass posts no
+    /// duplicate. `dma_issue_free` is non-decreasing, which makes this an
+    /// exact dedup.
+    dma_wake_posted: Cycle,
 }
 
 impl Core {
@@ -138,10 +151,16 @@ impl Core {
             dma_wait_q: VecDeque::new(),
             active_dma: Vec::new(),
             dma_issue_free: Cycle::ZERO,
+            dma_wake_posted: Cycle::ZERO,
         }
     }
 }
 
+/// Scheduled engine events. Tied times pop in the derived `Ord` order, so
+/// the variant order IS the tie-breaking policy: in-flight work retires
+/// (`ComputeDone`, then `CacheHit`) before new jobs seed (`JobArrival`)
+/// before pure wake-ups (`CoreWake`) — exactly the per-cycle order the
+/// legacy rescan loop established. Do not reorder variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
     ComputeDone {
@@ -152,6 +171,56 @@ enum Event {
     CacheHit {
         dma_id: usize,
     },
+    /// A job reaches its arrival time and seeds its dependency-free nodes.
+    JobArrival {
+        job: usize,
+    },
+    /// A core's DMA descriptor-issue pipe frees up with work still waiting.
+    CoreWake {
+        core: usize,
+    },
+}
+
+/// Counter handles for the engine's per-phase profiling (replaces the old
+/// `PTSIM_PROFILE` env-var + stderr path). Attached via
+/// [`TogSim::set_metrics`]; the `*_ns` counters accumulate host wall-clock
+/// nanoseconds per phase.
+#[derive(Debug, Clone)]
+struct EngineMetrics {
+    iterations: Counter,
+    events_drained: Counter,
+    cores_woken: Counter,
+    issue_ns: Counter,
+    dram_ns: Counter,
+    noc_ns: Counter,
+    collect_ns: Counter,
+}
+
+impl EngineMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        EngineMetrics {
+            iterations: registry.counter("togsim.iterations"),
+            events_drained: registry.counter("togsim.events_drained"),
+            cores_woken: registry.counter("togsim.cores_woken"),
+            issue_ns: registry.counter("togsim.issue_ns"),
+            dram_ns: registry.counter("togsim.dram_advance_ns"),
+            noc_ns: registry.counter("togsim.noc_advance_ns"),
+            collect_ns: registry.counter("togsim.collect_ns"),
+        }
+    }
+}
+
+/// Runs `f`, charging its host-side duration to `c` when profiling is on.
+fn timed<R>(c: Option<&Counter>, f: impl FnOnce() -> R) -> R {
+    match c {
+        Some(c) => {
+            let t0 = std::time::Instant::now();
+            let r = f();
+            c.add(t0.elapsed().as_nanos() as u64);
+            r
+        }
+        None => f(),
+    }
 }
 
 /// The tile-level simulator.
@@ -168,12 +237,27 @@ pub struct TogSim {
     retry_dram: Vec<(RequestId, MemRequest)>,
     retry_noc: Vec<(RequestId, NocMessage)>,
     ids: RequestIdGen,
-    heap: BinaryHeap<Reverse<(u64, Event)>>,
+    queue: EventQueue<Event>,
     now: Cycle,
     timing: TimingSim,
     /// Per-core functional machines for execution-driven ILS.
     funcsims: Vec<Option<FuncSim>>,
     max_cycles: u64,
+    /// Cores something happened to since the last issue pass.
+    dirty: WakeSet,
+    /// Cores whose DMA transaction stream hit memory-system backpressure;
+    /// revisited on every issue pass until the stream drains, like the
+    /// legacy full rescan did.
+    stalled: Vec<bool>,
+    /// Jobs whose every node has retired (O(1) completion check).
+    jobs_done: usize,
+    /// Reusable drain buffers — the hot loop allocates nothing steady-state.
+    dram_buf: Vec<(RequestId, Cycle)>,
+    noc_buf: Vec<(RequestId, Cycle)>,
+    issue_buf: Vec<usize>,
+    tx_cores_buf: Vec<usize>,
+    /// Per-phase profiling counters, when a registry is attached.
+    metrics: Option<EngineMetrics>,
     /// Timeline recording when enabled; shared with the DRAM and NoC models
     /// so their events land in the same trace.
     tracer: Option<Arc<Tracer>>,
@@ -208,13 +292,29 @@ impl TogSim {
             retry_dram: Vec::new(),
             retry_noc: Vec::new(),
             ids: RequestIdGen::new(),
-            heap: BinaryHeap::new(),
+            queue: EventQueue::new(),
             now: Cycle::ZERO,
             timing: TimingSim::new(&cfg.npu),
             funcsims: (0..cfg.npu.cores).map(|_| None).collect(),
             max_cycles: u64::MAX / 4,
+            dirty: WakeSet::new(cfg.npu.cores),
+            stalled: vec![false; cfg.npu.cores],
+            jobs_done: 0,
+            dram_buf: Vec::new(),
+            noc_buf: Vec::new(),
+            issue_buf: Vec::new(),
+            tx_cores_buf: Vec::new(),
+            metrics: None,
             tracer: None,
         }
+    }
+
+    /// Attaches a metrics registry: the run loop then accumulates
+    /// per-phase counters (`togsim.iterations`, `togsim.events_drained`,
+    /// `togsim.cores_woken`, and host-nanosecond `togsim.*_ns` phase
+    /// timers) into it.
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(EngineMetrics::new(registry));
     }
 
     /// Selects the fidelity mode (TLS by default).
@@ -281,6 +381,10 @@ impl TogSim {
             }
         }
         let id = self.jobs.len();
+        if n == 0 {
+            // An empty TOG is complete on arrival.
+            self.jobs_done += 1;
+        }
         self.jobs.push(Job {
             tog,
             spec,
@@ -304,110 +408,88 @@ impl TogSim {
         self.cfg.npu.cores + self.dram.channel_of(addr)
     }
 
-    /// Runs every submitted job to completion.
+    /// Runs every submitted job to completion on the event kernel: dirty
+    /// cores only are issued, and the clock jumps straight between
+    /// component and scheduled event times.
     ///
     /// # Errors
     ///
     /// Returns [`Error::SimulationFault`] on deadlock (a malformed TOG) or
     /// when the cycle safety limit is exceeded.
     pub fn run(&mut self) -> Result<SimReport> {
-        let profile = std::env::var_os("PTSIM_PROFILE").is_some();
-        let mut iters = 0u64;
-        let mut t_issue = std::time::Duration::ZERO;
-        let mut t_dram = std::time::Duration::ZERO;
-        let mut t_noc = std::time::Duration::ZERO;
-        let mut t_collect = std::time::Duration::ZERO;
+        self.run_loop(false)?;
+        Ok(self.build_report())
+    }
+
+    /// Runs with the legacy loop semantics — every core is rescanned on
+    /// every iteration and the clock always advances by at least one cycle
+    /// — using the same issue/collect primitives as [`TogSim::run`].
+    ///
+    /// This is the oracle of the kernel-equivalence test suite: both paths
+    /// must produce bit-identical reports.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TogSim::run`].
+    pub fn run_reference(&mut self) -> Result<SimReport> {
+        self.run_loop(true)?;
+        Ok(self.build_report())
+    }
+
+    fn run_loop(&mut self, reference: bool) -> Result<()> {
+        // Arrivals become heap events: no per-iteration scan over unseeded
+        // jobs. (Jobs already seeded by an earlier `run` call are skipped.)
+        for j in 0..self.jobs.len() {
+            if !self.jobs[j].seeded {
+                self.queue.push(self.jobs[j].spec.start_at, Event::JobArrival { job: j });
+            }
+        }
+        let mut sched = Scheduler::starting_at(self.now);
+        sched.set_max_cycles(self.max_cycles);
+        let metrics = self.metrics.clone();
         loop {
-            iters += 1;
-            // Seed arrived jobs.
-            for j in 0..self.jobs.len() {
-                if !self.jobs[j].seeded && self.jobs[j].spec.start_at <= self.now {
-                    self.jobs[j].seeded = true;
-                    let ready: Vec<usize> = (0..self.jobs[j].tog.nodes.len())
-                        .filter(|&i| self.jobs[j].deps_left[i] == 0)
-                        .collect();
-                    for node in ready {
-                        self.dispatch(j, node);
-                    }
+            if let Some(m) = &metrics {
+                m.iterations.inc();
+            }
+            let collected =
+                timed(metrics.as_ref().map(|m| &m.collect_ns), || self.collect_completions());
+            if reference {
+                self.dirty.insert_all();
+            }
+            let issued = timed(metrics.as_ref().map(|m| &m.issue_ns), || self.issue());
+            if !reference && (collected || issued) {
+                // The reference path never claims progress, which pins the
+                // scheduler to the legacy always-bump clamp.
+                sched.note_progress();
+            }
+            if self.jobs_done == self.jobs.len() {
+                return Ok(());
+            }
+            sched.observe(self.queue.next_time());
+            sched.observe_component(self.dram.next_event());
+            sched.observe_component(self.noc.next_event());
+            match sched.step() {
+                Step::Advance(t) => {
+                    self.now = t;
+                    timed(metrics.as_ref().map(|m| &m.dram_ns), || self.dram.advance(t));
+                    timed(metrics.as_ref().map(|m| &m.noc_ns), || self.noc.advance(t));
                 }
-            }
-
-            // Issue everything possible at the current time.
-            let t0 = std::time::Instant::now();
-            self.issue();
-            if profile {
-                t_issue += t0.elapsed();
-            }
-
-            if self.all_done() {
-                break;
-            }
-
-            // Advance to the next event.
-            let mut next = Cycle::MAX;
-            if let Some(Reverse((t, _))) = self.heap.peek() {
-                next = next.min(Cycle::new(*t));
-            }
-            if let Some(t) = self.dram.next_event() {
-                next = next.min(t);
-            }
-            if let Some(t) = self.noc.next_event() {
-                next = next.min(t);
-            }
-            for job in &self.jobs {
-                if !job.seeded {
-                    next = next.min(job.spec.start_at);
+                Step::Drain => {
+                    // A component event landed exactly at `now`: let the
+                    // components retire it, then loop to collect without
+                    // moving the clock.
+                    self.dram.advance(self.now);
+                    self.noc.advance(self.now);
                 }
-            }
-            // Resource-rate wake-ups: queued work waiting on the DMA
-            // descriptor issue rate or on a busy unit whose completion
-            // event has already been drained.
-            for core in &self.cores {
-                if !core.dma_wait_q.is_empty() && core.dma_issue_free > self.now {
-                    next = next.min(core.dma_issue_free);
+                Step::Deadlocked => return Err(self.deadlock_fault()),
+                Step::LimitExceeded => {
+                    return Err(Error::SimulationFault("cycle safety limit exceeded".into()));
                 }
-                if !core.matrix_q.is_empty() && core.matrix_free > self.now {
-                    next = next.min(core.matrix_free);
-                }
-                if !core.vector_q.is_empty() && core.vector_free > self.now {
-                    next = next.min(core.vector_free);
-                }
-            }
-            if next == Cycle::MAX {
-                return Err(Error::SimulationFault(format!(
-                    "deadlock at {}: {} jobs unfinished",
-                    self.now,
-                    self.jobs.iter().filter(|j| j.nodes_done < j.tog.nodes.len()).count()
-                )));
-            }
-            // Guarantee forward progress: bounds from the memory system can
-            // be conservative, so never advance by less than one cycle.
-            self.now = next.max(self.now + 1);
-            if self.now.raw() > self.max_cycles {
-                return Err(Error::SimulationFault("cycle safety limit exceeded".into()));
-            }
-            let t0 = std::time::Instant::now();
-            self.dram.advance(self.now);
-            if profile {
-                t_dram += t0.elapsed();
-            }
-            let t0 = std::time::Instant::now();
-            self.noc.advance(self.now);
-            if profile {
-                t_noc += t0.elapsed();
-            }
-            let t0 = std::time::Instant::now();
-            self.collect_completions();
-            if profile {
-                t_collect += t0.elapsed();
             }
         }
-        if profile {
-            eprintln!(
-                "[togsim profile] iters={iters} issue={t_issue:?} dram={t_dram:?} noc={t_noc:?} collect={t_collect:?}"
-            );
-        }
+    }
 
+    fn build_report(&self) -> SimReport {
         let jobs = self
             .jobs
             .iter()
@@ -420,23 +502,78 @@ impl TogSim {
                 tag: j.spec.tag,
             })
             .collect::<Vec<_>>();
-        Ok(SimReport {
+        SimReport {
             total_cycles: jobs.iter().map(|j| j.end.raw()).max().unwrap_or(0),
             jobs,
             dram: self.dram.stats(),
             noc: self.noc.stats(),
             matrix_busy: self.cores.iter().map(|c| c.matrix_busy).sum(),
             vector_busy: self.cores.iter().map(|c| c.vector_busy).sum(),
-        })
+        }
     }
 
-    fn all_done(&self) -> bool {
-        self.jobs.iter().all(|j| j.nodes_done == j.tog.nodes.len())
+    /// Builds the deadlock diagnostic: besides the unfinished-job count,
+    /// it lists every core with queued or in-flight work and every
+    /// unfinished job's remaining node count, which is usually enough to
+    /// see *which* dependency never resolved.
+    fn deadlock_fault(&self) -> Error {
+        let unfinished = self.jobs.iter().filter(|j| j.nodes_done < j.tog.nodes.len()).count();
+        let mut cores = String::new();
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.matrix_q.is_empty()
+                && c.vector_q.is_empty()
+                && c.dma_wait_q.is_empty()
+                && c.active_dma.is_empty()
+            {
+                continue;
+            }
+            if !cores.is_empty() {
+                cores.push_str(", ");
+            }
+            cores.push_str(&format!(
+                "core{i}: matrix_q={} vector_q={} dma_wait_q={} active_dma={}",
+                c.matrix_q.len(),
+                c.vector_q.len(),
+                c.dma_wait_q.len(),
+                c.active_dma.len()
+            ));
+        }
+        if cores.is_empty() {
+            cores.push_str("all idle");
+        }
+        let mut jobs = String::new();
+        for (i, j) in self.jobs.iter().enumerate() {
+            let total = j.tog.nodes.len();
+            if j.nodes_done >= total {
+                continue;
+            }
+            if !jobs.is_empty() {
+                jobs.push_str(", ");
+            }
+            jobs.push_str(&format!(
+                "job{i} '{}': {} of {total} nodes remaining{}",
+                j.tog.name,
+                total - j.nodes_done,
+                if j.seeded { "" } else { " (never arrived)" }
+            ));
+        }
+        Error::SimulationFault(format!(
+            "deadlock at {}: {} jobs unfinished; cores: [{}]; jobs: [{}]; \
+             in-flight: {} transactions, {} dram retries, {} noc retries",
+            self.now,
+            unfinished,
+            cores,
+            jobs,
+            self.tx_refs.len(),
+            self.retry_dram.len(),
+            self.retry_noc.len()
+        ))
     }
 
-    /// Routes a ready node to its resource queue.
+    /// Routes a ready node to its resource queue and wakes the core.
     fn dispatch(&mut self, job: usize, node: usize) {
         let core = self.core_of(job, self.jobs[job].tog.nodes[node].core);
+        self.dirty.insert(core);
         match &self.jobs[job].tog.nodes[node].kind {
             FlatNodeKind::Compute { unit, .. } => match unit {
                 ExecUnit::Matrix => self.cores[core].matrix_q.push_back((job, node)),
@@ -448,21 +585,46 @@ impl TogSim {
         }
     }
 
-    /// Issues work that can start at the current time; loops to a fixed
-    /// point.
-    fn issue(&mut self) {
+    /// Issues work that can start at the current time on every dirty core;
+    /// loops to a fixed point. Returns whether anything was issued.
+    ///
+    /// Phase order within a pass — retries, then per-core compute/DMA
+    /// activation in ascending core order, then transaction streaming —
+    /// matches the legacy full rescan, so visiting only dirty cores
+    /// changes nothing observable: a skipped core has, by construction,
+    /// nothing issuable.
+    fn issue(&mut self) -> bool {
+        let mut issue_buf = std::mem::take(&mut self.issue_buf);
+        self.dirty.drain_into(&mut issue_buf);
+        if let Some(m) = &self.metrics {
+            m.cores_woken.add(issue_buf.len() as u64);
+        }
+        // Transaction streaming additionally revisits every core whose
+        // stream is blocked on memory-system backpressure: backpressure
+        // lifts when the DRAM/NoC advance, not through a per-core event.
+        let mut tx_cores = std::mem::take(&mut self.tx_cores_buf);
+        tx_cores.clear();
+        tx_cores.extend_from_slice(&issue_buf);
+        tx_cores.extend((0..self.stalled.len()).filter(|&c| self.stalled[c]));
+        tx_cores.sort_unstable();
+        tx_cores.dedup();
+        let mut any = false;
         loop {
             let mut progress = false;
             progress |= self.retry_backpressured();
-            for core in 0..self.cores.len() {
+            for &core in &issue_buf {
                 progress |= self.issue_computes(core);
                 progress |= self.activate_dmas(core);
             }
-            progress |= self.issue_transactions();
+            progress |= self.issue_transactions(&tx_cores);
             if !progress {
                 break;
             }
+            any = true;
         }
+        self.issue_buf = issue_buf;
+        self.tx_cores_buf = tx_cores;
+        any
     }
 
     fn issue_computes(&mut self, core: usize) -> bool {
@@ -511,7 +673,7 @@ impl TogSim {
                         self.cores[core].vector_busy += cycles;
                     }
                 }
-                self.heap.push(Reverse((done.raw(), Event::ComputeDone { job, node })));
+                self.queue.push(done, Event::ComputeDone { job, node });
                 self.jobs[job].compute_nodes += 1;
                 progress = true;
             }
@@ -618,16 +780,36 @@ impl TogSim {
             self.cores[core].dma_issue_free = self.now + self.cfg.npu.dma_issue_cycles;
             progress = true;
         }
+        // Stalled on the descriptor-issue rate with work still waiting —
+        // whether the loop broke on the rate or never ran because the
+        // active set is depth-full: post a wake-up so the scheduler stops
+        // when the issue pipe frees, exactly like the legacy per-core
+        // rescan did. No other event fires at this time (unit completions
+        // carry their own `ComputeDone`/DMA events, the issue pipe does
+        // not). `dma_wake_posted` is monotone, so each wake time is posted
+        // at most once.
+        let free = self.cores[core].dma_issue_free;
+        if free > self.now
+            && !self.cores[core].dma_wait_q.is_empty()
+            && self.cores[core].dma_wake_posted < free
+        {
+            self.cores[core].dma_wake_posted = free;
+            self.queue.push(free, Event::CoreWake { core });
+        }
         progress
     }
 
-    /// Streams transactions of active DMA jobs into the memory system.
-    fn issue_transactions(&mut self) -> bool {
+    /// Streams transactions of active DMA jobs on `cores` into the memory
+    /// system, recording which cores blocked on backpressure.
+    fn issue_transactions(&mut self, cores: &[usize]) -> bool {
         let tx_bytes = self.cfg.dram.transaction_bytes;
         let mut progress = false;
-        for core in 0..self.cores.len() {
-            let active = self.cores[core].active_dma.clone();
-            for dma_id in active {
+        for &core in cores {
+            let mut blocked = false;
+            // Index loop: the active set is only mutated by `finish_tx`,
+            // which cannot run while transactions are being issued.
+            for slot in 0..self.cores[core].active_dma.len() {
+                let dma_id = self.cores[core].active_dma[slot];
                 loop {
                     let d = self.dma_slab[dma_id];
                     if d.next_tx >= d.total_tx {
@@ -663,8 +845,7 @@ impl TogSim {
                         // touching the memory system (§3.3.3).
                         let lat =
                             self.caches[d.core].as_ref().map(|c| c.hit_latency()).unwrap_or(0);
-                        self.heap
-                            .push(Reverse(((self.now + lat).raw(), Event::CacheHit { dma_id })));
+                        self.queue.push(self.now + lat, Event::CacheHit { dma_id });
                         true
                     } else {
                         let req = MemRequest::read(rid, addr, tx_bytes, d.tag);
@@ -682,12 +863,14 @@ impl TogSim {
                         }
                     };
                     if !ok {
+                        blocked = true;
                         break;
                     }
                     self.dma_slab[dma_id].next_tx += 1;
                     progress = true;
                 }
             }
+            self.stalled[core] = blocked;
         }
         progress
     }
@@ -713,9 +896,17 @@ impl TogSim {
         progress
     }
 
-    fn collect_completions(&mut self) {
-        // DRAM completions.
-        for (rid, at) in self.dram.pop_completed() {
+    /// Drains every completion due at the current time — DRAM retirements,
+    /// NoC deliveries, then scheduled events — marking affected cores
+    /// dirty. Returns whether anything was processed.
+    fn collect_completions(&mut self) -> bool {
+        let mut drained = 0u64;
+        // DRAM completions, through the reusable drain buffer (the legacy
+        // `pop_completed` allocated a fresh Vec per poll).
+        let mut buf = std::mem::take(&mut self.dram_buf);
+        self.dram.drain_completions_into(&mut buf);
+        for (rid, at) in buf.drain(..) {
+            drained += 1;
             let Some(txref) = self.tx_refs.remove(&rid) else {
                 continue;
             };
@@ -740,8 +931,12 @@ impl TogSim {
                 _ => {}
             }
         }
+        self.dram_buf = buf;
         // NoC deliveries.
-        for (rid, at) in self.noc.pop_delivered() {
+        let mut buf = std::mem::take(&mut self.noc_buf);
+        self.noc.drain_completions_into(&mut buf);
+        for (rid, at) in buf.drain(..) {
+            drained += 1;
             let Some(txref) = self.tx_refs.remove(&rid) else {
                 continue;
             };
@@ -759,15 +954,39 @@ impl TogSim {
                 _ => {}
             }
         }
-        // Compute completions.
-        while let Some(Reverse((t, event))) = self.heap.peek().copied() {
-            if t > self.now.raw() {
-                break;
-            }
-            self.heap.pop();
+        self.noc_buf = buf;
+        // Scheduled events due now, in (time, Event-Ord) order.
+        while let Some((t, event)) = self.queue.pop_due(self.now) {
+            drained += 1;
             match event {
-                Event::ComputeDone { job, node } => self.node_done(job, node, Cycle::new(t)),
+                Event::ComputeDone { job, node } => {
+                    // The executing unit frees at `t`: wake its core.
+                    let core = self.core_of(job, self.jobs[job].tog.nodes[node].core);
+                    self.dirty.insert(core);
+                    self.node_done(job, node, t);
+                }
                 Event::CacheHit { dma_id } => self.finish_tx(dma_id),
+                Event::JobArrival { job } => self.seed_job(job),
+                Event::CoreWake { core } => self.dirty.insert(core),
+            }
+        }
+        if drained > 0 {
+            if let Some(m) = &self.metrics {
+                m.events_drained.add(drained);
+            }
+        }
+        drained > 0
+    }
+
+    /// Seeds an arrived job: dispatches every dependency-free node.
+    fn seed_job(&mut self, job: usize) {
+        if self.jobs[job].seeded {
+            return;
+        }
+        self.jobs[job].seeded = true;
+        for node in 0..self.jobs[job].tog.nodes.len() {
+            if self.jobs[job].deps_left[node] == 0 {
+                self.dispatch(job, node);
             }
         }
     }
@@ -780,6 +999,8 @@ impl TogSim {
             let (started, is_write) = (d.started, d.is_write);
             let (bytes, tag) = (d.total_tx * self.cfg.dram.transaction_bytes, d.tag);
             self.cores[core].active_dma.retain(|&i| i != dma_id);
+            // A DMA slot freed: the core can activate waiting descriptors.
+            self.dirty.insert(core);
             if let Some(t) = &self.tracer {
                 t.dma_span(core, started, self.now.raw(), bytes, is_write, tag);
             }
@@ -788,10 +1009,15 @@ impl TogSim {
     }
 
     fn node_done(&mut self, job: usize, node: usize, at: Cycle) {
-        let j = &mut self.jobs[job];
-        j.nodes_done += 1;
-        j.end = j.end.max(at);
-        let consumers = std::mem::take(&mut j.consumers[node]);
+        {
+            let j = &mut self.jobs[job];
+            j.nodes_done += 1;
+            j.end = j.end.max(at);
+        }
+        if self.jobs[job].nodes_done == self.jobs[job].tog.nodes.len() {
+            self.jobs_done += 1;
+        }
+        let consumers = std::mem::take(&mut self.jobs[job].consumers[node]);
         for &c in &consumers {
             let c = c as usize;
             self.jobs[job].deps_left[c] -= 1;

@@ -38,7 +38,7 @@ pub mod tracer;
 pub mod validate;
 
 pub use event::{AllReducePhase, EventData, Lane, RowOutcome, TraceEvent, Track};
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry};
 pub use tracer::{Tracer, DEFAULT_CAPACITY};
 
 use std::sync::Arc;

@@ -152,6 +152,29 @@ enum Instrument {
     Histogram(Histogram),
 }
 
+/// A point-in-time reading of one instrument, as returned by
+/// [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's accumulated value.
+    Counter(u64),
+    /// A gauge's last (or max) value.
+    Gauge(u64),
+    /// A histogram's aggregate statistics.
+    Histogram {
+        /// Recorded samples.
+        count: u64,
+        /// Sum of recorded samples.
+        sum: u64,
+        /// Mean of recorded samples.
+        mean: f64,
+        /// Exclusive upper bound of the median's bucket.
+        p50: u64,
+        /// Exclusive upper bound of the 99th percentile's bucket.
+        p99: u64,
+    },
+}
+
 /// A registry of named instruments sharing one enabled flag.
 ///
 /// `counter`/`gauge`/`histogram` return the existing instrument when the
@@ -230,6 +253,67 @@ impl MetricsRegistry {
         };
         slots.push((name.to_string(), Instrument::Histogram(h.clone())));
         h
+    }
+
+    /// Reads every instrument's current value, in registration order —
+    /// the machine-readable counterpart of
+    /// [`summary_table`](MetricsRegistry::summary_table).
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let slots = self.instruments.lock().unwrap();
+        slots
+            .iter()
+            .map(|(name, inst)| {
+                let value = match inst {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        mean: h.mean(),
+                        p50: h.approx_percentile(50.0),
+                        p99: h.approx_percentile(99.0),
+                    },
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// Renders every instrument as a JSON object keyed by metric name, in
+    /// registration order. Counters and gauges become numbers; histograms
+    /// become `{count, sum, mean, p50, p99}` objects. Hand-rendered so
+    /// machine-readable reports need no serialization dependency.
+    pub fn json(&self) -> String {
+        fn escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":", escape(name)));
+            match value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => out.push_str(&v.to_string()),
+                MetricValue::Histogram { count, sum, mean, p50, p99 } => {
+                    out.push_str(&format!(
+                        "{{\"count\":{count},\"sum\":{sum},\"mean\":{mean:.3},\
+                         \"p50\":{p50},\"p99\":{p99}}}"
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
     }
 
     /// Renders every instrument as an aligned plain-text table, in
@@ -325,5 +409,33 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.counter("x");
         reg.gauge("x");
+    }
+
+    #[test]
+    fn json_renders_all_instrument_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.count").add(2);
+        reg.gauge("b.depth").set(9);
+        reg.histogram("c.lat").observe(5);
+        let json = reg.json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"a.count\":2"), "{json}");
+        assert!(json.contains("\"b.depth\":9"), "{json}");
+        assert!(json.contains("\"c.lat\":{\"count\":1,\"sum\":5"), "{json}");
+    }
+
+    #[test]
+    fn snapshot_reads_every_instrument_in_registration_order() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.count").add(2);
+        reg.gauge("b.depth").set(9);
+        reg.histogram("c.lat").observe(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap[0], ("a.count".into(), MetricValue::Counter(2)));
+        assert_eq!(snap[1], ("b.depth".into(), MetricValue::Gauge(9)));
+        match &snap[2].1 {
+            MetricValue::Histogram { count: 1, sum: 5, .. } => {}
+            other => panic!("unexpected histogram snapshot {other:?}"),
+        }
     }
 }
