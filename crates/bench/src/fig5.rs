@@ -47,7 +47,7 @@ pub fn workloads(scale: Scale) -> Vec<ModelSpec> {
         Scale::Bench => vec![
             models::gemm(256),
             models::gemm(512),
-            models::conv_kernel(3, 1),
+            models::conv_kernel(3, 1).expect("paper conv kernel"),
             models::layernorm_kernel(128, 768),
             models::softmax_kernel(128, 512),
         ],
@@ -56,10 +56,10 @@ pub fn workloads(scale: Scale) -> Vec<ModelSpec> {
             models::gemm(1024),
             models::gemm(2048),
             models::gemm(4096),
-            models::conv_kernel(0, 1),
-            models::conv_kernel(1, 1),
-            models::conv_kernel(2, 1),
-            models::conv_kernel(3, 1),
+            models::conv_kernel(0, 1).expect("paper conv kernel"),
+            models::conv_kernel(1, 1).expect("paper conv kernel"),
+            models::conv_kernel(2, 1).expect("paper conv kernel"),
+            models::conv_kernel(3, 1).expect("paper conv kernel"),
             models::layernorm_kernel(512, 768),
             models::softmax_kernel(512, 512),
             models::resnet18(1),

@@ -52,15 +52,17 @@ impl Row {
 /// The figure's workload list.
 pub fn workloads(scale: Scale) -> Vec<ModelSpec> {
     match scale {
-        Scale::Bench => vec![models::gemm(256), models::conv_kernel(3, 1)],
+        Scale::Bench => {
+            vec![models::gemm(256), models::conv_kernel(3, 1).expect("paper conv kernel")]
+        }
         Scale::Full => vec![
             models::gemm(512),
             models::gemm(1024),
             models::gemm(2048),
-            models::conv_kernel(0, 1),
-            models::conv_kernel(1, 1),
-            models::conv_kernel(2, 1),
-            models::conv_kernel(3, 1),
+            models::conv_kernel(0, 1).expect("paper conv kernel"),
+            models::conv_kernel(1, 1).expect("paper conv kernel"),
+            models::conv_kernel(2, 1).expect("paper conv kernel"),
+            models::conv_kernel(3, 1).expect("paper conv kernel"),
             models::resnet18(1),
         ],
     }

@@ -81,13 +81,13 @@ pub fn run_dma(scale: Scale, jobs: usize) -> Vec<Row> {
 /// Fig. 8b: CONV layout optimization for batch-1 ResNet-style convolutions.
 pub fn run_conv_batch1(scale: Scale, jobs: usize) -> Vec<Row> {
     let specs: Vec<ModelSpec> = match scale {
-        Scale::Bench => vec![models::conv_kernel(3, 1)],
+        Scale::Bench => vec![models::conv_kernel(3, 1).expect("paper conv kernel")],
         Scale::Full => {
             vec![
-                models::conv_kernel(0, 1),
-                models::conv_kernel(1, 1),
-                models::conv_kernel(2, 1),
-                models::conv_kernel(3, 1),
+                models::conv_kernel(0, 1).expect("paper conv kernel"),
+                models::conv_kernel(1, 1).expect("paper conv kernel"),
+                models::conv_kernel(2, 1).expect("paper conv kernel"),
+                models::conv_kernel(3, 1).expect("paper conv kernel"),
                 models::resnet18(1),
             ]
         }

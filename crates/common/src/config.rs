@@ -121,6 +121,14 @@ impl DramConfig {
         if self.row_bytes < self.transaction_bytes {
             return Err(Error::InvalidConfig("dram row smaller than a transaction".into()));
         }
+        if self.bytes_per_cycle_per_channel == 0 {
+            return Err(Error::InvalidConfig(
+                "dram data bus must be at least one byte wide".into(),
+            ));
+        }
+        if self.queue_depth == 0 {
+            return Err(Error::InvalidConfig("dram queue depth must be nonzero".into()));
+        }
         Ok(())
     }
 }
@@ -201,6 +209,30 @@ impl NocConfig {
     pub fn simple() -> Self {
         NocConfig { kind: NocKind::Simple, ..Self::crossbar_tpu_v3() }
     }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.flit_bytes == 0 {
+            return Err(Error::InvalidConfig("noc flits must be at least one byte".into()));
+        }
+        if self.bytes_per_cycle == 0 {
+            return Err(Error::InvalidConfig("noc port bandwidth must be nonzero".into()));
+        }
+        if self.port_links == 0 {
+            return Err(Error::InvalidConfig("noc ports must have at least one link".into()));
+        }
+        if let Some(ch) = &self.chiplet {
+            if ch.chiplets < 2 {
+                return Err(Error::InvalidConfig(
+                    "chiplet partitioning needs at least two chiplets".into(),
+                ));
+            }
+            if ch.link_bytes_per_cycle == 0 {
+                return Err(Error::InvalidConfig("chiplet link bandwidth must be nonzero".into()));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for NocConfig {
@@ -230,9 +262,28 @@ impl L1CacheConfig {
         L1CacheConfig { size_bytes: 128 * 1024, line_bytes: 64, ways: 8, hit_latency: 4 }
     }
 
-    /// Number of sets.
+    /// Number of sets. Degenerate geometries (zero line size or
+    /// associativity, rejected by [`L1CacheConfig::validate`]) saturate to
+    /// one set instead of dividing by zero.
     pub fn sets(&self) -> usize {
-        (self.size_bytes / (self.line_bytes * self.ways as u64)).max(1) as usize
+        (self.size_bytes / (self.line_bytes * self.ways as u64).max(1)).max(1) as usize
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.ways == 0 {
+            return Err(Error::InvalidConfig("l1 cache must have at least one way".into()));
+        }
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(Error::InvalidConfig("l1 line size must be a nonzero power of two".into()));
+        }
+        if self.size_bytes < self.line_bytes * self.ways as u64 {
+            return Err(Error::InvalidConfig("l1 cache smaller than one set".into()));
+        }
+        if self.hit_latency == 0 {
+            return Err(Error::InvalidConfig("l1 hits must take at least one cycle".into()));
+        }
+        Ok(())
     }
 }
 
@@ -347,8 +398,30 @@ impl NpuConfig {
         if self.vector_units == 0 || self.vector_lanes == 0 {
             return Err(Error::InvalidConfig("vector units must be non-empty".into()));
         }
+        if self.total_vector_lanes() < self.logical_sa_cols() {
+            // The vector unit drains the systolic array's output FIFO one
+            // row per register group: it must span a logical output row.
+            return Err(Error::InvalidConfig(format!(
+                "vector unit ({} lanes) is narrower than the logical systolic array \
+                 ({} columns): output rows cannot be drained",
+                self.total_vector_lanes(),
+                self.logical_sa_cols()
+            )));
+        }
         if self.scratchpad_bytes < 4096 {
             return Err(Error::InvalidConfig("scratchpad too small".into()));
+        }
+        if !(self.freq_mhz.is_finite() && self.freq_mhz > 0.0) {
+            return Err(Error::InvalidConfig("core clock must be positive".into()));
+        }
+        if self.element_bytes == 0 {
+            return Err(Error::InvalidConfig("tensor elements must be at least one byte".into()));
+        }
+        if self.dma_queue_depth == 0 {
+            return Err(Error::InvalidConfig("dma queue depth must be nonzero".into()));
+        }
+        if let Some(l1) = &self.l1_cache {
+            l1.validate()?;
         }
         Ok(())
     }
@@ -395,10 +468,16 @@ impl SimConfig {
         }
     }
 
-    /// Validates every subsystem.
+    /// Validates every subsystem. Every build/run entry point of the
+    /// simulation facades (`Simulator`, `TrainingSim`, `ClusterSim`, the
+    /// sweep harness) calls this before touching the engine, so a
+    /// degenerate value (`flit_bytes = 0`, `ways = 0`, ...) surfaces as
+    /// [`Error::InvalidConfig`] instead of garbage cycles or a panic deep
+    /// inside a component model.
     pub fn validate(&self) -> Result<()> {
         self.npu.validate()?;
         self.dram.validate()?;
+        self.noc.validate()?;
         Ok(())
     }
 }
@@ -436,6 +515,72 @@ mod tests {
         let mut d = DramConfig::hbm2_tpu_v3();
         d.transaction_bytes = 3;
         assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn vector_unit_narrower_than_the_logical_array_is_rejected() {
+        // The kernel generator drains one logical output row per vector
+        // register group; a machine whose vector unit cannot span it used
+        // to pass validation and then die mid-compile with `Unsupported`.
+        let mut c = NpuConfig::tiny();
+        c.systolic_cols = 16;
+        c.systolic_arrays_per_core = 2; // 32 logical columns
+        c.vector_units = 2;
+        c.vector_lanes = 8; // 16 lanes
+        assert!(c.validate().is_err());
+        c.vector_units = 4; // 32 lanes: exactly spans the row
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_noc_configs_are_rejected() {
+        let mut n = NocConfig::crossbar_tpu_v3();
+        n.flit_bytes = 0;
+        assert!(n.validate().is_err());
+        let mut n = NocConfig::simple();
+        n.bytes_per_cycle = 0;
+        assert!(n.validate().is_err());
+        let mut n = NocConfig::crossbar_tpu_v3();
+        n.port_links = 0;
+        assert!(n.validate().is_err());
+        let mut n = NocConfig::crossbar_tpu_v3();
+        n.chiplet =
+            Some(ChipletLinkConfig { chiplets: 1, ..ChipletLinkConfig::paper_two_chiplets() });
+        assert!(n.validate().is_err());
+        assert!(NocConfig::crossbar_tpu_v3().validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_l1_configs_are_rejected_and_sets_never_divides_by_zero() {
+        let mut l1 = L1CacheConfig::kib_128();
+        assert!(l1.validate().is_ok());
+        l1.ways = 0;
+        assert!(l1.validate().is_err());
+        // The guarded division: a zero-way geometry saturates instead of
+        // panicking (the pre-validation code path that motivated the guard).
+        assert!(l1.sets() >= 1);
+        let mut l1 = L1CacheConfig::kib_128();
+        l1.line_bytes = 0;
+        assert!(l1.validate().is_err());
+        assert!(l1.sets() >= 1);
+        let mut l1 = L1CacheConfig::kib_128();
+        l1.size_bytes = 64;
+        assert!(l1.validate().is_err());
+    }
+
+    #[test]
+    fn sim_config_validation_covers_every_subsystem() {
+        let mut c = SimConfig::tiny();
+        c.noc.flit_bytes = 0;
+        assert!(c.validate().is_err(), "noc must be validated");
+        let mut c = SimConfig::tiny();
+        c.npu.l1_cache = Some(L1CacheConfig { ways: 0, ..L1CacheConfig::kib_128() });
+        assert!(c.validate().is_err(), "l1 must be validated");
+        let mut c = SimConfig::tiny();
+        c.dram.queue_depth = 0;
+        assert!(c.validate().is_err(), "dram queue must be validated");
+        assert!(SimConfig::tiny().validate().is_ok());
+        assert!(SimConfig::tpu_v3().validate().is_ok());
     }
 
     #[test]

@@ -66,14 +66,24 @@ pub struct ScalingReport {
 }
 
 impl ScalingReport {
-    /// Scaling efficiency of the `i`-th point vs the first, in [0, 1]:
-    /// achieved speedup over ideal linear speedup.
-    pub fn efficiency(&self, i: usize) -> f64 {
-        let (n0, it0) = &self.points[0];
-        let (ni, iti) = &self.points[i];
+    /// Scaling efficiency of the `i`-th point vs the first: achieved
+    /// speedup over ideal linear speedup, typically in [0, 1].
+    ///
+    /// Total over untrusted input: returns `None` for an empty report, an
+    /// out-of-range index, or degenerate points (zero NPUs or zero-cycle
+    /// iterations) where the ratio is undefined.
+    pub fn efficiency(&self, i: usize) -> Option<f64> {
+        let (n0, it0) = self.points.first()?;
+        let (ni, iti) = self.points.get(i)?;
+        if *n0 == 0 || it0.total_cycles() == 0 || iti.total_cycles() == 0 {
+            return None;
+        }
         let ideal = *ni as f64 / *n0 as f64;
+        if ideal == 0.0 {
+            return None;
+        }
         let achieved = it0.total_cycles() as f64 / iti.total_cycles() as f64;
-        achieved / ideal
+        Some(achieved / ideal)
     }
 }
 
@@ -182,6 +192,7 @@ impl ClusterSim {
         make_model: impl Fn(usize) -> ModelSpec,
         global_batch: usize,
     ) -> Result<ClusterIteration> {
+        self.npu.validate()?;
         let n = self.cluster.npus;
         if !global_batch.is_multiple_of(n) || global_batch == 0 {
             return Err(Error::InvalidConfig(format!(
@@ -201,21 +212,28 @@ impl ClusterSim {
             if allreduce_cycles > 0 {
                 // The ring collective splits evenly: N−1 reduce-scatter
                 // steps followed by N−1 all-gather steps of equal volume.
+                // Every NPU participates symmetrically, so each records its
+                // own span pair tagged with its rank (the tag used to be
+                // hard-coded to 0, attributing the collective to NPU 0).
                 let scatter = allreduce_cycles / 2;
-                t.allreduce(
-                    compute_cycles,
-                    scatter,
-                    ptsim_trace::AllReducePhase::ReduceScatter,
-                    grad_bytes,
-                    0,
-                );
-                t.allreduce(
-                    compute_cycles + scatter,
-                    allreduce_cycles - scatter,
-                    ptsim_trace::AllReducePhase::AllGather,
-                    grad_bytes,
-                    0,
-                );
+                for rank in 0..n as u32 {
+                    t.allreduce(
+                        compute_cycles,
+                        scatter,
+                        ptsim_trace::AllReducePhase::ReduceScatter,
+                        grad_bytes,
+                        rank,
+                    );
+                }
+                for rank in 0..n as u32 {
+                    t.allreduce(
+                        compute_cycles + scatter,
+                        allreduce_cycles - scatter,
+                        ptsim_trace::AllReducePhase::AllGather,
+                        grad_bytes,
+                        rank,
+                    );
+                }
             }
         }
         Ok(ClusterIteration { compute_cycles, allreduce_cycles })
@@ -286,8 +304,38 @@ mod tests {
         let a: Vec<u64> = report.points.iter().map(|(_, it)| it.allreduce_cycles).collect();
         assert!(a[1] <= a[2], "allreduce must not shrink: {a:?}");
         // Efficiency decays with scale.
-        assert!(report.efficiency(1) <= 1.01);
-        assert!(report.efficiency(2) <= report.efficiency(1) + 1e-9);
+        let e1 = report.efficiency(1).unwrap();
+        let e2 = report.efficiency(2).unwrap();
+        assert!(e1 <= 1.01);
+        assert!(e2 <= e1 + 1e-9);
+    }
+
+    #[test]
+    fn efficiency_is_total_over_untrusted_input() {
+        // Regression: `efficiency` used to index `points[0]`/`points[i]`
+        // unchecked and divide by an ideal ratio that can be zero — empty
+        // reports and stale indices panicked.
+        let empty = ScalingReport { points: Vec::new() };
+        assert_eq!(empty.efficiency(0), None);
+        let it = ClusterIteration { compute_cycles: 100, allreduce_cycles: 0 };
+        let report = ScalingReport { points: vec![(1, it), (2, it)] };
+        assert_eq!(report.efficiency(5), None, "out-of-range index must not panic");
+        assert!(report.efficiency(1).is_some());
+        let degenerate = ScalingReport { points: vec![(0, it), (4, it)] };
+        assert_eq!(degenerate.efficiency(1), None, "zero-NPU baseline has no ideal speedup");
+        let stalled = ScalingReport {
+            points: vec![(1, ClusterIteration { compute_cycles: 0, allreduce_cycles: 0 }), (2, it)],
+        };
+        assert_eq!(stalled.efficiency(1), None, "zero-cycle iterations have no ratio");
+    }
+
+    #[test]
+    fn degenerate_npu_configs_are_rejected_before_simulation() {
+        let mut cfg = tiny();
+        cfg.noc.flit_bytes = 0;
+        let sim = ClusterSim::new(cfg, ClusterConfig::pod_of(2));
+        let err = sim.iteration(|b| mlp(b, 32), 16).unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err}");
     }
 
     #[test]

@@ -245,8 +245,10 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns an error if lowering fails.
+    /// Returns [`ptsim_common::Error::InvalidConfig`] for a degenerate NPU
+    /// configuration, or an error if lowering fails.
     pub fn compile(&self, spec: &ModelSpec) -> Result<Arc<CompiledModel>> {
+        self.cfg.validate()?;
         self.cache.compile_spec(&self.compiler, spec)
     }
 
@@ -271,8 +273,10 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns an error if simulation fails.
+    /// Returns [`ptsim_common::Error::InvalidConfig`] for a degenerate NPU
+    /// configuration, or an error if simulation fails.
     pub fn run_compiled(&self, model: &CompiledModel, opts: &RunOptions) -> Result<SimReport> {
+        self.cfg.validate()?;
         let kernels = opts.needs_kernels().then(|| Arc::new(model.kernels.clone()));
         let mut sim = self.new_togsim(opts);
         sim.add_shared_job(Arc::new(model.tog.clone()), JobSpec { kernels, ..JobSpec::default() });
@@ -325,6 +329,7 @@ impl Simulator {
         &self,
         tenants: &[(Arc<CompiledModel>, usize, usize, u32, Cycle)],
     ) -> Result<SimReport> {
+        self.cfg.validate()?;
         let mut sim = self.new_togsim(&RunOptions::tls());
         for (model, core_offset, cores, tag, start_at) in tenants {
             sim.add_shared_job(

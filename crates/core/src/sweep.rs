@@ -163,6 +163,7 @@ impl SweepPoint {
     /// Executes this point against a shared compile cache.
     fn execute(&self, cache: &Arc<CompileCache>) -> Result<PointResult> {
         let started = Instant::now();
+        self.cfg.validate()?;
         let sim = Simulator::builder(self.cfg.clone())
             .compiler_options(self.opts.clone())
             .shared_cache(Arc::clone(cache))

@@ -145,8 +145,10 @@ impl TrainingSim {
     ///
     /// # Errors
     ///
-    /// Returns an error if the model has no loss or compilation fails.
+    /// Returns [`Error::InvalidConfig`] for a degenerate NPU configuration,
+    /// or an error if the model has no loss or compilation fails.
     pub fn iteration_cycles(&self, spec: &ModelSpec) -> Result<u64> {
+        self.cfg.validate()?;
         let train_spec = Self::training_spec(spec)?;
         let compiler = Compiler::new(self.cfg.clone(), self.opts.clone());
         let compiled = self.cache.compile_spec(&compiler, &train_spec)?;

@@ -31,6 +31,7 @@ pub use bert::{albert, bert, bert_base, bert_large, BertConfig};
 pub use dataset::SyntheticMnist;
 pub use resnet::{resnet18, resnet50};
 
+use ptsim_common::{Error, Result};
 use ptsim_graph::{ConvGeom, Graph, GraphBuilder, ValueId};
 use ptsim_tensor::Tensor;
 
@@ -104,23 +105,30 @@ pub fn gemm_rect(m: usize, k: usize, n: usize) -> ModelSpec {
 /// The paper's CONV0–3 kernels: 3×3 filters with 64/128/256/512 channels on
 /// 56²/28²/14²/7² inputs, matching input and output channel counts.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `index > 3`.
-pub fn conv_kernel(index: usize, batch: usize) -> ModelSpec {
+/// Returns [`Error::InvalidConfig`] if `index > 3`. (This used to panic,
+/// which turned an untrusted CLI argument or fuzzed case into a library
+/// abort; bin-local argument parsing may still panic, library code must
+/// not.)
+pub fn conv_kernel(index: usize, batch: usize) -> Result<ModelSpec> {
     let (c, hw) = match index {
         0 => (64, 56),
         1 => (128, 28),
         2 => (256, 14),
         3 => (512, 7),
-        _ => panic!("conv kernel index {index} out of range (0..=3)"),
+        _ => {
+            return Err(Error::InvalidConfig(format!(
+                "conv kernel index {index} out of range (0..=3)"
+            )))
+        }
     };
     let mut g = GraphBuilder::new();
     let x = g.input("x", [batch, c, hw, hw]);
     let w = g.parameter("w", [c, c, 3, 3]);
     let y = g.conv2d(x, w, ConvGeom::new(1, 1)).expect("conv shapes are consistent");
     g.output(y);
-    ModelSpec { name: format!("conv{index}_b{batch}"), graph: g.finish(), loss: None }
+    Ok(ModelSpec { name: format!("conv{index}_b{batch}"), graph: g.finish(), loss: None })
 }
 
 /// A convolution with explicit geometry, for the Fig. 8b–c layout studies.
@@ -201,7 +209,7 @@ mod tests {
     #[test]
     fn conv_kernels_match_paper_geometries() {
         for (i, (c, hw)) in [(64, 56), (128, 28), (256, 14), (512, 7)].iter().enumerate() {
-            let spec = conv_kernel(i, 1);
+            let spec = conv_kernel(i, 1).unwrap();
             spec.graph.validate().unwrap();
             let out = spec.graph.node(spec.graph.outputs()[0]);
             assert_eq!(out.shape.dims(), &[1, *c, *hw, *hw], "conv{i}");
@@ -209,9 +217,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn conv_kernel_index_is_checked() {
-        let _ = conv_kernel(4, 1);
+    fn conv_kernel_index_is_a_typed_error_not_a_panic() {
+        // Regression: index > 3 used to `panic!`, aborting any caller that
+        // fed an untrusted index (CLI argument, fuzzed case) into the zoo.
+        let err = conv_kernel(4, 1).unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 
     #[test]

@@ -83,11 +83,26 @@ impl LoadGenerator {
         LoadGenerator { seed }
     }
 
-    /// Generates the merged, arrival-sorted request stream.
+    /// The independent RNG seed of tenant `t`: a SplitMix64 finalizer over
+    /// the generator seed and the tenant index. Each tenant owning its own
+    /// stream keeps profiles decoupled — editing tenant 0's request count
+    /// must never reshuffle tenant 1's Poisson arrivals (the old code
+    /// threaded one `StdRng` through every profile in order, so it did).
+    fn tenant_seed(&self, t: usize) -> u64 {
+        let mut z = self.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Generates the merged, arrival-sorted request stream. Tenant streams
+    /// are mutually independent: tenant `t`'s arrivals depend only on the
+    /// generator seed, `t`, and tenant `t`'s own profile.
     pub fn generate(&self, profiles: &[RequestProfile]) -> Vec<Request> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let mut requests = Vec::new();
         for (t, profile) in profiles.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(self.tenant_seed(t));
             let mut at = 0u64;
             for _ in 0..profile.count {
                 let arrival = match profile.arrivals {
@@ -98,10 +113,12 @@ impl LoadGenerator {
                         a
                     }
                     ArrivalDist::Poisson { mean_interval } => {
+                        // Like Uniform, the first request arrives at 0 and
+                        // the sampled gaps separate consecutive arrivals.
+                        let a = at;
                         let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                        let gap = (-u.ln() * mean_interval).ceil() as u64;
-                        at += gap;
-                        at
+                        at += (-u.ln() * mean_interval).ceil() as u64;
+                        a
                     }
                 };
                 requests.push(Request {
@@ -257,6 +274,43 @@ mod tests {
         let a = LoadGenerator::new(1).generate(&profiles);
         let b = LoadGenerator::new(2).generate(&profiles);
         assert_ne!(a, b, "different seeds should diverge");
+    }
+
+    #[test]
+    fn tenant_streams_are_independent_of_each_other() {
+        // Regression: one `StdRng` used to thread through all profiles in
+        // order, so editing tenant 0's request count reshuffled tenant 1's
+        // Poisson arrivals. Streams now derive per-tenant sub-seeds.
+        let noisy = ArrivalDist::Poisson { mean_interval: 300.0 };
+        let short = [profile("a", noisy, 3), profile("b", noisy, 20)];
+        let long = [profile("a", noisy, 17), profile("b", noisy, 20)];
+        let pick = |reqs: Vec<Request>, t: u32| -> Vec<Cycle> {
+            reqs.into_iter().filter(|r| r.tenant.raw() == t).map(|r| r.arrival).collect()
+        };
+        let gen = LoadGenerator::new(99);
+        assert_eq!(
+            pick(gen.generate(&short), 1),
+            pick(gen.generate(&long), 1),
+            "tenant 1's stream must not depend on tenant 0's request count"
+        );
+        // Changing tenant 0's own profile leaves tenant 1 untouched too.
+        let uniform = [profile("a", ArrivalDist::Uniform { interval: 10 }, 3), short[1].clone()];
+        assert_eq!(pick(gen.generate(&short), 1), pick(gen.generate(&uniform), 1));
+    }
+
+    #[test]
+    fn poisson_first_arrival_matches_the_uniform_convention() {
+        // Regression: Uniform returns the current time *before* advancing
+        // (first request at 0) while Poisson advanced first — the two
+        // distributions disagreed on when a stream starts.
+        for seed in [0, 1, 42, 0xDEAD] {
+            let reqs = LoadGenerator::new(seed).generate(&[profile(
+                "m",
+                ArrivalDist::Poisson { mean_interval: 500.0 },
+                5,
+            )]);
+            assert_eq!(reqs[0].arrival, Cycle::ZERO, "seed {seed}");
+        }
     }
 
     #[test]

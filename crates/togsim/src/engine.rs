@@ -956,14 +956,19 @@ impl TogSim {
         }
         self.noc_buf = buf;
         // Scheduled events due now, in (time, Event-Ord) order.
-        while let Some((t, event)) = self.queue.pop_due(self.now) {
+        while let Some((_t, event)) = self.queue.pop_due(self.now) {
             drained += 1;
             match event {
                 Event::ComputeDone { job, node } => {
-                    // The executing unit frees at `t`: wake its core.
                     let core = self.core_of(job, self.jobs[job].tog.nodes[node].core);
                     self.dirty.insert(core);
-                    self.node_done(job, node, t);
+                    // Completions land on the clock edge they are collected
+                    // at, not the edge they were pushed at: a zero-latency
+                    // event pushed at `now` only pops at `now + 1`, and
+                    // recording the push time would report a `total_cycles`
+                    // one short of the clock the run actually needed (so
+                    // `max_cycles == total_cycles` could not replay).
+                    self.node_done(job, node, self.now);
                 }
                 Event::CacheHit { dma_id } => self.finish_tx(dma_id),
                 Event::JobArrival { job } => self.seed_job(job),

@@ -32,7 +32,7 @@ fn main() -> ptsim_common::Result<()> {
             it.allreduce_cycles,
             it.total_cycles(),
             100.0 * it.compute_fraction(),
-            100.0 * report.efficiency(i),
+            100.0 * report.efficiency(i).unwrap_or(0.0),
         );
     }
     Ok(())

@@ -20,8 +20,14 @@ fn main() -> ptsim_common::Result<()> {
     let cn = SimConfig::tpu_v3_single_core();
     let sn = SimConfig { noc: NocConfig::simple(), ..cn.clone() };
     let configs = [("crossbar".to_string(), cn), ("simple-net".to_string(), sn)];
-    let sweep =
-        Sweep::grid([models::gemm(256), models::gemm(512), models::conv_kernel(3, 1)], &configs);
+    let sweep = Sweep::grid(
+        [
+            models::gemm(256),
+            models::gemm(512),
+            models::conv_kernel(3, 1).expect("paper conv kernel"),
+        ],
+        &configs,
+    );
 
     let serial = sweep.run(&SweepOptions::with_jobs(1))?;
     let parallel = sweep.run(&SweepOptions::with_jobs(4))?;

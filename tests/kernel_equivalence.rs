@@ -32,7 +32,7 @@ fn workloads() -> Vec<ModelSpec> {
             models::BertConfig { layers: 1, ..models::BertConfig::base(32, 1) },
             "bert_tiny",
         ),
-        models::conv_kernel(3, 1),
+        models::conv_kernel(3, 1).expect("paper conv kernel"),
     ]
 }
 
@@ -108,7 +108,7 @@ fn sweep_reports_are_bit_identical_across_worker_counts() {
         let cn = SimConfig::tiny();
         let sn = SimConfig { noc: NocConfig::simple(), ..cn.clone() };
         let mut sweep = Sweep::grid(
-            [models::gemm(64), models::conv_kernel(3, 1)],
+            [models::gemm(64), models::conv_kernel(3, 1).expect("paper conv kernel")],
             &[("cn".to_string(), cn.clone()), ("sn".to_string(), sn)],
         );
         sweep.push(

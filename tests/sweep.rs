@@ -24,7 +24,7 @@ fn grid() -> Sweep {
                 "bert_tiny",
             ),
             // ResNet-18's conv4 layer geometry (paper Fig. 8 kernel set).
-            models::conv_kernel(3, 1),
+            models::conv_kernel(3, 1).expect("paper conv kernel"),
         ],
         &[("cn".to_string(), cn), ("sn".to_string(), sn)],
     )

@@ -55,14 +55,21 @@ fn cluster_iteration_traces_both_allreduce_phases() {
     sim.iteration(|b| models::mlp(b, 32), 16).unwrap();
 
     let events = tracer.events();
-    let phases: Vec<&str> = events
+    let phases: Vec<(&str, u32)> = events
         .iter()
         .filter_map(|e| match &e.data {
-            EventData::AllReduce { phase, .. } => Some(phase.name()),
+            EventData::AllReduce { phase, .. } => Some((phase.name(), e.tag)),
             _ => None,
         })
         .collect();
-    assert_eq!(phases, ["reduceScatter", "allGather"]);
+    // Every NPU rank records its own span pair (the tag used to be
+    // hard-coded to 0, attributing the whole collective to NPU 0).
+    let scatters: Vec<u32> =
+        phases.iter().filter(|(p, _)| *p == "reduceScatter").map(|&(_, t)| t).collect();
+    let gathers: Vec<u32> =
+        phases.iter().filter(|(p, _)| *p == "allGather").map(|&(_, t)| t).collect();
+    assert_eq!(scatters, [0, 1, 2, 3]);
+    assert_eq!(gathers, [0, 1, 2, 3]);
 
     let json = chrome::export_chrome_trace(&events);
     let check = validate::validate_chrome_trace(&json).expect("trace must validate");
