@@ -20,8 +20,9 @@
 //! Every oracle body runs under `catch_unwind`: a panic anywhere in the
 //! stack is itself a finding, reported with the panic message.
 
-use crate::gen::CheckCase;
+use crate::gen::{CheckCase, Workload};
 use ptsim_common::config::{NocKind, SimConfig};
+use ptsim_common::json::FromJson;
 use ptsim_common::Error;
 use pytorchsim::graph::exec;
 use pytorchsim::models::{self, ModelSpec};
@@ -31,10 +32,11 @@ use pytorchsim::tensor::{ops, Tensor};
 use pytorchsim::togsim::{JobSpec, SimReport, TogSim};
 use pytorchsim::trace::{chrome, validate, Tracer};
 use pytorchsim::{
-    ClusterIteration, CompileCache, RunOptions, ScalingReport, Simulator, TrainingSim,
+    ClusterIteration, CompileCache, ModelRequest, RunOptions, RunSpec, ScalingReport, Simulator,
+    TrainingSim,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// One property checked against generated cases.
 pub struct Oracle {
@@ -58,6 +60,7 @@ pub const ORACLES: &[Oracle] = &[
     Oracle { name: "batch_monotonicity", run: batch_monotonicity },
     Oracle { name: "fidelity_agreement", run: fidelity_agreement },
     Oracle { name: "functional_equivalence", run: functional_equivalence },
+    Oracle { name: "server_vs_direct", run: server_vs_direct },
 ];
 
 /// Runs `f`, converting a panic anywhere in the stack into a finding.
@@ -539,6 +542,70 @@ fn functional_equivalence(case: &CheckCase) -> Result<(), String> {
             let diff = n.max_abs_diff(e).map(|d| format!("{d:.3e}")).unwrap_or("shape".into());
             return Err(format!("output {i} of {} diverges (max abs diff {diff})", case.workload));
         }
+    }
+    Ok(())
+}
+
+/// Maps the generated workload onto the wire-level model request. `Bert`
+/// pins the same fixed shape the generator uses, so both sides build the
+/// same graph.
+fn model_request(workload: &Workload) -> ModelRequest {
+    match *workload {
+        Workload::Gemm { n } => ModelRequest::Gemm { n },
+        Workload::GemmRect { m, k, n } => ModelRequest::GemmRect { m, k, n },
+        Workload::Mlp { batch, hidden } => ModelRequest::Mlp { batch, hidden },
+        Workload::Conv { batch, channels, hw } => ModelRequest::Conv { batch, channels, hw },
+        Workload::LayerNorm { rows, cols } => ModelRequest::LayerNorm { rows, cols },
+        Workload::Softmax { rows, cols } => ModelRequest::Softmax { rows, cols },
+        Workload::Bert { seq, batch } => {
+            ModelRequest::Bert { seq, batch, hidden: 32, layers: 1, heads: 2, intermediate: 64 }
+        }
+    }
+}
+
+/// One `ptsim-serve` instance shared by every case: the point is precisely
+/// that a long-lived daemon with a hot compile cache and result cache stays
+/// bit-identical to fresh direct runs, seed after seed.
+fn shared_server() -> Result<&'static ptsim_serve::ServerHandle, String> {
+    static SERVER: OnceLock<std::io::Result<ptsim_serve::ServerHandle>> = OnceLock::new();
+    SERVER
+        .get_or_init(|| ptsim_serve::start(ptsim_serve::ServeConfig::default()))
+        .as_ref()
+        .map_err(|e| format!("start server: {e}"))
+}
+
+/// A `RunSpec` posted to the HTTP daemon must come back `200` with a report
+/// bit-identical to running the same spec directly in-process — the full
+/// JSON round trip (model request, mutated config, fingerprint) through the
+/// admission queue, worker pool, and caches must not perturb a single bit.
+fn server_vs_direct(case: &CheckCase) -> Result<(), String> {
+    let spec = RunSpec::new(model_request(&case.workload)).with_config(case.cfg.clone());
+    let direct = no_panic("RunSpec::run", || spec.run(&CompileCache::shared()))?
+        .map_err(|e| format!("direct run: {e}"))?;
+
+    let handle = shared_server()?;
+    let resp = no_panic("POST /v1/simulate", || {
+        ptsim_serve::client::post(handle.addr(), "/v1/simulate", &spec.canonical_json())
+    })??;
+    if resp.status != 200 {
+        return Err(format!("server returned {}: {}", resp.status, resp.body));
+    }
+    let parsed = ptsim_common::json::parse_json(&resp.body)
+        .map_err(|e| format!("response is not JSON: {e}"))?;
+    let fingerprint = parsed.req_str("fingerprint").map_err(|e| e.to_string())?.to_string();
+    if fingerprint != format!("{:016x}", spec.fingerprint()) {
+        return Err(format!(
+            "server fingerprint {fingerprint} != local {:016x}",
+            spec.fingerprint()
+        ));
+    }
+    let served = SimReport::from_json(parsed.req("report").map_err(|e| e.to_string())?)
+        .map_err(|e| format!("served report: {e}"))?;
+    if served != direct {
+        return Err(format!(
+            "served report diverges from the direct run for {}: {} vs {} cycles",
+            case.workload, served.total_cycles, direct.total_cycles
+        ));
     }
     Ok(())
 }

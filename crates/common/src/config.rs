@@ -7,6 +7,7 @@
 
 use crate::cycles::{ns_to_cycles, Cycle};
 use crate::error::{Error, Result};
+use crate::json::{FromJson, Json, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// Granularity at which the compiler decomposes tensor DMAs (§3.6.3, §5.3).
@@ -482,6 +483,250 @@ impl SimConfig {
     }
 }
 
+// Hand-written JSON round-trips: the serde derives above are the public
+// API contract, but the vendored serde_json backend is an offline stub, so
+// every consumer that actually moves configs over a wire (`ptsim-serve`,
+// the report bins) goes through [`ToJson`]/[`FromJson`]. Field names match
+// the serde derives exactly, so documents are interchangeable with a real
+// serde_json once online.
+
+impl ToJson for DmaGranularity {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            DmaGranularity::Coarse => "Coarse",
+            DmaGranularity::Fine => "Fine",
+            DmaGranularity::SelectiveFine => "SelectiveFine",
+        })
+    }
+}
+
+impl FromJson for DmaGranularity {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        match v.as_str() {
+            Some("Coarse") => Ok(DmaGranularity::Coarse),
+            Some("Fine") => Ok(DmaGranularity::Fine),
+            Some("SelectiveFine") => Ok(DmaGranularity::SelectiveFine),
+            _ => Err(format!("bad dma granularity {v:?}")),
+        }
+    }
+}
+
+impl ToJson for MemSchedulerPolicy {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            MemSchedulerPolicy::FrFcfs => "FrFcfs",
+            MemSchedulerPolicy::Fcfs => "Fcfs",
+        })
+    }
+}
+
+impl FromJson for MemSchedulerPolicy {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        match v.as_str() {
+            Some("FrFcfs") => Ok(MemSchedulerPolicy::FrFcfs),
+            Some("Fcfs") => Ok(MemSchedulerPolicy::Fcfs),
+            _ => Err(format!("bad memory scheduler policy {v:?}")),
+        }
+    }
+}
+
+impl ToJson for NocKind {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            NocKind::Simple => "Simple",
+            NocKind::Crossbar => "Crossbar",
+        })
+    }
+}
+
+impl FromJson for NocKind {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        match v.as_str() {
+            Some("Simple") => Ok(NocKind::Simple),
+            Some("Crossbar") => Ok(NocKind::Crossbar),
+            _ => Err(format!("bad noc kind {v:?}")),
+        }
+    }
+}
+
+impl ToJson for DramConfig {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("channels", Json::u64(self.channels as u64))
+            .set("banks_per_channel", Json::u64(self.banks_per_channel as u64))
+            .set("row_bytes", Json::u64(self.row_bytes))
+            .set("transaction_bytes", Json::u64(self.transaction_bytes))
+            .set("bytes_per_cycle_per_channel", Json::u64(self.bytes_per_cycle_per_channel))
+            .set("t_cl_ns", Json::Num(self.t_cl_ns))
+            .set("t_rcd_ns", Json::Num(self.t_rcd_ns))
+            .set("t_ras_ns", Json::Num(self.t_ras_ns))
+            .set("t_wr_ns", Json::Num(self.t_wr_ns))
+            .set("t_rp_ns", Json::Num(self.t_rp_ns))
+            .set("queue_depth", Json::u64(self.queue_depth as u64))
+            .set("scheduler", self.scheduler.to_json())
+    }
+}
+
+impl FromJson for DramConfig {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        Ok(DramConfig {
+            channels: v.req_usize("channels")?,
+            banks_per_channel: v.req_usize("banks_per_channel")?,
+            row_bytes: v.req_u64("row_bytes")?,
+            transaction_bytes: v.req_u64("transaction_bytes")?,
+            bytes_per_cycle_per_channel: v.req_u64("bytes_per_cycle_per_channel")?,
+            t_cl_ns: v.req_num("t_cl_ns")?,
+            t_rcd_ns: v.req_num("t_rcd_ns")?,
+            t_ras_ns: v.req_num("t_ras_ns")?,
+            t_wr_ns: v.req_num("t_wr_ns")?,
+            t_rp_ns: v.req_num("t_rp_ns")?,
+            queue_depth: v.req_usize("queue_depth")?,
+            scheduler: MemSchedulerPolicy::from_json(v.req("scheduler")?)?,
+        })
+    }
+}
+
+impl ToJson for ChipletLinkConfig {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("chiplets", Json::u64(self.chiplets as u64))
+            .set("link_bytes_per_cycle", Json::u64(self.link_bytes_per_cycle))
+            .set("link_latency_ns", Json::Num(self.link_latency_ns))
+    }
+}
+
+impl FromJson for ChipletLinkConfig {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        Ok(ChipletLinkConfig {
+            chiplets: v.req_usize("chiplets")?,
+            link_bytes_per_cycle: v.req_u64("link_bytes_per_cycle")?,
+            link_latency_ns: v.req_num("link_latency_ns")?,
+        })
+    }
+}
+
+impl ToJson for NocConfig {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("kind", self.kind.to_json())
+            .set("flit_bytes", Json::u64(self.flit_bytes))
+            .set("latency_cycles", Json::u64(self.latency_cycles))
+            .set("bytes_per_cycle", Json::u64(self.bytes_per_cycle))
+            .set("port_links", Json::u64(self.port_links))
+            .set(
+                "chiplet",
+                match &self.chiplet {
+                    Some(ch) => ch.to_json(),
+                    None => Json::Null,
+                },
+            )
+    }
+}
+
+impl FromJson for NocConfig {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        let chiplet = match v.get("chiplet") {
+            None | Some(Json::Null) => None,
+            Some(ch) => Some(ChipletLinkConfig::from_json(ch)?),
+        };
+        Ok(NocConfig {
+            kind: NocKind::from_json(v.req("kind")?)?,
+            flit_bytes: v.req_u64("flit_bytes")?,
+            latency_cycles: v.req_u64("latency_cycles")?,
+            bytes_per_cycle: v.req_u64("bytes_per_cycle")?,
+            port_links: v.req_u64("port_links")?,
+            chiplet,
+        })
+    }
+}
+
+impl ToJson for L1CacheConfig {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("size_bytes", Json::u64(self.size_bytes))
+            .set("line_bytes", Json::u64(self.line_bytes))
+            .set("ways", Json::u64(self.ways as u64))
+            .set("hit_latency", Json::u64(self.hit_latency))
+    }
+}
+
+impl FromJson for L1CacheConfig {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        Ok(L1CacheConfig {
+            size_bytes: v.req_u64("size_bytes")?,
+            line_bytes: v.req_u64("line_bytes")?,
+            ways: v.req_usize("ways")?,
+            hit_latency: v.req_u64("hit_latency")?,
+        })
+    }
+}
+
+impl ToJson for NpuConfig {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("cores", Json::u64(self.cores as u64))
+            .set("freq_mhz", Json::Num(self.freq_mhz))
+            .set("systolic_rows", Json::u64(self.systolic_rows as u64))
+            .set("systolic_cols", Json::u64(self.systolic_cols as u64))
+            .set("systolic_arrays_per_core", Json::u64(self.systolic_arrays_per_core as u64))
+            .set("vector_units", Json::u64(self.vector_units as u64))
+            .set("vector_lanes", Json::u64(self.vector_lanes as u64))
+            .set("scratchpad_bytes", Json::u64(self.scratchpad_bytes))
+            .set("element_bytes", Json::u64(self.element_bytes))
+            .set("dma_queue_depth", Json::u64(self.dma_queue_depth as u64))
+            .set("dma_issue_cycles", Json::u64(self.dma_issue_cycles))
+            .set(
+                "l1_cache",
+                match &self.l1_cache {
+                    Some(l1) => l1.to_json(),
+                    None => Json::Null,
+                },
+            )
+    }
+}
+
+impl FromJson for NpuConfig {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        let l1_cache = match v.get("l1_cache") {
+            None | Some(Json::Null) => None,
+            Some(l1) => Some(L1CacheConfig::from_json(l1)?),
+        };
+        Ok(NpuConfig {
+            cores: v.req_usize("cores")?,
+            freq_mhz: v.req_num("freq_mhz")?,
+            systolic_rows: v.req_usize("systolic_rows")?,
+            systolic_cols: v.req_usize("systolic_cols")?,
+            systolic_arrays_per_core: v.req_usize("systolic_arrays_per_core")?,
+            vector_units: v.req_usize("vector_units")?,
+            vector_lanes: v.req_usize("vector_lanes")?,
+            scratchpad_bytes: v.req_u64("scratchpad_bytes")?,
+            element_bytes: v.req_u64("element_bytes")?,
+            dma_queue_depth: v.req_usize("dma_queue_depth")?,
+            dma_issue_cycles: v.req_u64("dma_issue_cycles")?,
+            l1_cache,
+        })
+    }
+}
+
+impl ToJson for SimConfig {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("npu", self.npu.to_json())
+            .set("dram", self.dram.to_json())
+            .set("noc", self.noc.to_json())
+    }
+}
+
+impl FromJson for SimConfig {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        Ok(SimConfig {
+            npu: NpuConfig::from_json(v.req("npu")?)?,
+            dram: DramConfig::from_json(v.req("dram")?)?,
+            noc: NocConfig::from_json(v.req("noc")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,10 +830,29 @@ mod tests {
 
     #[test]
     fn configs_serialize_round_trip() {
-        let c = SimConfig::tpu_v3();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: SimConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, c);
+        // The vendored serde_json backend is an offline stub, so the wire
+        // path every real consumer uses is the hand-written ToJson/FromJson
+        // pair — which must round-trip bit-identically, optional subtrees
+        // (L1 cache, chiplet link) included.
+        let mut c = SimConfig::tpu_v3();
+        let json = c.to_json_string();
+        assert_eq!(SimConfig::from_json_str(&json).unwrap(), c);
+        c.npu.l1_cache = Some(L1CacheConfig::kib_128());
+        c.noc.chiplet = Some(ChipletLinkConfig::paper_two_chiplets());
+        c.dram.scheduler = MemSchedulerPolicy::Fcfs;
+        c.noc.kind = NocKind::Simple;
+        assert_eq!(SimConfig::from_json_str(&c.to_json_string()).unwrap(), c);
+    }
+
+    #[test]
+    fn config_json_rejects_missing_and_mistyped_fields() {
+        let mut doc = SimConfig::tiny().to_json();
+        let Json::Obj(fields) = &mut doc else { panic!() };
+        fields.retain(|(k, _)| k != "dram");
+        let err = SimConfig::from_json(&doc).unwrap_err();
+        assert!(err.contains("dram"), "{err}");
+        let err = SimConfig::from_json_str("[1,2]").unwrap_err();
+        assert!(err.contains("npu"), "{err}");
     }
 
     #[test]

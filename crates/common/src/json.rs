@@ -1,0 +1,531 @@
+//! A minimal JSON value, parser, and renderer.
+//!
+//! The workspace avoids pulling heavyweight serialization dependencies into
+//! simulator crates (and the vendored `serde_json` is a type-check stub
+//! that fails at runtime), so every wire format in the tree — Chrome trace
+//! export, report `--json` output, and the `ptsim-serve` HTTP API — is
+//! built on this module: [`Json`] is the document model, [`parse_json`]
+//! the strict recursive-descent reader, and [`Json::render`] the writer.
+//! The [`ToJson`]/[`FromJson`] traits give structured types a real,
+//! offline-capable round-trip; numbers ride on `f64`, which is exact for
+//! every magnitude the simulator reports (cycle counts and byte totals stay
+//! far below 2^53).
+//!
+//! # Examples
+//!
+//! ```
+//! use ptsim_common::json::{parse_json, Json};
+//!
+//! let doc = parse_json(r#"{"cycles": 1200, "jobs": ["a", "b"]}"#)?;
+//! assert_eq!(doc.get("cycles").and_then(Json::as_num), Some(1200.0));
+//! let text = doc.render();
+//! assert_eq!(parse_json(&text)?, doc);
+//! # Ok::<(), String>(())
+//! ```
+
+use std::collections::HashMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish integers).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, preserving insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, ready for [`Json::set`] chaining.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integer value (exact up to 2^53).
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// A `u64` value. Exact up to 2^53; larger magnitudes (never produced
+    /// by the simulator) round to the nearest representable `f64`.
+    pub fn u64(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Appends a field to an object (panics on non-objects — builder use
+    /// only).
+    #[must_use]
+    pub fn set(mut self, key: &str, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            _ => panic!("Json::set on a non-object"),
+        }
+        self
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A required object field, as a typed error on absence.
+    pub fn req(&self, key: &str) -> Result<&Json, String> {
+        self.get(key).ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    /// A required numeric field.
+    pub fn req_num(&self, key: &str) -> Result<f64, String> {
+        self.req(key)?.as_num().ok_or_else(|| format!("field {key:?} must be a number"))
+    }
+
+    /// A required numeric field read as `u64` (rejects negatives).
+    pub fn req_u64(&self, key: &str) -> Result<u64, String> {
+        let n = self.req_num(key)?;
+        if n < 0.0 {
+            return Err(format!("field {key:?} must be non-negative"));
+        }
+        Ok(n as u64)
+    }
+
+    /// A required numeric field read as `usize`.
+    pub fn req_usize(&self, key: &str) -> Result<usize, String> {
+        Ok(self.req_u64(key)? as usize)
+    }
+
+    /// A required boolean field.
+    pub fn req_bool(&self, key: &str) -> Result<bool, String> {
+        self.req(key)?.as_bool().ok_or_else(|| format!("field {key:?} must be a boolean"))
+    }
+
+    /// A required string field.
+    pub fn req_str(&self, key: &str) -> Result<&str, String> {
+        self.req(key)?.as_str().ok_or_else(|| format!("field {key:?} must be a string"))
+    }
+
+    /// Renders the value as compact JSON text that [`parse_json`] reads
+    /// back identically.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => render_num(*n, out),
+            Json::Str(s) => render_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; null is the conventional fallback.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        // Rust's shortest round-trip float formatting.
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a type as a [`Json`] document.
+pub trait ToJson {
+    /// The JSON document for this value.
+    fn to_json(&self) -> Json;
+
+    /// The rendered JSON text.
+    fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+/// Reconstructs a type from a [`Json`] document.
+pub trait FromJson: Sized {
+    /// Parses the value, with a human-readable error naming the offending
+    /// field.
+    fn from_json(v: &Json) -> Result<Self, String>;
+
+    /// Parses from JSON text.
+    fn from_json_str(s: &str) -> Result<Self, String> {
+        Self::from_json(&parse_json(s)?)
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        v.as_arr().ok_or("expected an array")?.iter().map(T::from_json).collect()
+    }
+}
+
+impl ToJson for HashMap<u32, u64> {
+    fn to_json(&self) -> Json {
+        // Deterministic rendering: sort by key.
+        let mut entries: Vec<_> = self.iter().collect();
+        entries.sort();
+        Json::Obj(entries.into_iter().map(|(k, v)| (k.to_string(), Json::u64(*v))).collect())
+    }
+}
+
+impl FromJson for HashMap<u32, u64> {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let Json::Obj(fields) = v else {
+            return Err("expected an object of tag -> bytes".into());
+        };
+        fields
+            .iter()
+            .map(|(k, v)| {
+                let tag = k.parse::<u32>().map_err(|_| format!("bad tag key {k:?}"))?;
+                let bytes = v.as_num().ok_or_else(|| format!("tag {k:?} must map to a number"))?;
+                Ok((tag, bytes as u64))
+            })
+            .collect()
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {msg}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(&format!("unexpected {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {lit}")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("bad number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err(self.err("truncated \\u escape"));
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                        let cp =
+                            u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+                        self.pos += 4;
+                        // Surrogates are not produced by our writers.
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(c) => {
+                    // Re-decode the multi-byte UTF-8 sequence.
+                    let len = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("bad utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(fields)),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document, rejecting trailing data.
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_basic_values() {
+        let v = parse_json(r#"{"a":[1,2.5,-3],"b":"x\ny","c":true,"d":null}"#).unwrap();
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("c"), Some(&Json::Bool(true)));
+        let Json::Arr(items) = v.get("a").unwrap() else { panic!() };
+        assert_eq!(items[2], Json::Num(-3.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("[] trailing").is_err());
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let doc = Json::obj()
+            .set("name", Json::str("a \"quoted\"\nname"))
+            .set("n", Json::u64(123456789))
+            .set("pi", Json::Num(3.25))
+            .set("flags", Json::Arr(vec![Json::Bool(true), Json::Null]))
+            .set("nested", Json::obj().set("x", Json::num(0)));
+        let text = doc.render();
+        assert_eq!(parse_json(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::u64(940).render(), "940");
+        assert_eq!(Json::Num(940.0).render(), "940");
+        assert_eq!(Json::Num(940.5).render(), "940.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn req_helpers_name_the_field() {
+        let doc = parse_json(r#"{"n": 3, "s": "x", "b": false}"#).unwrap();
+        assert_eq!(doc.req_u64("n").unwrap(), 3);
+        assert_eq!(doc.req_str("s").unwrap(), "x");
+        assert!(!doc.req_bool("b").unwrap());
+        assert!(doc.req("missing").unwrap_err().contains("missing"));
+        assert!(doc.req_num("s").unwrap_err().contains("\"s\""));
+    }
+
+    #[test]
+    fn tag_maps_round_trip_deterministically() {
+        let mut m = HashMap::new();
+        m.insert(7u32, 1024u64);
+        m.insert(1u32, 64u64);
+        let text = m.to_json().render();
+        assert_eq!(text, r#"{"1":64,"7":1024}"#, "keys must be sorted");
+        assert_eq!(HashMap::<u32, u64>::from_json_str(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn negative_values_are_rejected_for_u64_fields() {
+        let doc = parse_json(r#"{"n": -1}"#).unwrap();
+        assert!(doc.req_u64("n").is_err());
+    }
+}

@@ -3,7 +3,9 @@
 //! This crate holds the vocabulary shared by every layer of the simulator:
 //! strongly-typed identifiers ([`id`]), simulated-time arithmetic
 //! ([`cycles`]), hardware/software configuration ([`config`]), the common
-//! error type ([`error`]), and small numeric helpers ([`util`]).
+//! error type ([`error`]), the dependency-free JSON document model every
+//! wire format in the tree shares ([`json`]), and small numeric helpers
+//! ([`util`]).
 //!
 //! # Examples
 //!
@@ -21,6 +23,7 @@ pub mod config;
 pub mod cycles;
 pub mod error;
 pub mod id;
+pub mod json;
 pub mod util;
 
 pub use config::{DmaGranularity, DramConfig, NocConfig, NocKind, NpuConfig, SimConfig};

@@ -1,6 +1,7 @@
 //! Compiler options controlling the optimizations studied in §5.3.
 
 use ptsim_common::config::DmaGranularity;
+use ptsim_common::json::{FromJson, Json, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// Knobs of the NPU compiler backend.
@@ -50,6 +51,33 @@ impl CompilerOptions {
             conv_layout_opt: false,
             ..Self::default()
         }
+    }
+}
+
+impl ToJson for CompilerOptions {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("dma", self.dma.to_json())
+            .set("sfg_threshold_bytes", Json::u64(self.sfg_threshold_bytes))
+            .set("fuse_epilogue", Json::Bool(self.fuse_epilogue))
+            .set("conv_layout_opt", Json::Bool(self.conv_layout_opt))
+            .set("max_m_tile", Json::u64(self.max_m_tile as u64))
+            .set("small_c_threshold", Json::u64(self.small_c_threshold as u64))
+            .set("autotune", Json::Bool(self.autotune))
+    }
+}
+
+impl FromJson for CompilerOptions {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(CompilerOptions {
+            dma: DmaGranularity::from_json(v.req("dma")?)?,
+            sfg_threshold_bytes: v.req_u64("sfg_threshold_bytes")?,
+            fuse_epilogue: v.req_bool("fuse_epilogue")?,
+            conv_layout_opt: v.req_bool("conv_layout_opt")?,
+            max_m_tile: v.req_usize("max_m_tile")?,
+            small_c_threshold: v.req_usize("small_c_threshold")?,
+            autotune: v.req_bool("autotune")?,
+        })
     }
 }
 

@@ -14,6 +14,7 @@
 //! keys compile in parallel.
 
 use ptsim_common::config::SimConfig;
+use ptsim_common::json::{FromJson, Json, ToJson};
 use ptsim_common::Result;
 use ptsim_compiler::{CompiledModel, Compiler, CompilerOptions};
 use ptsim_models::ModelSpec;
@@ -63,12 +64,24 @@ impl CacheKey {
 
 /// Hit/compile counters of a [`CompileCache`], for sweep reporting and for
 /// asserting that each unique point compiled exactly once.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct CompileCacheStats {
     /// Requests served from the cache.
     pub hits: u64,
     /// Compilations performed (equals the number of unique keys requested).
     pub compiles: u64,
+}
+
+impl ToJson for CompileCacheStats {
+    fn to_json(&self) -> Json {
+        Json::obj().set("hits", Json::u64(self.hits)).set("compiles", Json::u64(self.compiles))
+    }
+}
+
+impl FromJson for CompileCacheStats {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        Ok(CompileCacheStats { hits: v.req_u64("hits")?, compiles: v.req_u64("compiles")? })
+    }
 }
 
 /// A thread-safe map from [`CacheKey`] to compiled models, shareable as

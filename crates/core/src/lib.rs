@@ -48,12 +48,14 @@
 
 pub mod cache;
 pub mod distributed;
+pub mod runspec;
 pub mod simulator;
 pub mod sweep;
 pub mod training;
 
 pub use cache::{CacheKey, CompileCache, CompileCacheStats};
 pub use distributed::{ClusterConfig, ClusterIteration, ClusterSim, ScalingReport};
+pub use runspec::{FidelitySpec, ModelRequest, RunSpec};
 pub use simulator::{RunOptions, Simulator, SimulatorBuilder};
 pub use sweep::{Sweep, SweepOptions, SweepPoint, SweepReport};
 pub use training::{TrainingRun, TrainingSim};

@@ -1,0 +1,538 @@
+//! Wire-serializable simulation requests.
+//!
+//! A [`RunSpec`] is the self-contained, JSON-round-trippable description of
+//! one simulation: which model to build, the NPU configuration, compiler
+//! options, fidelity, and safety limit. It is the request schema of the
+//! `ptsim-serve` HTTP API, but lives here so any frontend — a CLI replaying
+//! recorded requests, the check harness generating random ones — speaks the
+//! same format.
+//!
+//! Models are requested by *family and dimensions* ([`ModelRequest`]), not
+//! by shipping a graph over the wire: the zoo constructors in
+//! [`ptsim_models`] are deterministic, so `(family, dims)` is a complete
+//! and compact model identity. Dimensions are validated against generous
+//! upper bounds before any allocation happens, so a hostile request cannot
+//! make the server build a terabyte graph.
+//!
+//! [`RunSpec::fingerprint`] hashes the canonical JSON rendering, giving
+//! content-addressed identity for result caches and request coalescing:
+//! two specs with equal fingerprints (plus equal canonical JSON, which the
+//! server compares to guard against collisions) simulate identically,
+//! because simulation is deterministic.
+
+use crate::cache::CompileCache;
+use crate::simulator::{RunOptions, Simulator};
+use crate::sweep::SweepPoint;
+use ptsim_common::config::SimConfig;
+use ptsim_common::json::{FromJson, Json, ToJson};
+use ptsim_common::{Error, Result};
+use ptsim_compiler::CompilerOptions;
+use ptsim_models::{self as models, ModelSpec};
+use ptsim_togsim::SimReport;
+use std::sync::Arc;
+
+/// Largest accepted value for any single model dimension.
+pub const MAX_DIM: usize = 16_384;
+/// Largest accepted transformer layer count.
+pub const MAX_LAYERS: usize = 128;
+
+/// A model drawn from the zoo by family and dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ModelRequest {
+    /// Square GEMM of dimension `n`.
+    Gemm {
+        /// Matrix dimension.
+        n: usize,
+    },
+    /// Rectangular GEMM `[m,k] × [k,n]`.
+    GemmRect {
+        /// Rows of the activation.
+        m: usize,
+        /// Contraction dimension.
+        k: usize,
+        /// Output columns.
+        n: usize,
+    },
+    /// The §5.5 MLP classifier.
+    Mlp {
+        /// Batch size.
+        batch: usize,
+        /// Hidden width.
+        hidden: usize,
+    },
+    /// A 3×3 same-channel convolution.
+    Conv {
+        /// Batch size.
+        batch: usize,
+        /// Input/output channels.
+        channels: usize,
+        /// Feature-map height/width.
+        hw: usize,
+    },
+    /// A standalone LayerNorm kernel.
+    LayerNorm {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// A standalone Softmax kernel.
+    Softmax {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// A transformer encoder stack (BERT family).
+    Bert {
+        /// Sequence length.
+        seq: usize,
+        /// Batch size.
+        batch: usize,
+        /// Hidden width.
+        hidden: usize,
+        /// Encoder layers.
+        layers: usize,
+        /// Attention heads.
+        heads: usize,
+        /// Feed-forward inner width.
+        intermediate: usize,
+    },
+}
+
+impl ModelRequest {
+    /// Every dimension of the request, for bounds checking.
+    fn dims(&self) -> Vec<usize> {
+        match *self {
+            ModelRequest::Gemm { n } => vec![n],
+            ModelRequest::GemmRect { m, k, n } => vec![m, k, n],
+            ModelRequest::Mlp { batch, hidden } => vec![batch, hidden],
+            ModelRequest::Conv { batch, channels, hw } => vec![batch, channels, hw],
+            ModelRequest::LayerNorm { rows, cols } | ModelRequest::Softmax { rows, cols } => {
+                vec![rows, cols]
+            }
+            ModelRequest::Bert { seq, batch, hidden, layers, heads, intermediate } => {
+                vec![seq, batch, hidden, layers, heads, intermediate]
+            }
+        }
+    }
+
+    /// Rejects zero or absurd dimensions before anything is allocated.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] naming the offending request.
+    pub fn validate(&self) -> Result<()> {
+        for d in self.dims() {
+            if d == 0 {
+                return Err(Error::InvalidConfig(format!("{self:?}: dimensions must be nonzero")));
+            }
+            if d > MAX_DIM {
+                return Err(Error::InvalidConfig(format!(
+                    "{self:?}: dimension {d} exceeds the limit of {MAX_DIM}"
+                )));
+            }
+        }
+        if let ModelRequest::Bert { hidden, layers, heads, .. } = *self {
+            if layers > MAX_LAYERS {
+                return Err(Error::InvalidConfig(format!(
+                    "{self:?}: {layers} layers exceeds the limit of {MAX_LAYERS}"
+                )));
+            }
+            if hidden % heads != 0 {
+                return Err(Error::InvalidConfig(format!(
+                    "{self:?}: hidden ({hidden}) must be divisible by heads ({heads})"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the model graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelRequest::validate`] failures.
+    pub fn build(&self) -> Result<ModelSpec> {
+        self.validate()?;
+        Ok(match *self {
+            ModelRequest::Gemm { n } => models::gemm(n),
+            ModelRequest::GemmRect { m, k, n } => models::gemm_rect(m, k, n),
+            ModelRequest::Mlp { batch, hidden } => models::mlp(batch, hidden),
+            ModelRequest::Conv { batch, channels, hw } => {
+                models::conv_custom(batch, channels, channels, hw, 3, 1, 1)
+            }
+            ModelRequest::LayerNorm { rows, cols } => models::layernorm_kernel(rows, cols),
+            ModelRequest::Softmax { rows, cols } => models::softmax_kernel(rows, cols),
+            ModelRequest::Bert { seq, batch, hidden, layers, heads, intermediate } => models::bert(
+                models::BertConfig { hidden, layers, heads, intermediate, seq, batch },
+                &format!("bert_h{hidden}_l{layers}_a{heads}_i{intermediate}_s{seq}_b{batch}"),
+            ),
+        })
+    }
+}
+
+impl ToJson for ModelRequest {
+    fn to_json(&self) -> Json {
+        let u = |n: usize| Json::u64(n as u64);
+        match *self {
+            ModelRequest::Gemm { n } => Json::obj().set("kind", Json::str("gemm")).set("n", u(n)),
+            ModelRequest::GemmRect { m, k, n } => Json::obj()
+                .set("kind", Json::str("gemm_rect"))
+                .set("m", u(m))
+                .set("k", u(k))
+                .set("n", u(n)),
+            ModelRequest::Mlp { batch, hidden } => Json::obj()
+                .set("kind", Json::str("mlp"))
+                .set("batch", u(batch))
+                .set("hidden", u(hidden)),
+            ModelRequest::Conv { batch, channels, hw } => Json::obj()
+                .set("kind", Json::str("conv"))
+                .set("batch", u(batch))
+                .set("channels", u(channels))
+                .set("hw", u(hw)),
+            ModelRequest::LayerNorm { rows, cols } => Json::obj()
+                .set("kind", Json::str("layernorm"))
+                .set("rows", u(rows))
+                .set("cols", u(cols)),
+            ModelRequest::Softmax { rows, cols } => Json::obj()
+                .set("kind", Json::str("softmax"))
+                .set("rows", u(rows))
+                .set("cols", u(cols)),
+            ModelRequest::Bert { seq, batch, hidden, layers, heads, intermediate } => Json::obj()
+                .set("kind", Json::str("bert"))
+                .set("seq", u(seq))
+                .set("batch", u(batch))
+                .set("hidden", u(hidden))
+                .set("layers", u(layers))
+                .set("heads", u(heads))
+                .set("intermediate", u(intermediate)),
+        }
+    }
+}
+
+impl FromJson for ModelRequest {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        match v.req_str("kind")? {
+            "gemm" => Ok(ModelRequest::Gemm { n: v.req_usize("n")? }),
+            "gemm_rect" => Ok(ModelRequest::GemmRect {
+                m: v.req_usize("m")?,
+                k: v.req_usize("k")?,
+                n: v.req_usize("n")?,
+            }),
+            "mlp" => Ok(ModelRequest::Mlp {
+                batch: v.req_usize("batch")?,
+                hidden: v.req_usize("hidden")?,
+            }),
+            "conv" => Ok(ModelRequest::Conv {
+                batch: v.req_usize("batch")?,
+                channels: v.req_usize("channels")?,
+                hw: v.req_usize("hw")?,
+            }),
+            "layernorm" => Ok(ModelRequest::LayerNorm {
+                rows: v.req_usize("rows")?,
+                cols: v.req_usize("cols")?,
+            }),
+            "softmax" => {
+                Ok(ModelRequest::Softmax { rows: v.req_usize("rows")?, cols: v.req_usize("cols")? })
+            }
+            "bert" => Ok(ModelRequest::Bert {
+                seq: v.req_usize("seq")?,
+                batch: v.req_usize("batch")?,
+                hidden: v.req_usize("hidden")?,
+                layers: v.req_usize("layers")?,
+                heads: v.req_usize("heads")?,
+                intermediate: v.req_usize("intermediate")?,
+            }),
+            other => Err(format!(
+                "unknown model kind {other:?} (expected gemm, gemm_rect, mlp, conv, \
+                 layernorm, softmax, or bert)"
+            )),
+        }
+    }
+}
+
+/// Requested simulation fidelity, as a wire-friendly tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum FidelitySpec {
+    /// Tile-Level Simulation (fast; the paper's default).
+    #[default]
+    Tls,
+    /// Instruction-Level Simulation, timing and functional execution.
+    Ils,
+    /// Instruction-Level Simulation, timing only.
+    IlsTiming,
+}
+
+impl FidelitySpec {
+    /// The run options this fidelity selects.
+    pub fn run_options(&self) -> RunOptions {
+        match self {
+            FidelitySpec::Tls => RunOptions::tls(),
+            FidelitySpec::Ils => RunOptions::ils(),
+            FidelitySpec::IlsTiming => RunOptions::ils_timing(),
+        }
+    }
+
+    /// The wire tag.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FidelitySpec::Tls => "tls",
+            FidelitySpec::Ils => "ils",
+            FidelitySpec::IlsTiming => "ils_timing",
+        }
+    }
+}
+
+impl ToJson for FidelitySpec {
+    fn to_json(&self) -> Json {
+        Json::str(self.as_str())
+    }
+}
+
+impl FromJson for FidelitySpec {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        match v.as_str() {
+            Some("tls") => Ok(FidelitySpec::Tls),
+            Some("ils") => Ok(FidelitySpec::Ils),
+            Some("ils_timing") => Ok(FidelitySpec::IlsTiming),
+            Some(other) => Err(format!(
+                "unknown fidelity {other:?} (expected \"tls\", \"ils\", or \"ils_timing\")"
+            )),
+            None => Err("fidelity must be a string".into()),
+        }
+    }
+}
+
+/// One complete, serializable simulation request.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunSpec {
+    /// The model to build and simulate.
+    pub model: ModelRequest,
+    /// NPU configuration (defaults to [`SimConfig::default`] when absent
+    /// from the wire form).
+    pub config: SimConfig,
+    /// Compiler options (defaults when absent from the wire form).
+    pub options: CompilerOptions,
+    /// Simulation fidelity (defaults to TLS when absent).
+    pub fidelity: FidelitySpec,
+    /// Optional cycle safety limit.
+    pub max_cycles: Option<u64>,
+}
+
+impl RunSpec {
+    /// A TLS-fidelity spec with default config and compiler options.
+    pub fn new(model: ModelRequest) -> Self {
+        RunSpec {
+            model,
+            config: SimConfig::default(),
+            options: CompilerOptions::default(),
+            fidelity: FidelitySpec::Tls,
+            max_cycles: None,
+        }
+    }
+
+    /// Replaces the configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the compiler options.
+    #[must_use]
+    pub fn with_options(mut self, options: CompilerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the fidelity.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: FidelitySpec) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Validates the model dimensions and the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] from either part.
+    pub fn validate(&self) -> Result<()> {
+        self.model.validate()?;
+        self.config.validate()
+    }
+
+    /// The run options (fidelity plus safety limit) this spec selects.
+    pub fn run_options(&self) -> RunOptions {
+        let mut run = self.fidelity.run_options();
+        run.max_cycles = self.max_cycles;
+        run
+    }
+
+    /// The canonical rendering: field order is fixed by construction, so
+    /// equal specs render to byte-equal strings.
+    pub fn canonical_json(&self) -> String {
+        self.to_json_string()
+    }
+
+    /// FNV-1a over the canonical JSON — the content address of this spec.
+    ///
+    /// Simulation is deterministic, so equal fingerprints (confirmed by an
+    /// equal canonical rendering, which callers that cannot tolerate hash
+    /// collisions should compare) imply equal [`SimReport`]s.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for b in self.canonical_json().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+
+    /// Runs the spec through `cache`, compiling at most once per unique
+    /// (model, config, options) across every caller sharing the cache.
+    ///
+    /// # Errors
+    ///
+    /// Validation, compilation, or simulation failures.
+    pub fn run(&self, cache: &Arc<CompileCache>) -> Result<SimReport> {
+        self.validate()?;
+        let spec = self.model.build()?;
+        let sim = Simulator::builder(self.config.clone())
+            .compiler_options(self.options.clone())
+            .shared_cache(Arc::clone(cache))
+            .build();
+        sim.run(&spec, self.run_options())
+    }
+
+    /// The equivalent sweep point, for batch execution of many specs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures.
+    pub fn to_sweep_point(&self) -> Result<SweepPoint> {
+        self.validate()?;
+        let spec = self.model.build()?;
+        Ok(SweepPoint::model(spec, self.config.clone())
+            .with_options(self.options.clone())
+            .with_run(self.run_options()))
+    }
+}
+
+impl ToJson for RunSpec {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .set("model", self.model.to_json())
+            .set("config", self.config.to_json())
+            .set("options", self.options.to_json())
+            .set("fidelity", self.fidelity.to_json());
+        if let Some(m) = self.max_cycles {
+            j = j.set("max_cycles", Json::u64(m));
+        }
+        j
+    }
+}
+
+impl FromJson for RunSpec {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        let model = ModelRequest::from_json(v.req("model")?)?;
+        let config = match v.get("config") {
+            Some(c) => SimConfig::from_json(c)?,
+            None => SimConfig::default(),
+        };
+        let options = match v.get("options") {
+            Some(o) => CompilerOptions::from_json(o)?,
+            None => CompilerOptions::default(),
+        };
+        let fidelity = match v.get("fidelity") {
+            Some(f) => FidelitySpec::from_json(f)?,
+            None => FidelitySpec::Tls,
+        };
+        let max_cycles = match v.get("max_cycles") {
+            Some(Json::Null) | None => None,
+            Some(m) => Some(
+                m.as_num()
+                    .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                    .map(|n| n as u64)
+                    .ok_or_else(|| "max_cycles must be a non-negative integer".to_string())?,
+            ),
+        };
+        Ok(RunSpec { model, config, options, fidelity, max_cycles })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_spec_round_trips_through_json() {
+        let specs = [
+            RunSpec::new(ModelRequest::Gemm { n: 32 }),
+            RunSpec::new(ModelRequest::GemmRect { m: 16, k: 32, n: 48 })
+                .with_config(SimConfig::tiny())
+                .with_fidelity(FidelitySpec::Ils),
+            RunSpec::new(ModelRequest::Bert {
+                seq: 16,
+                batch: 1,
+                hidden: 32,
+                layers: 1,
+                heads: 2,
+                intermediate: 64,
+            })
+            .with_options(CompilerOptions::unoptimized()),
+        ];
+        for spec in specs {
+            let back = RunSpec::from_json_str(&spec.canonical_json()).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(back.fingerprint(), spec.fingerprint());
+        }
+    }
+
+    #[test]
+    fn wire_defaults_fill_missing_fields() {
+        let spec = RunSpec::from_json_str(r#"{"model":{"kind":"gemm","n":16}}"#).unwrap();
+        assert_eq!(spec, RunSpec::new(ModelRequest::Gemm { n: 16 }));
+        assert_eq!(spec.fidelity, FidelitySpec::Tls);
+        assert!(spec.max_cycles.is_none());
+    }
+
+    #[test]
+    fn fingerprint_separates_distinct_specs() {
+        let a = RunSpec::new(ModelRequest::Gemm { n: 32 });
+        let b = RunSpec::new(ModelRequest::Gemm { n: 33 });
+        let c = a.clone().with_fidelity(FidelitySpec::Ils);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn validation_rejects_hostile_dimensions() {
+        assert!(ModelRequest::Gemm { n: 0 }.validate().is_err());
+        assert!(ModelRequest::Gemm { n: MAX_DIM + 1 }.validate().is_err());
+        assert!(ModelRequest::Bert {
+            seq: 8,
+            batch: 1,
+            hidden: 33,
+            layers: 1,
+            heads: 2,
+            intermediate: 64
+        }
+        .validate()
+        .is_err());
+        assert!(RunSpec::new(ModelRequest::Gemm { n: 0 }).run(&CompileCache::shared()).is_err());
+    }
+
+    #[test]
+    fn run_matches_direct_simulator() {
+        let spec = RunSpec::new(ModelRequest::Gemm { n: 16 }).with_config(SimConfig::tiny());
+        let via_spec = spec.run(&CompileCache::shared()).unwrap();
+        let sim = Simulator::new(SimConfig::tiny());
+        let direct = sim.run(&ptsim_models::gemm(16), RunOptions::tls()).unwrap();
+        assert_eq!(via_spec, direct);
+    }
+}

@@ -39,6 +39,7 @@
 use crate::cache::{CompileCache, CompileCacheStats};
 use crate::simulator::{RunOptions, Simulator};
 use ptsim_common::config::SimConfig;
+use ptsim_common::json::{FromJson, Json, ToJson};
 use ptsim_common::Result;
 use ptsim_compiler::CompilerOptions;
 use ptsim_models::ModelSpec;
@@ -218,7 +219,7 @@ impl SweepOptions {
 }
 
 /// One point's outcome.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PointResult {
     /// The point's label.
     pub label: String,
@@ -231,7 +232,7 @@ pub struct PointResult {
 }
 
 /// The collected results of a sweep, in input order.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SweepReport {
     /// Per-point results, index-aligned with the submitted points.
     pub results: Vec<PointResult>,
@@ -249,6 +250,46 @@ impl SweepReport {
     /// the same grid must compare equal here whatever their `jobs` counts.
     pub fn sim_reports(&self) -> Vec<&SimReport> {
         self.results.iter().map(|r| &r.report).collect()
+    }
+}
+
+impl ToJson for PointResult {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("label", Json::str(&self.label))
+            .set("report", self.report.to_json())
+            .set("wall_seconds", Json::num(self.wall_seconds))
+    }
+}
+
+impl FromJson for PointResult {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        Ok(PointResult {
+            label: v.req_str("label")?.to_string(),
+            report: SimReport::from_json(v.req("report")?)?,
+            wall_seconds: v.req_num("wall_seconds")?,
+        })
+    }
+}
+
+impl ToJson for SweepReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("results", self.results.to_json())
+            .set("jobs", Json::u64(self.jobs as u64))
+            .set("wall_seconds", Json::num(self.wall_seconds))
+            .set("cache", self.cache.to_json())
+    }
+}
+
+impl FromJson for SweepReport {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        Ok(SweepReport {
+            results: Vec::from_json(v.req("results")?)?,
+            jobs: v.req_usize("jobs")?,
+            wall_seconds: v.req_num("wall_seconds")?,
+            cache: crate::cache::CompileCacheStats::from_json(v.req("cache")?)?,
+        })
     }
 }
 

@@ -1,10 +1,11 @@
 //! DRAM activity statistics.
 
 use crate::channel::{MemRequest, RowOutcome};
+use ptsim_common::json::{FromJson, Json, ToJson};
 use std::collections::HashMap;
 
 /// Counters accumulated by the DRAM model.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DramStats {
     /// Read transactions served.
     pub reads: u64,
@@ -86,6 +87,35 @@ impl DramStats {
     }
 }
 
+impl ToJson for DramStats {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("reads", Json::u64(self.reads))
+            .set("writes", Json::u64(self.writes))
+            .set("row_hits", Json::u64(self.row_hits))
+            .set("row_misses", Json::u64(self.row_misses))
+            .set("row_conflicts", Json::u64(self.row_conflicts))
+            .set("bytes", Json::u64(self.bytes))
+            .set("total_latency", Json::u64(self.total_latency))
+            .set("bytes_by_tag", self.bytes_by_tag.to_json())
+    }
+}
+
+impl FromJson for DramStats {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(DramStats {
+            reads: v.req_u64("reads")?,
+            writes: v.req_u64("writes")?,
+            row_hits: v.req_u64("row_hits")?,
+            row_misses: v.req_u64("row_misses")?,
+            row_conflicts: v.req_u64("row_conflicts")?,
+            bytes: v.req_u64("bytes")?,
+            total_latency: v.req_u64("total_latency")?,
+            bytes_by_tag: HashMap::from_json(v.req("bytes_by_tag")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +146,15 @@ mod tests {
         assert_eq!(s.mean_latency(), 0.0);
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.bandwidth(0), 0.0);
+    }
+
+    #[test]
+    fn stats_json_round_trips() {
+        let mut s = DramStats::default();
+        let r = MemRequest::read(RequestId::new(0), 0, 64, 3);
+        s.record(&r, RowOutcome::Hit, 10);
+        let w = MemRequest::write(RequestId::new(1), 64, 64, 9);
+        s.record(&w, RowOutcome::Conflict, 30);
+        assert_eq!(DramStats::from_json_str(&s.to_json_string()).unwrap(), s);
     }
 }

@@ -34,6 +34,7 @@
 
 use ptsim_common::config::{ChipletLinkConfig, NocConfig, NocKind};
 use ptsim_common::cycles::ns_to_cycles;
+use ptsim_common::json::{FromJson, Json, ToJson};
 use ptsim_common::{Cycle, RequestId};
 use ptsim_event::{CompletionSource, Component};
 use std::cmp::Reverse;
@@ -53,7 +54,7 @@ pub struct NocMessage {
 }
 
 /// Interconnect statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct NocStats {
     /// Messages delivered.
     pub messages: u64,
@@ -73,6 +74,27 @@ impl NocStats {
         } else {
             self.total_latency as f64 / self.messages as f64
         }
+    }
+}
+
+impl ToJson for NocStats {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("messages", Json::u64(self.messages))
+            .set("bytes", Json::u64(self.bytes))
+            .set("link_crossings", Json::u64(self.link_crossings))
+            .set("total_latency", Json::u64(self.total_latency))
+    }
+}
+
+impl FromJson for NocStats {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(NocStats {
+            messages: v.req_u64("messages")?,
+            bytes: v.req_u64("bytes")?,
+            link_crossings: v.req_u64("link_crossings")?,
+            total_latency: v.req_u64("total_latency")?,
+        })
     }
 }
 

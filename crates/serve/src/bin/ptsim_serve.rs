@@ -1,0 +1,96 @@
+//! The simulation daemon.
+//!
+//! ```sh
+//! cargo run --release -p ptsim-serve --bin ptsim_serve -- \
+//!     --port 8080 --workers 4 --queue-depth 64 \
+//!     --result-cache-mb 32 --deadline-ms 30000
+//! ```
+//!
+//! Prints one `listening on http://ADDR` line once ready (`--port 0`
+//! resolves an OS-assigned port, which `report_loadgen --spawn` parses),
+//! then serves until `POST /admin/shutdown` drains it.
+
+use ptsim_serve::server::{start, ServeConfig};
+use std::process::ExitCode;
+
+struct Args {
+    host: String,
+    port: u16,
+    cfg: ServeConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { host: "127.0.0.1".into(), port: 8080, cfg: ServeConfig::default() };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--host" => args.host = value("--host")?,
+            "--port" => args.port = value("--port")?.parse().map_err(|e| format!("--port: {e}"))?,
+            "--workers" => {
+                args.cfg.workers =
+                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue-depth" => {
+                args.cfg.queue_depth =
+                    value("--queue-depth")?.parse().map_err(|e| format!("--queue-depth: {e}"))?
+            }
+            "--result-cache-mb" => {
+                args.cfg.result_cache_mb = value("--result-cache-mb")?
+                    .parse()
+                    .map_err(|e| format!("--result-cache-mb: {e}"))?
+            }
+            "--deadline-ms" => {
+                args.cfg.deadline_ms =
+                    value("--deadline-ms")?.parse().map_err(|e| format!("--deadline-ms: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ptsim_serve [--host H] [--port P] [--workers N] \
+                     [--queue-depth D] [--result-cache-mb M] [--deadline-ms T]\n\
+                     \n\
+                     --host H             bind host (default 127.0.0.1)\n\
+                     --port P             bind port, 0 = OS-assigned (default 8080)\n\
+                     --workers N          simulation worker threads (default 4)\n\
+                     --queue-depth D      admission queue depth, beyond it 429 (default 64)\n\
+                     --result-cache-mb M  result cache budget, 0 disables (default 32)\n\
+                     --deadline-ms T      per-request deadline (default 30000)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let mut args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ptsim_serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    args.cfg.addr = format!("{}:{}", args.host, args.port);
+    let cfg = args.cfg.clone();
+    let handle = match start(args.cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("ptsim_serve: bind {}: {e}", cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "ptsim_serve: {} workers, queue depth {}, result cache {} MiB, deadline {} ms",
+        cfg.workers, cfg.queue_depth, cfg.result_cache_mb, cfg.deadline_ms
+    );
+    println!("listening on http://{}", handle.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    println!("ptsim_serve: drained, bye");
+    ExitCode::SUCCESS
+}

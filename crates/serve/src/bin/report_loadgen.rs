@@ -1,0 +1,274 @@
+//! Load-test harness for the simulation daemon.
+//!
+//! ```sh
+//! # Spawn a 4-worker daemon, hammer it for 10 s, write reports/loadgen.json:
+//! cargo run --release -p ptsim-serve --bin report_loadgen -- \
+//!     --spawn --workers 4 --conns 8 --duration 10 --mix cached
+//!
+//! # Against an already-running daemon, open-loop at 200 req/s:
+//! cargo run --release -p ptsim-serve --bin report_loadgen -- \
+//!     --addr 127.0.0.1:8080 --rps 200 --duration 30 --mix mixed:20
+//!
+//! # CI smoke: spawn, one /healthz + one /v1/simulate, graceful shutdown:
+//! cargo run --release -p ptsim-serve --bin report_loadgen -- --smoke
+//! ```
+//!
+//! Exit code is nonzero on transport errors, simulation failures, or (in
+//! `--smoke` mode) any deviation from the expected handshake.
+
+use ptsim_serve::client::HttpClient;
+use ptsim_serve::loadgen::{self, LoadgenConfig, Mix};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::Duration;
+
+struct Args {
+    addr: Option<SocketAddr>,
+    spawn: bool,
+    smoke: bool,
+    workers: usize,
+    queue_depth: usize,
+    result_cache_mb: usize,
+    conns: usize,
+    duration_s: f64,
+    rps: f64,
+    mix: Mix,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        spawn: false,
+        smoke: false,
+        workers: 4,
+        queue_depth: 64,
+        result_cache_mb: 32,
+        conns: 4,
+        duration_s: 10.0,
+        rps: 0.0,
+        mix: Mix::Cached,
+        out: "reports/loadgen.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                args.addr = Some(value("--addr")?.parse().map_err(|e| format!("--addr: {e}"))?)
+            }
+            "--spawn" => args.spawn = true,
+            "--smoke" => args.smoke = true,
+            "--workers" => {
+                args.workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue-depth" => {
+                args.queue_depth =
+                    value("--queue-depth")?.parse().map_err(|e| format!("--queue-depth: {e}"))?
+            }
+            "--result-cache-mb" => {
+                args.result_cache_mb = value("--result-cache-mb")?
+                    .parse()
+                    .map_err(|e| format!("--result-cache-mb: {e}"))?
+            }
+            "--conns" => {
+                args.conns = value("--conns")?.parse().map_err(|e| format!("--conns: {e}"))?
+            }
+            "--duration" => {
+                args.duration_s =
+                    value("--duration")?.parse().map_err(|e| format!("--duration: {e}"))?
+            }
+            "--rps" => args.rps = value("--rps")?.parse().map_err(|e| format!("--rps: {e}"))?,
+            "--mix" => args.mix = Mix::parse(&value("--mix")?)?,
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: report_loadgen [--addr HOST:PORT | --spawn] [--smoke]\n\
+                     \x20                     [--workers N] [--queue-depth D] [--conns C]\n\
+                     \x20                     [--duration S] [--rps R] [--mix M] [--out F]\n\
+                     \n\
+                     --addr HOST:PORT  target an already-running daemon\n\
+                     --spawn           spawn a sibling ptsim_serve on an ephemeral port\n\
+                     --smoke           CI handshake only: healthz, one simulate, shutdown\n\
+                     --workers N       workers for the spawned daemon (default 4)\n\
+                     --queue-depth D   queue depth for the spawned daemon (default 64)\n\
+                     --result-cache-mb M  result cache for the spawned daemon, 0 off (default 32)\n\
+                     --conns C         concurrent connections (default 4)\n\
+                     --duration S      measured seconds (default 10)\n\
+                     --rps R           open-loop target rate, 0 = closed loop (default 0)\n\
+                     --mix M           cached | distinct | mixed:NN (default cached)\n\
+                     --out F           JSON artifact path (default reports/loadgen.json)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.addr.is_none() {
+        args.spawn = true;
+    }
+    Ok(args)
+}
+
+/// A spawned sibling `ptsim_serve`, shut down gracefully on drop paths.
+struct SpawnedServer {
+    child: Child,
+    addr: SocketAddr,
+}
+
+fn spawn_server(
+    workers: usize,
+    queue_depth: usize,
+    result_cache_mb: usize,
+) -> Result<SpawnedServer, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let sibling = me
+        .parent()
+        .map(|d| d.join("ptsim_serve"))
+        .filter(|p| p.exists())
+        .ok_or("ptsim_serve binary not found next to report_loadgen (build both first)")?;
+    let mut child = Command::new(sibling)
+        .args([
+            "--port",
+            "0",
+            "--workers",
+            &workers.to_string(),
+            "--queue-depth",
+            &queue_depth.to_string(),
+            "--result-cache-mb",
+            &result_cache_mb.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn ptsim_serve: {e}"))?;
+    let stdout = child.stdout.take().ok_or("no stdout from ptsim_serve")?;
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                println!("[ptsim_serve] {line}");
+                if let Some(rest) = line.strip_prefix("listening on http://") {
+                    break rest.parse().map_err(|e| format!("bad server address: {e}"))?;
+                }
+            }
+            _ => return Err("ptsim_serve exited before announcing its address".into()),
+        }
+    };
+    // Keep draining the child's stdout so it never blocks on a full pipe.
+    std::thread::spawn(move || {
+        for line in lines.map_while(Result::ok) {
+            println!("[ptsim_serve] {line}");
+        }
+    });
+    Ok(SpawnedServer { child, addr })
+}
+
+fn shutdown_server(mut server: SpawnedServer) -> Result<(), String> {
+    let mut client = HttpClient::new(server.addr);
+    let resp = client.post("/admin/shutdown", "")?;
+    if resp.status != 200 {
+        return Err(format!("shutdown returned {}", resp.status));
+    }
+    drop(client);
+    let status = server.child.wait().map_err(|e| format!("wait: {e}"))?;
+    if !status.success() {
+        return Err(format!("ptsim_serve exited with {status}"));
+    }
+    Ok(())
+}
+
+fn smoke(addr: SocketAddr) -> Result<(), String> {
+    let mut client = HttpClient::new(addr).with_timeout(Duration::from_secs(60));
+    let health = client.get("/healthz")?;
+    if health.status != 200 {
+        return Err(format!("healthz returned {}", health.status));
+    }
+    let parsed = ptsim_common::json::parse_json(&health.body)
+        .map_err(|e| format!("healthz body is not JSON: {e}"))?;
+    if parsed.req_str("status").map_err(|e| e.to_string())? != "ok" {
+        return Err(format!("healthz not ok: {}", health.body));
+    }
+    let sim = client.post("/v1/simulate", r#"{"model":{"kind":"gemm","n":16}}"#)?;
+    if sim.status != 200 {
+        return Err(format!("simulate returned {}: {}", sim.status, sim.body));
+    }
+    let report = ptsim_common::json::parse_json(&sim.body)
+        .map_err(|e| format!("simulate body is not JSON: {e}"))?;
+    let cycles = report
+        .req("report")
+        .and_then(|r| r.req_u64("total_cycles"))
+        .map_err(|e| format!("simulate body shape: {e}"))?;
+    if cycles == 0 {
+        return Err("simulate reported zero cycles".into());
+    }
+    let metrics = client.get("/metrics")?;
+    ptsim_common::json::parse_json(&metrics.body)
+        .map_err(|e| format!("metrics body is not JSON: {e}"))?;
+    println!("smoke: healthz ok, gemm(16) simulated in {cycles} cycles, metrics valid");
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let (addr, server) = match args.addr {
+        Some(addr) => (addr, None),
+        None => {
+            let server = spawn_server(args.workers, args.queue_depth, args.result_cache_mb)?;
+            (server.addr, Some(server))
+        }
+    };
+    let result = if args.smoke {
+        smoke(addr)
+    } else {
+        let cfg = LoadgenConfig {
+            addr,
+            conns: args.conns,
+            duration: Duration::from_secs_f64(args.duration_s),
+            rps: args.rps,
+            mix: args.mix,
+        };
+        loadgen::run(&cfg).and_then(|report| {
+            println!("{}", report.summary());
+            if let Some(dir) = std::path::Path::new(&args.out).parent() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {dir:?}: {e}"))?;
+            }
+            std::fs::write(&args.out, report.to_json().render())
+                .map_err(|e| format!("write {}: {e}", args.out))?;
+            println!("wrote {}", args.out);
+            if report.transport_errors > 0 {
+                return Err(format!("{} transport errors", report.transport_errors));
+            }
+            if report.ok == 0 {
+                return Err("no successful request".into());
+            }
+            Ok(())
+        })
+    };
+    match server {
+        Some(server) => {
+            let shut = shutdown_server(server);
+            result.and(shut)
+        }
+        None => result,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("report_loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("report_loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! A minimal, dependency-free HTTP/1.1 layer.
+//!
+//! The service speaks a deliberately small subset of HTTP/1.1: methods with
+//! optional `Content-Length` bodies, persistent connections, and nothing
+//! else (no chunked transfer, no TLS, no continuations). That subset is
+//! exactly what `std::net` plus ~200 lines buys, which keeps the serve
+//! crate inside the workspace's no-new-dependencies constraint while
+//! remaining compatible with `curl` and every HTTP client.
+//!
+//! Robustness stance: this parser faces untrusted bytes, so every limit is
+//! explicit — request line and header block capped at [`MAX_HEAD_BYTES`],
+//! bodies at [`MAX_BODY_BYTES`] — and any violation is a clean
+//! [`HttpError::Bad`], never a panic or an unbounded allocation.
+
+use std::io::{BufRead, ErrorKind, Write};
+use std::time::{Duration, Instant};
+
+/// Upper bound on the request line plus all headers, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body, bytes.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// How long a partially received request may stall before the connection
+/// is dropped as malformed.
+pub const PARTIAL_READ_BUDGET: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component, query string included.
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with `name` (lower-case), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// If the body is not valid UTF-8.
+    pub fn body_str(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "request body is not valid UTF-8".to_string())
+    }
+
+    /// Whether the client asked to keep the connection open.
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why reading a request stopped.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection (or it broke) with no request bytes
+    /// outstanding. Normal end of a keep-alive session.
+    Closed,
+    /// The read timed out before *any* byte of a new request arrived. The
+    /// caller may poll its shutdown flag and retry.
+    Idle,
+    /// The peer sent something unparseable or over a limit.
+    Bad(String),
+}
+
+fn is_timeout(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Reads one line (terminated by `\n`), enforcing the head limit and the
+/// partial-read stall budget. `any_consumed` reports whether earlier parts
+/// of this request already arrived (a timeout then keeps waiting instead
+/// of reporting [`HttpError::Idle`]).
+fn read_line(
+    r: &mut impl BufRead,
+    limit: &mut usize,
+    any_consumed: bool,
+    started: &mut Option<Instant>,
+) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = match r.fill_buf() {
+            Ok([]) => {
+                return if line.is_empty() && !any_consumed {
+                    Err(HttpError::Closed)
+                } else {
+                    Err(HttpError::Bad("connection closed mid-request".into()))
+                }
+            }
+            Ok(buf) => buf,
+            Err(e) if is_timeout(e.kind()) => {
+                if line.is_empty() && !any_consumed {
+                    return Err(HttpError::Idle);
+                }
+                let t0 = *started.get_or_insert_with(Instant::now);
+                if t0.elapsed() > PARTIAL_READ_BUDGET {
+                    return Err(HttpError::Bad("request stalled mid-transfer".into()));
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Err(HttpError::Closed),
+        };
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (&buf[..=i], true),
+            None => (buf, false),
+        };
+        if chunk.len() > *limit {
+            return Err(HttpError::Bad(format!("request head exceeds {MAX_HEAD_BYTES} bytes")));
+        }
+        *limit -= chunk.len();
+        line.extend_from_slice(chunk);
+        let n = chunk.len();
+        r.consume(n);
+        if done {
+            while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| HttpError::Bad("non-UTF-8 bytes in request head".into()));
+        }
+    }
+}
+
+/// Reads exactly `n` body bytes, tolerating read timeouts within the
+/// stall budget.
+fn read_body(
+    r: &mut impl BufRead,
+    n: usize,
+    started: &mut Option<Instant>,
+) -> Result<Vec<u8>, HttpError> {
+    let mut body = vec![0u8; n];
+    let mut filled = 0;
+    while filled < n {
+        match std::io::Read::read(r, &mut body[filled..]) {
+            Ok(0) => return Err(HttpError::Bad("connection closed mid-body".into())),
+            Ok(k) => filled += k,
+            Err(e) if is_timeout(e.kind()) => {
+                let t0 = *started.get_or_insert_with(Instant::now);
+                if t0.elapsed() > PARTIAL_READ_BUDGET {
+                    return Err(HttpError::Bad("request body stalled mid-transfer".into()));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Err(HttpError::Closed),
+        }
+    }
+    Ok(body)
+}
+
+/// Reads one request from `r`.
+///
+/// # Errors
+///
+/// [`HttpError::Idle`] when no byte of a new request arrived within the
+/// stream's read timeout (retryable), [`HttpError::Closed`] on normal
+/// disconnect, [`HttpError::Bad`] on malformed or oversized input.
+pub fn read_request(r: &mut impl BufRead) -> Result<Request, HttpError> {
+    let mut limit = MAX_HEAD_BYTES;
+    let mut started = None;
+    let request_line = read_line(r, &mut limit, false, &mut started)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Bad("empty request line".into()))?
+        .to_ascii_uppercase();
+    let path =
+        parts.next().ok_or_else(|| HttpError::Bad("request line has no path".into()))?.to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::Bad("not an HTTP/1.x request".into())),
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, &mut limit, true, &mut started)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Bad(format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let req = Request { method, path, headers, body: Vec::new() };
+    let body = match req.header("content-length") {
+        None => Vec::new(),
+        Some(v) => {
+            let n: usize =
+                v.parse().map_err(|_| HttpError::Bad(format!("bad Content-Length {v:?}")))?;
+            if n > MAX_BODY_BYTES {
+                return Err(HttpError::Bad(format!("body of {n} bytes exceeds {MAX_BODY_BYTES}")));
+            }
+            read_body(r, n, &mut started)?
+        }
+    };
+    Ok(Request { body, ..req })
+}
+
+/// The standard reason phrase for the status codes the service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A response ready to serialize: status, extra headers, content type, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (name must already be canonical).
+    pub headers: Vec<(String, String)>,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes (UTF-8 text for every endpoint of this service).
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// The uniform error shape: `{"error": ..., "status": ...}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let msg = ptsim_common::json::Json::str(message).render();
+        Response::json(status, format!("{{\"error\":{msg},\"status\":{status}}}"))
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes onto `w` (HTTP/1.1, explicit `Content-Length`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /v1/simulate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/simulate");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body_str().unwrap(), "abcd");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn honors_connection_close() {
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversize() {
+        assert!(matches!(parse("not http at all\r\n\r\n"), Err(HttpError::Bad(_))));
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+        let huge = format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(parse(&huge), Err(HttpError::Bad(_))));
+        let bad_len = "POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n";
+        assert!(matches!(parse(bad_len), Err(HttpError::Bad(_))));
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_connection() {
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn error_body_is_valid_json() {
+        let resp = Response::error(429, "queue full: depth 64");
+        let parsed = ptsim_common::json::parse_json(&resp.body).unwrap();
+        assert_eq!(parsed.req_str("error").unwrap(), "queue full: depth 64");
+        assert_eq!(parsed.req_u64("status").unwrap(), 429);
+    }
+}

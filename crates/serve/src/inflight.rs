@@ -1,0 +1,172 @@
+//! In-flight request coalescing.
+//!
+//! When many clients ask for the same simulation at the same moment — the
+//! thundering-herd shape of a sweep fan-out or a cache-cold hot spot — only
+//! the first should pay for it. The [`InflightMap`] keys outstanding work
+//! by the spec's *canonical JSON* (not its 64-bit fingerprint, so
+//! coalescing can never conflate colliding specs): the first joiner becomes
+//! the **leader** and is responsible for producing the outcome; everyone
+//! else becomes a **follower** parked on the leader's [`Slot`].
+//!
+//! The contract that keeps this deadlock-free: whoever is handed
+//! [`Join::Leader`] *must* eventually call [`InflightMap::complete`] — on
+//! success, on simulation error, and on every admission-rejection path
+//! (queue full, draining). Followers always wake with the same outcome the
+//! leader got, which is exactly the semantics of a shared request.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What one coalesced request produced: a response body, or an HTTP error
+/// (status, message) that every joined waiter should see.
+pub type Outcome = Result<String, (u16, String)>;
+
+/// The rendezvous cell one leader and any number of followers share.
+#[derive(Debug, Default)]
+pub struct Slot {
+    outcome: Mutex<Option<Outcome>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    /// Blocks until the leader completes the slot or `timeout` elapses.
+    /// `None` means the wait timed out; the work continues server-side.
+    pub fn wait(&self, timeout: Duration) -> Option<Outcome> {
+        let deadline = Instant::now() + timeout;
+        let mut outcome = self.outcome.lock().expect("inflight slot poisoned");
+        loop {
+            if let Some(o) = outcome.as_ref() {
+                return Some(o.clone());
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let (guard, _) =
+                self.ready.wait_timeout(outcome, left).expect("inflight slot poisoned");
+            outcome = guard;
+        }
+    }
+
+    fn fill(&self, o: Outcome) {
+        *self.outcome.lock().expect("inflight slot poisoned") = Some(o);
+        self.ready.notify_all();
+    }
+}
+
+/// The role [`InflightMap::join`] assigned to a caller.
+#[derive(Debug)]
+pub enum Join {
+    /// First joiner: must do the work and then [`InflightMap::complete`].
+    Leader(Arc<Slot>),
+    /// Subsequent joiner: just wait on the slot.
+    Follower(Arc<Slot>),
+}
+
+/// Outstanding simulations keyed by canonical spec JSON.
+#[derive(Debug, Default)]
+pub struct InflightMap {
+    slots: Mutex<HashMap<String, Arc<Slot>>>,
+    coalesced: AtomicU64,
+    led: AtomicU64,
+}
+
+impl InflightMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        InflightMap::default()
+    }
+
+    /// Joins the in-flight request for `canon`, creating it if absent.
+    pub fn join(&self, canon: &str) -> Join {
+        let mut slots = self.slots.lock().expect("inflight map poisoned");
+        if let Some(slot) = slots.get(canon) {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            Join::Follower(Arc::clone(slot))
+        } else {
+            let slot = Arc::new(Slot::default());
+            slots.insert(canon.to_string(), Arc::clone(&slot));
+            self.led.fetch_add(1, Ordering::Relaxed);
+            Join::Leader(slot)
+        }
+    }
+
+    /// Publishes the outcome for `canon`, waking every waiter, and retires
+    /// the slot so later requests start fresh (or hit the result cache).
+    pub fn complete(&self, canon: &str, outcome: Outcome) {
+        let slot = self.slots.lock().expect("inflight map poisoned").remove(canon);
+        if let Some(slot) = slot {
+            slot.fill(outcome);
+        }
+    }
+
+    /// Requests currently in flight.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("inflight map poisoned").len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(leaders, coalesced followers)` since startup.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.led.load(Ordering::Relaxed), self.coalesced.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn first_joiner_leads_rest_follow() {
+        let m = InflightMap::new();
+        let Join::Leader(_lead) = m.join("spec") else { panic!("first joiner must lead") };
+        let Join::Follower(slot) = m.join("spec") else { panic!("second joiner must follow") };
+        m.complete("spec", Ok("body".into()));
+        assert_eq!(slot.wait(Duration::from_secs(1)), Some(Ok("body".into())));
+        assert_eq!(m.stats(), (1, 1));
+        assert!(m.is_empty(), "completed slots are retired");
+    }
+
+    #[test]
+    fn distinct_specs_do_not_coalesce() {
+        let m = InflightMap::new();
+        assert!(matches!(m.join("a"), Join::Leader(_)));
+        assert!(matches!(m.join("b"), Join::Leader(_)));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn wait_times_out_without_dropping_the_work() {
+        let m = InflightMap::new();
+        let Join::Leader(slot) = m.join("slow") else { panic!() };
+        assert_eq!(slot.wait(Duration::from_millis(20)), None, "timed-out waiter");
+        // The leader still completes; a late follower joined before
+        // completion still sees the outcome.
+        let Join::Follower(late) = m.join("slow") else { panic!() };
+        m.complete("slow", Err((503, "x".into())));
+        assert_eq!(late.wait(Duration::from_secs(1)), Some(Err((503, "x".into()))));
+    }
+
+    #[test]
+    fn many_threads_coalesce_to_one_leader() {
+        let m = Arc::new(InflightMap::new());
+        let mut joins = Vec::new();
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    s.spawn(move || matches!(m.join("hot"), Join::Leader(_)))
+                })
+                .collect();
+            for h in handles {
+                joins.push(h.join().unwrap());
+            }
+        });
+        assert_eq!(joins.iter().filter(|&&led| led).count(), 1, "exactly one leader");
+        m.complete("hot", Ok("done".into()));
+    }
+}

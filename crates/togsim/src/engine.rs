@@ -29,7 +29,7 @@ use std::sync::Arc;
 pub struct JobId(pub usize);
 
 /// Simulation fidelity of compute nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum Fidelity {
     /// Tile-Level Simulation: use the TOG's offline latencies (fast).
     #[default]

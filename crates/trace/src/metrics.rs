@@ -64,6 +64,25 @@ impl Gauge {
         }
     }
 
+    /// Increments the value by `n` (level-tracking gauges: queue depths,
+    /// in-flight request counts).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Decrements the value by `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            let _ = self
+                .value
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -170,6 +189,8 @@ pub enum MetricValue {
         mean: f64,
         /// Exclusive upper bound of the median's bucket.
         p50: u64,
+        /// Exclusive upper bound of the 95th percentile's bucket.
+        p95: u64,
         /// Exclusive upper bound of the 99th percentile's bucket.
         p99: u64,
     },
@@ -271,6 +292,7 @@ impl MetricsRegistry {
                         sum: h.sum(),
                         mean: h.mean(),
                         p50: h.approx_percentile(50.0),
+                        p95: h.approx_percentile(95.0),
                         p99: h.approx_percentile(99.0),
                     },
                 };
@@ -304,10 +326,10 @@ impl MetricsRegistry {
             out.push_str(&format!("\"{}\":", escape(name)));
             match value {
                 MetricValue::Counter(v) | MetricValue::Gauge(v) => out.push_str(&v.to_string()),
-                MetricValue::Histogram { count, sum, mean, p50, p99 } => {
+                MetricValue::Histogram { count, sum, mean, p50, p95, p99 } => {
                     out.push_str(&format!(
                         "{{\"count\":{count},\"sum\":{sum},\"mean\":{mean:.3},\
-                         \"p50\":{p50},\"p99\":{p99}}}"
+                         \"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}}"
                     ));
                 }
             }
@@ -333,11 +355,12 @@ impl MetricsRegistry {
                 }
                 Instrument::Histogram(h) => {
                     out.push_str(&format!(
-                        "{name:<name_w$}  {:<9}  n={} mean={:.1} p50<{} p99<{}\n",
+                        "{name:<name_w$}  {:<9}  n={} mean={:.1} p50<{} p95<{} p99<{}\n",
                         "histogram",
                         h.count(),
                         h.mean(),
                         h.approx_percentile(50.0),
+                        h.approx_percentile(95.0),
                         h.approx_percentile(99.0),
                     ));
                 }
@@ -374,6 +397,20 @@ mod tests {
         assert_eq!(g.get(), 7);
         g.set_max(11);
         assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn gauges_level_track_with_add_and_sub() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("serve.inflight");
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
+        reg.set_enabled(false);
+        g.add(5);
+        assert_eq!(g.get(), 0, "disabled registries ignore updates");
     }
 
     #[test]
@@ -422,6 +459,31 @@ mod tests {
         assert!(json.contains("\"a.count\":2"), "{json}");
         assert!(json.contains("\"b.depth\":9"), "{json}");
         assert!(json.contains("\"c.lat\":{\"count\":1,\"sum\":5"), "{json}");
+        assert!(json.contains("\"p95\":"), "{json}");
+    }
+
+    #[test]
+    fn histogram_percentiles_expose_tail_latency() {
+        // 98 fast samples and 2 slow ones: p50 stays in the fast bucket,
+        // p99 reaches the slow one, and p95 sits between them — the shape
+        // the serve endpoint histograms rely on.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("rpc.latency");
+        for _ in 0..98 {
+            h.observe(3);
+        }
+        h.observe(5000);
+        h.observe(6000);
+        let snap = reg.snapshot();
+        match snap[0].1 {
+            MetricValue::Histogram { count, p50, p95, p99, .. } => {
+                assert_eq!(count, 100);
+                assert_eq!(p50, 4, "3 lands in [2, 4)");
+                assert_eq!(p95, 4, "p95 still in the fast bucket");
+                assert_eq!(p99, 8192, "5000/6000 land in [4096, 8192)");
+            }
+            ref other => panic!("unexpected snapshot {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Integration tests of the simulation service (`ptsim-serve`).
+//!
+//! Everything runs in-process: `server::start` binds an ephemeral port and
+//! the blocking client talks to it over real TCP, so these tests exercise
+//! the same accept/admission/worker/drain machinery as production — while
+//! the handle gives white-box access to the compile cache and metrics for
+//! exactly-once and zero-drop assertions.
+
+use ptsim_common::config::SimConfig;
+use ptsim_common::json::{parse_json, FromJson};
+use ptsim_serve::client::HttpClient;
+use ptsim_serve::server::{start, ServeConfig, ServerHandle};
+use ptsim_togsim::SimReport;
+use ptsim_trace::MetricValue;
+use pytorchsim::{CompileCache, FidelitySpec, ModelRequest, RunOptions, RunSpec, Simulator};
+use std::time::{Duration, Instant};
+
+fn tiny_spec(n: usize) -> RunSpec {
+    RunSpec::new(ModelRequest::Gemm { n }).with_config(SimConfig::tiny())
+}
+
+fn report_from_body(body: &str) -> SimReport {
+    let parsed = parse_json(body).expect("response body is JSON");
+    SimReport::from_json(parsed.req("report").expect("has report")).expect("report parses")
+}
+
+fn direct_gemm(n: usize) -> SimReport {
+    Simulator::new(SimConfig::tiny())
+        .run(&pytorchsim::models::gemm(n), RunOptions::tls())
+        .expect("direct run succeeds")
+}
+
+fn metric(handle: &ServerHandle, name: &str) -> u64 {
+    handle
+        .metrics()
+        .snapshot()
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| match v {
+            MetricValue::Counter(c) | MetricValue::Gauge(c) => c,
+            MetricValue::Histogram { count, .. } => count,
+        })
+        .unwrap_or(0)
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let t0 = Instant::now();
+    while !cond() {
+        assert!(t0.elapsed() < Duration::from_secs(60), "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn concurrent_identical_and_distinct_requests_compile_once_and_match_direct_runs() {
+    let handle = start(ServeConfig { workers: 4, ..ServeConfig::default() }).unwrap();
+    let addr = handle.addr();
+
+    const IDENTICAL: usize = 12;
+    let distinct_sizes = [16usize, 24, 40, 56];
+    let identical_body = tiny_spec(32).canonical_json();
+    let distinct_bodies: Vec<String> =
+        distinct_sizes.iter().map(|&n| tiny_spec(n).canonical_json()).collect();
+
+    let mut identical_results = Vec::new();
+    let mut distinct_results = Vec::new();
+    std::thread::scope(|s| {
+        let identical: Vec<_> = (0..IDENTICAL)
+            .map(|_| {
+                let body = &identical_body;
+                s.spawn(move || HttpClient::new(addr).post("/v1/simulate", body).unwrap())
+            })
+            .collect();
+        let distinct: Vec<_> = distinct_bodies
+            .iter()
+            .map(|body| s.spawn(move || HttpClient::new(addr).post("/v1/simulate", body).unwrap()))
+            .collect();
+        identical_results.extend(identical.into_iter().map(|h| h.join().unwrap()));
+        distinct_results.extend(distinct.into_iter().map(|h| h.join().unwrap()));
+    });
+
+    for resp in identical_results.iter().chain(&distinct_results) {
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+    }
+    // Identical concurrent requests produce byte-identical bodies — whether
+    // each was coalesced behind the leader, served from the result cache,
+    // or (never) re-simulated.
+    for resp in &identical_results {
+        assert_eq!(resp.body, identical_results[0].body);
+    }
+    // Exactly-once compilation per unique spec, regardless of concurrency:
+    // 1 shared spec + 4 distinct sizes = 5 compiles.
+    let stats = handle.compile_cache().stats();
+    assert_eq!(stats.compiles, 1 + distinct_sizes.len() as u64, "stats: {stats:?}");
+
+    // Server responses are bit-identical to direct library runs.
+    assert_eq!(report_from_body(&identical_results[0].body), direct_gemm(32));
+    for (resp, &n) in distinct_results.iter().zip(&distinct_sizes) {
+        assert_eq!(report_from_body(&resp.body), direct_gemm(n), "gemm({n})");
+    }
+    // The wire path agrees with the in-process RunSpec entry point too.
+    assert_eq!(tiny_spec(32).run(&CompileCache::shared()).unwrap(), direct_gemm(32));
+
+    // Request accounting: every simulate request was either a result-cache
+    // hit or a recorded miss; nothing vanished.
+    let hits = metric(&handle, "serve.result_cache.hits");
+    let misses = metric(&handle, "serve.result_cache.misses");
+    assert_eq!(hits + misses, (IDENTICAL + distinct_sizes.len()) as u64);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn graceful_shutdown_completes_every_admitted_request() {
+    let handle = start(ServeConfig { workers: 2, ..ServeConfig::default() }).unwrap();
+    let addr = handle.addr();
+
+    // Slow-ish work (instruction-level timing fidelity) so requests are
+    // still in flight when the drain starts.
+    let bodies: Vec<String> = (0..6)
+        .map(|i| tiny_spec(16 + 8 * i).with_fidelity(FidelitySpec::IlsTiming).canonical_json())
+        .collect();
+
+    let mut responses = Vec::new();
+    std::thread::scope(|s| {
+        let posts: Vec<_> = bodies
+            .iter()
+            .map(|body| s.spawn(move || HttpClient::new(addr).post("/v1/simulate", body).unwrap()))
+            .collect();
+        // Wait until the worker pool is actually executing, then drain.
+        wait_until("a request to go in flight", || metric(&handle, "serve.inflight") > 0);
+        let shut = HttpClient::new(addr).post("/admin/shutdown", "").unwrap();
+        assert_eq!(shut.status, 200);
+        responses.extend(posts.into_iter().map(|h| h.join().unwrap()));
+    });
+
+    // Zero dropped in-flight: every request either completed (admitted
+    // before the drain) or was *cleanly rejected* as draining — never a
+    // hung connection, transport error, or lost response.
+    let mut completed = 0;
+    for resp in &responses {
+        match resp.status {
+            200 => {
+                completed += 1;
+                assert!(report_from_body(&resp.body).total_cycles > 0);
+            }
+            503 => assert!(resp.body.contains("draining"), "unexpected 503: {}", resp.body),
+            other => panic!("unexpected status {other}: {}", resp.body),
+        }
+    }
+    assert!(completed > 0, "at least the in-flight request must complete");
+    // join() returning proves the drain terminated: accept loop closed,
+    // queue ran dry, every worker exited.
+    handle.join();
+}
+
+#[test]
+fn admission_queue_overflow_yields_429() {
+    let handle = start(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        deadline_ms: 120_000,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    // Blocker: a sweep of slow points occupies the single worker for a
+    // while (instruction-level timing fidelity, many points, one job).
+    let blocker_points: Vec<String> = (0..48)
+        .map(|i| {
+            tiny_spec(96 + 8 * (i % 12)).with_fidelity(FidelitySpec::IlsTiming).canonical_json()
+        })
+        .collect();
+    let blocker = format!("{{\"points\":[{}]}}", blocker_points.join(","));
+
+    std::thread::scope(|s| {
+        let blocker_post = s.spawn(|| HttpClient::new(addr).post("/v1/sweep", &blocker).unwrap());
+        wait_until("the sweep to occupy the worker", || metric(&handle, "serve.inflight") > 0);
+        // Fill the single queue slot...
+        let filler_body = tiny_spec(20).canonical_json();
+        let filler =
+            s.spawn(move || HttpClient::new(addr).post("/v1/simulate", &filler_body).unwrap());
+        wait_until("the filler to queue", || metric(&handle, "serve.queue.depth") > 0);
+        // ...so with the worker on the sweep and the queue full, a burst of
+        // distinct requests (defeating cache and coalescing) must bounce:
+        // at most one can ever sneak into the slot, so of 6 concurrent
+        // requests at least 5 get an immediate 429.
+        let burst: Vec<_> = (0..6)
+            .map(|i| {
+                s.spawn(move || {
+                    HttpClient::new(addr)
+                        .post("/v1/simulate", &tiny_spec(200 + 4 * i).canonical_json())
+                        .unwrap()
+                })
+            })
+            .collect();
+        let mut bounced = 0;
+        for h in burst {
+            let resp = h.join().unwrap();
+            if resp.status == 429 {
+                assert!(resp.body.contains("queue full"), "body: {}", resp.body);
+                bounced += 1;
+            }
+        }
+        assert!(bounced >= 5, "only {bounced} of 6 burst requests bounced");
+
+        assert_eq!(blocker_post.join().unwrap().status, 200);
+        assert_eq!(filler.join().unwrap().status, 200);
+    });
+    assert!(metric(&handle, "serve.rejected.queue_full") >= 1);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn sweep_returns_input_ordered_json_lines_matching_direct_runs() {
+    let handle = start(ServeConfig::default()).unwrap();
+    let sizes = [24usize, 8, 16];
+    let points: Vec<String> = sizes.iter().map(|&n| tiny_spec(n).canonical_json()).collect();
+    let body = format!("{{\"points\":[{}],\"jobs\":2}}", points.join(","));
+    let resp = HttpClient::new(handle.addr()).post("/v1/sweep", &body).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(resp.header("content-type"), Some("application/x-ndjson"));
+
+    let lines: Vec<&str> = resp.body.lines().collect();
+    assert_eq!(lines.len(), sizes.len() + 1, "points plus a summary line");
+    for (line, &n) in lines.iter().zip(&sizes) {
+        let parsed = parse_json(line).unwrap();
+        assert_eq!(parsed.req_str("label").unwrap(), format!("gemm{n}"), "input order");
+        let report = SimReport::from_json(parsed.req("report").unwrap()).unwrap();
+        assert_eq!(report, direct_gemm(n), "gemm({n})");
+    }
+    let summary = parse_json(lines[sizes.len()]).unwrap();
+    assert_eq!(summary.req("cache").unwrap().req_u64("compiles").unwrap(), sizes.len() as u64);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn error_codes_are_typed() {
+    let handle = start(ServeConfig::default()).unwrap();
+    let mut client = HttpClient::new(handle.addr());
+
+    assert_eq!(client.post("/v1/simulate", "{not json").unwrap().status, 400);
+    assert_eq!(client.post("/v1/simulate", "{\"no_model\":1}").unwrap().status, 400);
+    assert_eq!(client.get("/no/such/route").unwrap().status, 404);
+    assert_eq!(client.get("/v1/simulate").unwrap().status, 405);
+    // Valid shape, impossible dimensions: typed simulation failure.
+    let resp = client.post("/v1/simulate", &tiny_spec(0).canonical_json()).unwrap();
+    assert_eq!(resp.status, 422, "body: {}", resp.body);
+    // Every error body is machine-readable.
+    let parsed = parse_json(&resp.body).unwrap();
+    assert_eq!(parsed.req_u64("status").unwrap(), 422);
+    assert!(!parsed.req_str("error").unwrap().is_empty());
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn result_cache_turns_repeats_into_hits() {
+    let handle = start(ServeConfig::default()).unwrap();
+    let mut client = HttpClient::new(handle.addr());
+    let body = tiny_spec(36).canonical_json();
+
+    let first = client.post("/v1/simulate", &body).unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-ptsim-cache"), Some("miss"));
+    let second = client.post("/v1/simulate", &body).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-ptsim-cache"), Some("hit"));
+    assert_eq!(first.body, second.body, "cached body is byte-identical");
+    assert_eq!(handle.compile_cache().stats().compiles, 1);
+
+    handle.shutdown();
+    handle.join();
+}
