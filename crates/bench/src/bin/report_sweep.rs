@@ -1,18 +1,26 @@
 //! Demonstrates the parallel sweep harness on a Fig. 7-style grid
 //! (GEMM, BERT-mini, ResNet-18 across NPU configurations).
 //!
-//! Usage: `report_sweep [--bench] [--jobs N] [--json] [--bench-harness]`
+//! Usage: `report_sweep [--bench] [--jobs N] [--json] [--bench-harness]
+//! [--backend serial|parallel[:N]|reference]`
 //!
 //! `--jobs N` runs the sweep over N worker threads (results are
-//! bit-identical at any count). `--bench-harness` instead benchmarks the
-//! harness itself: it executes the same grid serially and in parallel on a
-//! cold cache each time, verifies the reports match, and prints the
-//! wall-clock speedup — the sanity check that parallel sweeps actually pay.
+//! bit-identical at any count). `--backend B` selects the execution
+//! backend every point runs under (reports are bit-identical at any
+//! choice). `--bench-harness` instead benchmarks the harness itself: it
+//! executes the same grid serially and in parallel on a cold cache each
+//! time, verifies the reports match, and prints the wall-clock speedup —
+//! the sanity check that parallel sweeps actually pay. With `--backend`,
+//! `--bench-harness` benchmarks a *single run* instead: the heaviest grid
+//! model under the serial backend vs the requested one, asserting
+//! bit-identity and printing both wall clocks.
 
 use ptsim_bench::{cli_scale_and_jobs, print_table, Scale};
 use ptsim_common::config::{NocConfig, SimConfig};
 use pytorchsim::models::{self, ModelSpec};
 use pytorchsim::sweep::{Sweep, SweepOptions};
+use pytorchsim::{ExecutionBackend, RunOptions, Simulator};
+use std::time::Instant;
 
 fn grid(scale: Scale) -> Sweep {
     let specs: Vec<ModelSpec> = match scale {
@@ -62,14 +70,67 @@ fn bench_harness(scale: Scale, jobs: usize) {
     );
 }
 
+/// Benchmarks one simulation of the heaviest grid model under the serial
+/// backend vs `backend`, asserting bit-identity. Compilation is warmed
+/// first so both timings measure simulation alone.
+fn bench_backend(scale: Scale, backend: ExecutionBackend) {
+    let spec = match scale {
+        Scale::Bench => models::bert(
+            models::BertConfig { layers: 2, ..models::BertConfig::base(128, 1) },
+            "bert_mini",
+        ),
+        Scale::Full => models::bert_base(512, 1),
+    };
+    let sim = Simulator::new(SimConfig::tpu_v3_single_core());
+    sim.run(&spec, RunOptions::tls()).expect("warmup run");
+
+    let t = Instant::now();
+    let serial = sim.run(&spec, RunOptions::tls()).expect("serial run");
+    let serial_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let other = sim.run(&spec, RunOptions::tls().with_backend(backend)).expect("backend run");
+    let backend_s = t.elapsed().as_secs_f64();
+
+    assert_eq!(serial, other, "{backend} must be bit-identical to serial");
+    println!("single-run backend benchmark ({}, compile warmed)", spec.name);
+    println!("  serial:      {serial_s:8.3}s  ({} cycles)", serial.total_cycles);
+    println!("  {backend}:  {backend_s:8.3}s  (bit-identical report)");
+    println!("  speedup: {:.2}x", serial_s / backend_s.max(1e-9));
+}
+
+/// The `--backend` flag, if present.
+fn cli_backend() -> Option<ExecutionBackend> {
+    let mut it = std::env::args();
+    while let Some(arg) = it.next() {
+        if arg == "--backend" {
+            let v = it.next().unwrap_or_else(|| {
+                eprintln!("--backend needs a value (serial, parallel[:N], or reference)");
+                std::process::exit(2);
+            });
+            return Some(v.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
 fn main() {
     let (scale, jobs) = cli_scale_and_jobs();
+    let backend = cli_backend();
     if std::env::args().any(|a| a == "--bench-harness") {
-        bench_harness(scale, jobs);
+        match backend {
+            Some(b) => bench_backend(scale, b),
+            None => bench_harness(scale, jobs),
+        }
         return;
     }
 
-    let sweep = grid(scale);
+    let mut sweep = grid(scale);
+    if let Some(b) = backend {
+        sweep = sweep.with_backend(b);
+    }
     let report = sweep.run(&SweepOptions::with_jobs(jobs)).expect("sweep succeeds");
     if std::env::args().any(|a| a == "--json") {
         println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));

@@ -11,7 +11,7 @@
 //! cargo run --release -p ptsim-check --bin report_check -- --seeds 50 --json
 //! ```
 
-use ptsim_check::{run_seed, SuiteReport};
+use ptsim_check::{run_seed_with_workers, SuiteReport};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -20,10 +20,11 @@ struct Args {
     start: u64,
     replay: Option<u64>,
     json: bool,
+    workers: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { seeds: 25, start: 0, replay: None, json: false };
+    let mut args = Args { seeds: 25, start: 0, replay: None, json: false, workers: None };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut num = |name: &str| -> Result<u64, String> {
@@ -37,14 +38,18 @@ fn parse_args() -> Result<Args, String> {
             "--start" => args.start = num("--start")?,
             "--replay" => args.replay = Some(num("--replay")?),
             "--json" => args.json = true,
+            "--workers" => args.workers = Some(num("--workers")?),
             "--help" | "-h" => {
                 println!(
-                    "usage: report_check [--seeds N] [--start S] [--replay SEED] [--json]\n\
+                    "usage: report_check [--seeds N] [--start S] [--replay SEED] [--json] \
+                     [--workers W]\n\
                      \n\
                      --seeds N     check seeds S..S+N (default 25)\n\
                      --start S     first seed of the range (default 0)\n\
                      --replay SEED re-check exactly one seed\n\
-                     --json        machine-readable report"
+                     --json        machine-readable report\n\
+                     --workers W   pin the parallel-backend worker count\n\
+                                   (default: each seed draws its own)"
                 );
                 std::process::exit(0);
             }
@@ -70,7 +75,7 @@ fn main() -> ExitCode {
     let started = Instant::now();
     let mut outcomes = Vec::with_capacity(seeds.len());
     for &seed in &seeds {
-        let outcome = run_seed(seed);
+        let outcome = run_seed_with_workers(seed, args.workers.map(|w| w as usize));
         if !args.json {
             if outcome.failures.is_empty() {
                 if args.replay.is_some() {

@@ -68,7 +68,17 @@ pub struct SeedOutcome {
 /// Generates the case for `seed` and runs the full oracle set against it,
 /// shrinking every failure.
 pub fn run_seed(seed: u64) -> SeedOutcome {
-    let case = CheckCase::from_seed(seed);
+    run_seed_with_workers(seed, None)
+}
+
+/// [`run_seed`] with the parallel-backend worker count pinned to `workers`
+/// instead of the seed's own draw — how CI smoke-tests the whole oracle set
+/// at one fixed shard count.
+pub fn run_seed_with_workers(seed: u64, workers: Option<usize>) -> SeedOutcome {
+    let mut case = CheckCase::from_seed(seed);
+    if let Some(w) = workers {
+        case.workers = w;
+    }
     let mut failures = Vec::new();
     for oracle in ORACLES {
         if let Err(message) = (oracle.run)(&case) {

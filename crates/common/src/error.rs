@@ -23,6 +23,8 @@ pub enum Error {
     SimulationFault(String),
     /// (De)serialization of a TOG or config failed.
     Serde(String),
+    /// A wire request declared a schema version this build does not speak.
+    UnsupportedSchema(String),
 }
 
 impl Error {
@@ -42,6 +44,7 @@ impl fmt::Display for Error {
             Error::IsaFault(msg) => write!(f, "isa fault: {msg}"),
             Error::SimulationFault(msg) => write!(f, "simulation fault: {msg}"),
             Error::Serde(msg) => write!(f, "serialization error: {msg}"),
+            Error::UnsupportedSchema(msg) => write!(f, "unsupported schema: {msg}"),
         }
     }
 }

@@ -152,17 +152,6 @@ impl ClusterSim {
         ClusterSimBuilder { npu, cluster, run: RunOptions::default(), cache: None }
     }
 
-    /// Attaches a tracer: per-NPU TOGSim runs record into it, and each
-    /// iteration's gradient all-reduce appears as reduce-scatter and
-    /// all-gather phase spans on the cluster track.
-    #[deprecated(
-        since = "0.2.0",
-        note = "configure via ClusterSim::builder(npu, cluster).tracer(t)"
-    )]
-    pub fn set_tracer(&mut self, tracer: Arc<ptsim_trace::Tracer>) {
-        self.run.tracer = Some(tracer);
-    }
-
     /// Ring all-reduce cycles for `bytes` of gradients: each NPU sends
     /// `2·(N−1)/N · bytes` over its link, in `2·(N−1)` latency-bearing
     /// steps.

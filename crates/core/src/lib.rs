@@ -55,6 +55,7 @@ pub mod training;
 
 pub use cache::{CacheKey, CompileCache, CompileCacheStats};
 pub use distributed::{ClusterConfig, ClusterIteration, ClusterSim, ScalingReport};
+pub use ptsim_togsim::ExecutionBackend;
 pub use runspec::{FidelitySpec, ModelRequest, RunSpec};
 pub use simulator::{RunOptions, Simulator, SimulatorBuilder};
 pub use sweep::{Sweep, SweepOptions, SweepPoint, SweepReport};

@@ -19,6 +19,18 @@
 //! two specs with equal fingerprints (plus equal canonical JSON, which the
 //! server compares to guard against collisions) simulate identically,
 //! because simulation is deterministic.
+//!
+//! # Wire versioning
+//!
+//! The schema carries an explicit version in the `"v"` key. A request
+//! without one is **v1** — the original schema, which predates versioning
+//! and has no `"backend"` key. **v2** adds the `"backend"` field selecting
+//! the [`ExecutionBackend`] (`"serial"`, `"parallel:N"`, or
+//! `"reference"`); v1 requests default to the serial backend, and a v1
+//! request that nonetheless carries `"backend"` is rejected rather than
+//! silently reinterpreted. Versions outside `1..=`[`WIRE_VERSION`] come
+//! back as [`Error::UnsupportedSchema`] from [`RunSpec::parse_wire`], so
+//! servers can tell "speak a newer protocol" apart from "garbage request".
 
 use crate::cache::CompileCache;
 use crate::simulator::{RunOptions, Simulator};
@@ -28,13 +40,17 @@ use ptsim_common::json::{FromJson, Json, ToJson};
 use ptsim_common::{Error, Result};
 use ptsim_compiler::CompilerOptions;
 use ptsim_models::{self as models, ModelSpec};
-use ptsim_togsim::SimReport;
+use ptsim_togsim::{ExecutionBackend, SimReport};
 use std::sync::Arc;
 
 /// Largest accepted value for any single model dimension.
 pub const MAX_DIM: usize = 16_384;
 /// Largest accepted transformer layer count.
 pub const MAX_LAYERS: usize = 128;
+/// The wire-schema version this build emits (it accepts `1..=WIRE_VERSION`).
+pub const WIRE_VERSION: u64 = 2;
+/// Largest accepted parallel-backend worker count on the wire.
+pub const MAX_WORKERS: usize = 256;
 
 /// A model drawn from the zoo by family and dimensions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -318,6 +334,8 @@ pub struct RunSpec {
     pub fidelity: FidelitySpec,
     /// Optional cycle safety limit.
     pub max_cycles: Option<u64>,
+    /// Execution backend (defaults to serial; on the wire, v2 only).
+    pub backend: ExecutionBackend,
 }
 
 impl RunSpec {
@@ -329,6 +347,7 @@ impl RunSpec {
             options: CompilerOptions::default(),
             fidelity: FidelitySpec::Tls,
             max_cycles: None,
+            backend: ExecutionBackend::Serial,
         }
     }
 
@@ -353,20 +372,36 @@ impl RunSpec {
         self
     }
 
-    /// Validates the model dimensions and the configuration.
+    /// Replaces the execution backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExecutionBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Validates the model dimensions, the configuration, and the backend.
     ///
     /// # Errors
     ///
-    /// [`Error::InvalidConfig`] from either part.
+    /// [`Error::InvalidConfig`] from any part.
     pub fn validate(&self) -> Result<()> {
         self.model.validate()?;
-        self.config.validate()
+        self.config.validate()?;
+        if let ExecutionBackend::Parallel { workers } = self.backend {
+            if workers == 0 || workers > MAX_WORKERS {
+                return Err(Error::InvalidConfig(format!(
+                    "parallel backend workers must be in 1..={MAX_WORKERS}, got {workers}"
+                )));
+            }
+        }
+        Ok(())
     }
 
-    /// The run options (fidelity plus safety limit) this spec selects.
+    /// The run options (fidelity, backend, safety limit) this spec selects.
     pub fn run_options(&self) -> RunOptions {
         let mut run = self.fidelity.run_options();
         run.max_cycles = self.max_cycles;
+        run.backend = self.backend;
         run
     }
 
@@ -408,6 +443,24 @@ impl RunSpec {
         sim.run(&spec, self.run_options())
     }
 
+    /// Parses the wire form with *typed* errors: a schema version outside
+    /// `1..=`[`WIRE_VERSION`] comes back as [`Error::UnsupportedSchema`]
+    /// (the client must speak a different protocol revision), every other
+    /// malformation as [`Error::Serde`] (the request is just broken).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnsupportedSchema`] or [`Error::Serde`] as above.
+    pub fn parse_wire(v: &Json) -> Result<RunSpec> {
+        let version = wire_version(v).map_err(Error::Serde)?;
+        if version == 0 || version > WIRE_VERSION {
+            return Err(Error::UnsupportedSchema(format!(
+                "RunSpec schema v{version} (this build speaks v1..=v{WIRE_VERSION})"
+            )));
+        }
+        Self::from_json(v).map_err(Error::Serde)
+    }
+
     /// The equivalent sweep point, for batch execution of many specs.
     ///
     /// # Errors
@@ -425,10 +478,12 @@ impl RunSpec {
 impl ToJson for RunSpec {
     fn to_json(&self) -> Json {
         let mut j = Json::obj()
+            .set("v", Json::u64(WIRE_VERSION))
             .set("model", self.model.to_json())
             .set("config", self.config.to_json())
             .set("options", self.options.to_json())
-            .set("fidelity", self.fidelity.to_json());
+            .set("fidelity", self.fidelity.to_json())
+            .set("backend", Json::str(self.backend.as_wire()));
         if let Some(m) = self.max_cycles {
             j = j.set("max_cycles", Json::u64(m));
         }
@@ -436,8 +491,37 @@ impl ToJson for RunSpec {
     }
 }
 
+/// The declared wire version of a request object: the `"v"` key, or 1 when
+/// absent (the original, pre-versioning schema).
+fn wire_version(v: &Json) -> std::result::Result<u64, String> {
+    match v.get("v") {
+        None => Ok(1),
+        Some(n) => n
+            .as_num()
+            .filter(|x| *x >= 0.0 && x.fract() == 0.0)
+            .map(|x| x as u64)
+            .ok_or_else(|| "\"v\" must be a non-negative integer".to_string()),
+    }
+}
+
 impl FromJson for RunSpec {
     fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        let version = wire_version(v)?;
+        if version == 0 || version > WIRE_VERSION {
+            return Err(format!(
+                "unsupported RunSpec schema v{version} (this build speaks v1..=v{WIRE_VERSION})"
+            ));
+        }
+        let backend = match (version, v.get("backend")) {
+            (1, Some(_)) => {
+                return Err("\"backend\" requires schema v2; add \"v\":2 to the request".to_string())
+            }
+            (_, None) => ExecutionBackend::Serial,
+            (_, Some(b)) => b
+                .as_str()
+                .ok_or_else(|| "backend must be a string".to_string())?
+                .parse::<ExecutionBackend>()?,
+        };
         let model = ModelRequest::from_json(v.req("model")?)?;
         let config = match v.get("config") {
             Some(c) => SimConfig::from_json(c)?,
@@ -460,7 +544,7 @@ impl FromJson for RunSpec {
                     .ok_or_else(|| "max_cycles must be a non-negative integer".to_string())?,
             ),
         };
-        Ok(RunSpec { model, config, options, fidelity, max_cycles })
+        Ok(RunSpec { model, config, options, fidelity, max_cycles, backend })
     }
 }
 
@@ -498,6 +582,71 @@ mod tests {
         assert_eq!(spec, RunSpec::new(ModelRequest::Gemm { n: 16 }));
         assert_eq!(spec.fidelity, FidelitySpec::Tls);
         assert!(spec.max_cycles.is_none());
+        assert_eq!(spec.backend, ExecutionBackend::Serial);
+    }
+
+    #[test]
+    fn v2_round_trips_the_backend() {
+        let spec = RunSpec::new(ModelRequest::Gemm { n: 16 })
+            .with_backend(ExecutionBackend::Parallel { workers: 3 });
+        let json = spec.canonical_json();
+        assert!(json.contains("\"v\":2"), "{json}");
+        assert!(json.contains("\"backend\":\"parallel:3\""), "{json}");
+        let back = RunSpec::from_json_str(&json).unwrap();
+        assert_eq!(back, spec);
+        // An explicit v2 request without a backend key defaults to serial.
+        let spec = RunSpec::from_json_str(r#"{"v":2,"model":{"kind":"gemm","n":16}}"#).unwrap();
+        assert_eq!(spec.backend, ExecutionBackend::Serial);
+    }
+
+    #[test]
+    fn v1_requests_with_a_backend_key_are_rejected() {
+        let err =
+            RunSpec::from_json_str(r#"{"model":{"kind":"gemm","n":16},"backend":"parallel:4"}"#)
+                .unwrap_err();
+        assert!(err.contains("requires schema v2"), "{err}");
+    }
+
+    #[test]
+    fn unknown_wire_versions_are_typed_errors() {
+        let v3 =
+            ptsim_common::json::parse_json(r#"{"v":3,"model":{"kind":"gemm","n":16}}"#).unwrap();
+        match RunSpec::parse_wire(&v3) {
+            Err(Error::UnsupportedSchema(msg)) => assert!(msg.contains("v3"), "{msg}"),
+            other => panic!("expected UnsupportedSchema, got {other:?}"),
+        }
+        let v0 =
+            ptsim_common::json::parse_json(r#"{"v":0,"model":{"kind":"gemm","n":16}}"#).unwrap();
+        assert!(matches!(RunSpec::parse_wire(&v0), Err(Error::UnsupportedSchema(_))));
+        // Garbage is Serde, not UnsupportedSchema.
+        let junk = ptsim_common::json::parse_json(r#"{"v":2}"#).unwrap();
+        assert!(matches!(RunSpec::parse_wire(&junk), Err(Error::Serde(_))));
+    }
+
+    #[test]
+    fn validate_bounds_the_parallel_worker_count() {
+        let base = RunSpec::new(ModelRequest::Gemm { n: 16 });
+        assert!(base
+            .clone()
+            .with_backend(ExecutionBackend::Parallel { workers: 0 })
+            .validate()
+            .is_err());
+        assert!(base
+            .clone()
+            .with_backend(ExecutionBackend::Parallel { workers: MAX_WORKERS + 1 })
+            .validate()
+            .is_err());
+        assert!(base
+            .with_backend(ExecutionBackend::Parallel { workers: MAX_WORKERS })
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn backend_threads_through_to_run_options() {
+        let spec = RunSpec::new(ModelRequest::Gemm { n: 16 })
+            .with_backend(ExecutionBackend::Parallel { workers: 2 });
+        assert_eq!(spec.run_options().backend, ExecutionBackend::Parallel { workers: 2 });
     }
 
     #[test]

@@ -5,17 +5,21 @@
 //! The historical `run_inference*` trio collapsed into one entry point,
 //! [`Simulator::run`], configured by [`RunOptions`]:
 //!
-//! | old method                        | replacement                                |
+//! | old method (removed)              | replacement                                |
 //! |-----------------------------------|--------------------------------------------|
 //! | `run_inference(spec)`             | `run(spec, RunOptions::tls())`             |
 //! | `run_inference_ils(spec)`         | `run(spec, RunOptions::ils())`             |
 //! | `run_inference_ils_timing(spec)`  | `run(spec, RunOptions::ils_timing())`      |
 //! | `set_tracer(t)` after `new`       | `Simulator::builder(cfg).tracer(t).build()`|
+//! | `TogSim::run_reference()`         | `run_with(ExecutionBackend::Reference)`    |
 //!
-//! The deprecated wrappers remain as thin shims. `run` takes `&self`: the
-//! compile cache is interior-locked and shareable, so one `Simulator` (or
-//! one [`crate::CompileCache`] across many) can serve concurrent sweep
-//! workers — see [`crate::sweep`].
+//! The `#[deprecated]` 0.2.0 shims for these are gone; the table stays for
+//! readers migrating old call sites. [`RunOptions`] also selects the host
+//! [`ExecutionBackend`] (serial, lookahead-parallel, or the legacy
+//! reference loop) — every backend is bit-identical in simulated results.
+//! `run` takes `&self`: the compile cache is interior-locked and
+//! shareable, so one `Simulator` (or one [`crate::CompileCache`] across
+//! many) can serve concurrent sweep workers — see [`crate::sweep`].
 
 use crate::cache::CompileCache;
 use ptsim_common::config::SimConfig;
@@ -23,7 +27,7 @@ use ptsim_common::{Cycle, Result};
 use ptsim_compiler::{execute_functional, CompiledModel, Compiler, CompilerOptions};
 use ptsim_models::ModelSpec;
 use ptsim_tensor::Tensor;
-use ptsim_togsim::{Fidelity, JobSpec, SimReport, TogSim};
+use ptsim_togsim::{ExecutionBackend, Fidelity, JobSpec, SimReport, TogSim};
 use std::sync::Arc;
 
 /// Default per-tile pipeline-restart overhead of the ILS fidelity mode,
@@ -37,6 +41,10 @@ pub const ILS_PER_TILE_OVERHEAD: u64 = 24;
 pub struct RunOptions {
     /// Compute-node fidelity (TLS by default).
     pub fidelity: Fidelity,
+    /// Host execution backend (serial by default). [`ExecutionBackend`]
+    /// values are bit-identical in simulated results; they differ only in
+    /// how the host executes the run.
+    pub backend: ExecutionBackend,
     /// Per-run tracer; overrides the simulator's construction-time tracer.
     pub tracer: Option<Arc<ptsim_trace::Tracer>>,
     /// Simulation-length safety limit in cycles, when set.
@@ -76,6 +84,13 @@ impl RunOptions {
     #[must_use]
     pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
         self.fidelity = fidelity;
+        self
+    }
+
+    /// Selects the host execution backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExecutionBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -225,17 +240,6 @@ impl Simulator {
         &self.cache
     }
 
-    /// Attaches a tracer: every subsequent simulation run records compute,
-    /// DMA, DRAM, and NoC events into it.
-    #[deprecated(
-        since = "0.2.0",
-        note = "configure via Simulator::builder(cfg).tracer(t), \
-                                          or per run via RunOptions::with_tracer"
-    )]
-    pub fn set_tracer(&mut self, tracer: Arc<ptsim_trace::Tracer>) {
-        self.tracer = Some(tracer);
-    }
-
     /// The construction-time tracer, if any.
     pub fn tracer(&self) -> Option<&Arc<ptsim_trace::Tracer>> {
         self.tracer.as_ref()
@@ -280,43 +284,13 @@ impl Simulator {
         let kernels = opts.needs_kernels().then(|| Arc::new(model.kernels.clone()));
         let mut sim = self.new_togsim(opts);
         sim.add_shared_job(Arc::new(model.tog.clone()), JobSpec { kernels, ..JobSpec::default() });
-        sim.run()
+        sim.run_with(opts.backend)
     }
 
     /// A TOGSim configured for one run: fidelity, tracer (per-run wins
     /// over construction-time), safety limit, and metrics applied.
     pub(crate) fn new_togsim(&self, opts: &RunOptions) -> TogSim {
         build_togsim(&self.cfg, opts, self.tracer.as_ref())
-    }
-
-    /// Runs one inference with Tile-Level Simulation on the full NPU.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if compilation or simulation fails.
-    #[deprecated(since = "0.2.0", note = "use run(spec, RunOptions::tls())")]
-    pub fn run_inference(&self, spec: &ModelSpec) -> Result<SimReport> {
-        self.run(spec, RunOptions::tls())
-    }
-
-    /// Runs one inference at instruction-level fidelity.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if compilation or simulation fails.
-    #[deprecated(since = "0.2.0", note = "use run(spec, RunOptions::ils())")]
-    pub fn run_inference_ils(&self, spec: &ModelSpec) -> Result<SimReport> {
-        self.run(spec, RunOptions::ils())
-    }
-
-    /// ILS with functional execution disabled.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if compilation or simulation fails.
-    #[deprecated(since = "0.2.0", note = "use run(spec, RunOptions::ils_timing())")]
-    pub fn run_inference_ils_timing(&self, spec: &ModelSpec) -> Result<SimReport> {
-        self.run(spec, RunOptions::ils_timing())
     }
 
     /// Runs several compiled models concurrently (multi-model tenancy,
@@ -421,15 +395,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_run_options() {
+    fn every_backend_yields_identical_reports() {
         let sim = Simulator::new(SimConfig::tiny());
         let spec = gemm(32);
-        assert_eq!(sim.run_inference(&spec).unwrap(), sim.run(&spec, RunOptions::tls()).unwrap());
-        assert_eq!(
-            sim.run_inference_ils_timing(&spec).unwrap().total_cycles,
-            sim.run(&spec, RunOptions::ils_timing()).unwrap().total_cycles
-        );
+        let serial = sim.run(&spec, RunOptions::tls()).unwrap();
+        for backend in [
+            ExecutionBackend::Reference,
+            ExecutionBackend::Parallel { workers: 1 },
+            ExecutionBackend::Parallel { workers: 4 },
+        ] {
+            let got = sim.run(&spec, RunOptions::tls().with_backend(backend)).unwrap();
+            assert_eq!(serial, got, "{backend} diverged from serial");
+        }
     }
 
     #[test]

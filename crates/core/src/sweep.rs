@@ -44,7 +44,7 @@ use ptsim_common::Result;
 use ptsim_compiler::CompilerOptions;
 use ptsim_models::ModelSpec;
 use ptsim_tog::ExecutableTog;
-use ptsim_togsim::{JobSpec, SimReport};
+use ptsim_togsim::{ExecutionBackend, JobSpec, SimReport};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -147,7 +147,8 @@ impl SweepPoint {
         self
     }
 
-    /// Overrides the run options (fidelity, tracer, safety limit).
+    /// Overrides the run options (fidelity, execution backend, tracer,
+    /// safety limit).
     #[must_use]
     pub fn with_run(mut self, run: RunOptions) -> Self {
         self.run = run;
@@ -185,7 +186,7 @@ impl SweepPoint {
                 }
             }
         }
-        let report = togsim.run()?;
+        let report = togsim.run_with(self.run.backend)?;
         Ok(PointResult {
             label: self.label.clone(),
             report,
@@ -323,6 +324,18 @@ impl Sweep {
         sweep
     }
 
+    /// Applies `backend` to every point declared so far — how a whole
+    /// exploration grid opts into the parallel (or reference) execution
+    /// backend in one place. Points pushed afterwards keep their own run
+    /// options. Reports stay bit-identical across backends.
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExecutionBackend) -> Self {
+        for point in &mut self.points {
+            point.run.backend = backend;
+        }
+        self
+    }
+
     /// Adds a point, returning its index.
     pub fn push(&mut self, point: SweepPoint) -> usize {
         self.points.push(point);
@@ -433,6 +446,22 @@ mod tests {
         assert_eq!(report.cache.hits, 3);
         let first = &report.results[0].report;
         assert!(report.results.iter().all(|r| &r.report == first));
+    }
+
+    #[test]
+    fn backend_choice_does_not_change_sweep_results() {
+        use ptsim_togsim::ExecutionBackend;
+        let configs = vec![("tiny".to_string(), SimConfig::tiny())];
+        let serial = Sweep::grid([gemm(16), gemm(32)], &configs);
+        let mut parallel = Sweep::new();
+        for point in serial.points() {
+            parallel.push(point.clone().with_run(
+                RunOptions::tls().with_backend(ExecutionBackend::Parallel { workers: 2 }),
+            ));
+        }
+        let a = serial.run(&SweepOptions::with_jobs(1)).unwrap();
+        let b = parallel.run(&SweepOptions::with_jobs(1)).unwrap();
+        assert_eq!(a.sim_reports(), b.sim_reports());
     }
 
     #[test]

@@ -116,12 +116,6 @@ impl TrainingSim {
         TrainingSimBuilder { cfg, ..TrainingSimBuilder::default() }
     }
 
-    /// Attaches a tracer; the per-iteration TOGSim run records into it.
-    #[deprecated(since = "0.2.0", note = "configure via TrainingSim::builder(cfg).tracer(t)")]
-    pub fn set_tracer(&mut self, tracer: Arc<ptsim_trace::Tracer>) {
-        self.run.tracer = Some(tracer);
-    }
-
     /// The forward+backward pass of `spec` as a compilable model: the
     /// autodiff-expanded graph under the canonical `{name}_train` name.
     ///
@@ -154,7 +148,7 @@ impl TrainingSim {
         let compiled = self.cache.compile_spec(&compiler, &train_spec)?;
         let mut sim = crate::simulator::build_togsim(&self.cfg, &self.run, None);
         sim.add_shared_job(Arc::new(compiled.tog.clone()), JobSpec::default());
-        Ok(sim.run()?.total_cycles)
+        Ok(sim.run_with(self.run.backend)?.total_cycles)
     }
 
     /// Trains `spec` (whose inputs must be `[x, one-hot t]`) with SGD on a

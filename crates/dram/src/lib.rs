@@ -29,9 +29,11 @@
 //! ```
 
 pub mod channel;
+pub mod shard;
 pub mod stats;
 
 pub use channel::{MemRequest, RowOutcome};
+pub use shard::ShardedDram;
 pub use stats::DramStats;
 
 use channel::Channel;

@@ -1,0 +1,333 @@
+//! Lookahead-barrier shard pool: conservative intra-run parallelism.
+//!
+//! The event kernel's serial discipline is: the [`crate::Scheduler`] picks a
+//! horizon (the minimum next-event time across all components), every
+//! component advances to it, and all cross-component coupling — admissions,
+//! completions, retries — happens on the driver thread between steps. That
+//! structure is already a conservative parallel discrete-event protocol in
+//! disguise: within one step, components with disjoint state can advance
+//! concurrently, because nothing they do before the horizon can affect a
+//! sibling until the driver runs the next exchange.
+//!
+//! [`ShardPool`] exploits exactly that and nothing more. Shards are *owned
+//! values* that shuttle between the coordinator and a dedicated worker per
+//! shard:
+//!
+//! - Between epochs the coordinator holds every shard directly (`home`), so
+//!   admission, `next_event` merging, and completion collection run the
+//!   same code paths as the serial kernel — there is no concurrent access
+//!   to shard state, and therefore nothing to reorder.
+//! - During an epoch, [`ShardPool::run_epoch_where`] moves selected shards
+//!   into their workers' slots, each worker calls
+//!   [`EpochShard::run_epoch`]`(horizon)` on its own shard, and the
+//!   coordinator takes the shards back at the barrier. The coordinator can
+//!   overlap its own work (e.g. advancing a component it kept for itself)
+//!   via the `overlap` closure.
+//!
+//! Determinism is by construction, not by re-sorting: the only code that
+//! runs concurrently is `run_epoch` on shards with disjoint state, and each
+//! shard's internal event order is the same as it would be serially. The
+//! coordinator merges results in shard index order, which a driver can use
+//! to reproduce its serial collection order exactly.
+//!
+//! Workers park on a condvar between epochs rather than spinning: the pool
+//! must degrade gracefully on machines with fewer cores than shards (CI
+//! runners included), where a spin-wait would steal the coordinator's own
+//! timeslice.
+
+use ptsim_common::Cycle;
+use std::mem;
+use std::ops::Range;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A partition of simulation state that one worker advances per epoch.
+///
+/// The contract mirrors [`crate::Component::advance`] restricted to one
+/// epoch: `run_epoch(horizon)` moves the shard's internal timeline to
+/// `horizon`, retiring work into shard-local buffers. It must not touch
+/// anything outside the shard — the pool guarantees exclusive ownership
+/// while it runs, and the driver performs all cross-shard coupling between
+/// epochs.
+pub trait EpochShard: Send + 'static {
+    /// Advances this shard's timeline to `horizon`, buffering completions
+    /// locally.
+    fn run_epoch(&mut self, horizon: Cycle);
+}
+
+/// Hand-off cell between the coordinator and one worker thread.
+enum SlotState<S> {
+    /// No work assigned; worker waits.
+    Idle,
+    /// Shard handed to the worker with the epoch horizon.
+    Work(S, Cycle),
+    /// Worker finished the epoch; shard ready to be reclaimed.
+    Done(S),
+    /// Pool is shutting down; worker must exit.
+    Stop,
+}
+
+struct Slot<S> {
+    state: Mutex<SlotState<S>>,
+    cv: Condvar,
+}
+
+fn worker_loop<S: EpochShard>(slot: &Slot<S>) {
+    let mut guard = slot.state.lock().expect("shard slot poisoned");
+    loop {
+        match mem::replace(&mut *guard, SlotState::Idle) {
+            SlotState::Work(mut shard, horizon) => {
+                drop(guard);
+                shard.run_epoch(horizon);
+                guard = slot.state.lock().expect("shard slot poisoned");
+                // Shutdown may have raced in while the epoch ran; honour it
+                // rather than clobbering it with `Done` and waiting forever.
+                if matches!(*guard, SlotState::Stop) {
+                    return;
+                }
+                *guard = SlotState::Done(shard);
+                slot.cv.notify_all();
+            }
+            SlotState::Stop => return,
+            state @ (SlotState::Idle | SlotState::Done(_)) => {
+                *guard = state;
+                guard = slot.cv.wait(guard).expect("shard slot poisoned");
+            }
+        }
+    }
+}
+
+/// A fixed set of [`EpochShard`]s, each with a dedicated parked worker.
+///
+/// Shards are owned by the coordinator between epochs (accessible through
+/// [`shard`](ShardPool::shard) / [`shard_mut`](ShardPool::shard_mut)) and
+/// travel to their worker only for the duration of one
+/// [`run_epoch_where`](ShardPool::run_epoch_where) call.
+pub struct ShardPool<S: EpochShard> {
+    slots: Vec<Arc<Slot<S>>>,
+    threads: Vec<JoinHandle<()>>,
+    /// Coordinator-side shard storage; `None` while dispatched.
+    home: Vec<Option<S>>,
+    /// Indices dispatched in the current epoch (scratch, reused).
+    dispatched: Vec<usize>,
+}
+
+impl<S: EpochShard> ShardPool<S> {
+    /// Builds a pool with one worker thread per shard.
+    pub fn new(shards: Vec<S>) -> Self {
+        let slots: Vec<Arc<Slot<S>>> = shards
+            .iter()
+            .map(|_| Arc::new(Slot { state: Mutex::new(SlotState::Idle), cv: Condvar::new() }))
+            .collect();
+        let threads = slots
+            .iter()
+            .map(|slot| {
+                let slot = Arc::clone(slot);
+                std::thread::Builder::new()
+                    .name("ptsim-shard".into())
+                    .spawn(move || worker_loop(&slot))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        let home = shards.into_iter().map(Some).collect();
+        ShardPool { slots, threads, home, dispatched: Vec::new() }
+    }
+
+    /// Number of shards in the pool.
+    pub fn len(&self) -> usize {
+        self.home.len()
+    }
+
+    /// True when the pool holds no shards.
+    pub fn is_empty(&self) -> bool {
+        self.home.is_empty()
+    }
+
+    /// Coordinator access to shard `i` (between epochs).
+    pub fn shard(&self, i: usize) -> &S {
+        self.home[i].as_ref().expect("shard dispatched")
+    }
+
+    /// Mutable coordinator access to shard `i` (between epochs).
+    pub fn shard_mut(&mut self, i: usize) -> &mut S {
+        self.home[i].as_mut().expect("shard dispatched")
+    }
+
+    /// Runs one epoch: every shard for which `select` returns true is
+    /// advanced to `horizon` on its worker thread; `overlap` runs on the
+    /// coordinator while they work; the call returns once every dispatched
+    /// shard is back home.
+    ///
+    /// Shards not selected are untouched — the driver advances those
+    /// inline when their epoch work is trivial (an idle component's advance
+    /// is just a frontier bump, cheaper than a condvar round trip).
+    pub fn run_epoch_where(
+        &mut self,
+        horizon: Cycle,
+        mut select: impl FnMut(&S) -> bool,
+        overlap: impl FnOnce(),
+    ) {
+        debug_assert!(self.dispatched.is_empty());
+        for i in 0..self.home.len() {
+            if !select(self.home[i].as_ref().expect("shard dispatched")) {
+                continue;
+            }
+            let shard = self.home[i].take().expect("shard dispatched");
+            let mut guard = self.slots[i].state.lock().expect("shard slot poisoned");
+            debug_assert!(matches!(*guard, SlotState::Idle));
+            *guard = SlotState::Work(shard, horizon);
+            drop(guard);
+            self.slots[i].cv.notify_all();
+            self.dispatched.push(i);
+        }
+
+        overlap();
+
+        for di in 0..self.dispatched.len() {
+            let i = self.dispatched[di];
+            let mut guard = self.slots[i].state.lock().expect("shard slot poisoned");
+            loop {
+                if matches!(*guard, SlotState::Done(_)) {
+                    break;
+                }
+                guard = self.slots[i].cv.wait(guard).expect("shard slot poisoned");
+            }
+            match mem::replace(&mut *guard, SlotState::Idle) {
+                SlotState::Done(shard) => self.home[i] = Some(shard),
+                _ => unreachable!("checked Done above"),
+            }
+        }
+        self.dispatched.clear();
+    }
+
+    /// Stops every worker and returns the shards, in index order.
+    pub fn into_shards(mut self) -> Vec<S> {
+        self.shutdown();
+        self.home.iter_mut().map(|s| s.take().expect("shard dispatched")).collect()
+    }
+
+    fn shutdown(&mut self) {
+        for slot in &self.slots {
+            let mut guard = slot.state.lock().expect("shard slot poisoned");
+            // A shard mid-flight would be lost here; `run_epoch_where`
+            // always reclaims before returning, so every slot is either
+            // Idle or already stopped.
+            *guard = SlotState::Stop;
+            drop(guard);
+            slot.cv.notify_all();
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<S: EpochShard> Drop for ShardPool<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Splits `items` indices into at most `groups` contiguous ranges, sizes
+/// differing by at most one (earlier ranges take the remainder). The ranges
+/// cover `0..items` in ascending order — the property shard drivers rely on
+/// to reproduce serial iteration order by concatenating per-range results.
+pub fn partition_even(items: usize, groups: usize) -> Vec<Range<usize>> {
+    if items == 0 {
+        return Vec::new();
+    }
+    let groups = groups.clamp(1, items);
+    let base = items / groups;
+    let extra = items % groups;
+    let mut ranges = Vec::with_capacity(groups);
+    let mut start = 0;
+    for g in 0..groups {
+        let len = base + usize::from(g < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, items);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy shard: counts epochs and records the last horizon.
+    struct Probe {
+        epochs: u32,
+        last: Cycle,
+    }
+
+    impl EpochShard for Probe {
+        fn run_epoch(&mut self, horizon: Cycle) {
+            self.epochs += 1;
+            self.last = horizon;
+        }
+    }
+
+    fn probes(n: usize) -> Vec<Probe> {
+        (0..n).map(|_| Probe { epochs: 0, last: Cycle::ZERO }).collect()
+    }
+
+    #[test]
+    fn epochs_reach_every_selected_shard() {
+        let mut pool = ShardPool::new(probes(3));
+        pool.run_epoch_where(Cycle::new(10), |_| true, || {});
+        pool.run_epoch_where(Cycle::new(20), |s| s.last < Cycle::new(15), || {});
+        let shards = pool.into_shards();
+        assert_eq!(shards.len(), 3);
+        for s in &shards {
+            // Second epoch selected everyone (last == 10 < 15).
+            assert_eq!(s.epochs, 2);
+            assert_eq!(s.last, Cycle::new(20));
+        }
+    }
+
+    #[test]
+    fn unselected_shards_are_untouched() {
+        let mut pool = ShardPool::new(probes(4));
+        pool.run_epoch_where(Cycle::new(5), |_| false, || {});
+        assert!(pool.into_shards().iter().all(|s| s.epochs == 0));
+    }
+
+    #[test]
+    fn single_shard_pool_round_trips() {
+        let mut pool = ShardPool::new(probes(1));
+        for t in 1..=50u64 {
+            pool.run_epoch_where(Cycle::new(t), |_| true, || {});
+            assert_eq!(pool.shard(0).last, Cycle::new(t));
+        }
+        let shards = pool.into_shards();
+        assert_eq!(shards[0].epochs, 50);
+    }
+
+    #[test]
+    fn overlap_runs_on_the_coordinator() {
+        let mut pool = ShardPool::new(probes(2));
+        let mut ran = false;
+        pool.run_epoch_where(Cycle::new(3), |_| true, || ran = true);
+        assert!(ran);
+        // Shards are home again: coordinator access works.
+        assert_eq!(pool.shard_mut(1).last, Cycle::new(3));
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers() {
+        let pool = ShardPool::new(probes(8));
+        drop(pool); // must not hang or leak panicking threads
+    }
+
+    #[test]
+    fn partition_even_covers_and_balances() {
+        assert_eq!(partition_even(0, 4), vec![]);
+        assert_eq!(partition_even(5, 1), vec![0..5]);
+        assert_eq!(partition_even(5, 2), vec![0..3, 3..5]);
+        assert_eq!(partition_even(4, 4), vec![0..1, 1..2, 2..3, 3..4]);
+        // More groups than items: one item per group, no empty ranges.
+        assert_eq!(partition_even(3, 16), vec![0..1, 1..2, 2..3]);
+        // Zero groups clamps to one.
+        assert_eq!(partition_even(7, 0), vec![0..7]);
+    }
+}

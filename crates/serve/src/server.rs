@@ -32,7 +32,7 @@
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::inflight::{InflightMap, Join, Outcome};
 use crate::rescache::ResultCache;
-use ptsim_common::json::{FromJson, Json, ToJson};
+use ptsim_common::json::{Json, ToJson};
 use ptsim_trace::MetricsRegistry;
 use pytorchsim::sweep::{Sweep, SweepOptions};
 use pytorchsim::{CompileCache, RunSpec};
@@ -413,8 +413,16 @@ fn simulate(req: &Request, state: &Arc<State>) -> Response {
         Ok(b) => b,
         Err(e) => return Response::error(400, &e),
     };
-    let spec = match RunSpec::from_json_str(body) {
+    let parsed = match ptsim_common::json::parse_json(body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+    };
+    let spec = match RunSpec::parse_wire(&parsed) {
         Ok(s) => s,
+        Err(e @ ptsim_common::Error::UnsupportedSchema(_)) => {
+            state.metrics.counter("serve.rejected.schema").inc();
+            return Response::error(400, &e.to_string());
+        }
         Err(e) => return Response::error(400, &format!("bad RunSpec: {e}")),
     };
     let canon = spec.canonical_json();
@@ -464,8 +472,12 @@ fn sweep(req: &Request, state: &Arc<State>) -> Response {
     }
     let mut points = Vec::with_capacity(raw_points.len());
     for (i, rp) in raw_points.iter().enumerate() {
-        match RunSpec::from_json(rp) {
+        match RunSpec::parse_wire(rp) {
             Ok(p) => points.push(p),
+            Err(e @ ptsim_common::Error::UnsupportedSchema(_)) => {
+                state.metrics.counter("serve.rejected.schema").inc();
+                return Response::error(400, &format!("points[{i}]: {e}"));
+            }
             Err(e) => return Response::error(400, &format!("bad RunSpec at points[{i}]: {e}")),
         }
     }

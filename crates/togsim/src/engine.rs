@@ -13,7 +13,7 @@ use crate::report::{JobReport, SimReport};
 use ptsim_common::config::SimConfig;
 use ptsim_common::id::RequestIdGen;
 use ptsim_common::{Cycle, Error, RequestId, Result};
-use ptsim_dram::{DramSim, MemRequest};
+use ptsim_dram::{DramSim, MemRequest, ShardedDram};
 use ptsim_event::{CompletionSource, EventQueue, Scheduler, Step, WakeSet};
 use ptsim_funcsim::FuncSim;
 use ptsim_isa::program::Program;
@@ -22,7 +22,28 @@ use ptsim_timingsim::TimingSim;
 use ptsim_tog::{ExecUnit, ExecutableTog, FlatNodeKind};
 use ptsim_trace::{Counter, Lane, MetricsRegistry, Tracer};
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
+
+/// Multiplicative hasher for the request-id keyed in-flight map: ids are
+/// sequential u64s, so SipHash's DoS resistance buys nothing and its cost
+/// shows up on every transaction (two map ops per hop).
+#[derive(Default)]
+struct TxHasher(u64);
+
+impl Hasher for TxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Identifies a submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,6 +70,89 @@ pub enum Fidelity {
         /// it, since functional execution does not change simulated cycles.
         functional: bool,
     },
+}
+
+/// How a simulation run executes on the host.
+///
+/// This is the single switch that replaced the old scattered
+/// `run`/`run_reference` entry points: one enum, threaded through
+/// `RunOptions`, the sweep grid, the `RunSpec` wire schema, and the
+/// simulation server.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum ExecutionBackend {
+    /// Single-threaded event kernel (the default). Deterministic and the
+    /// baseline every other backend must match bit-for-bit.
+    #[default]
+    Serial,
+    /// Conservative lookahead-barrier parallelism: DRAM channel shards
+    /// advance to each epoch's horizon on worker threads while the NoC
+    /// advances on the coordinator; all cross-component coupling stays on
+    /// the coordinator between epochs, so reports are bit-identical to
+    /// [`ExecutionBackend::Serial`].
+    ///
+    /// With a tracer attached the engine falls back to the serial path:
+    /// worker-side trace recording would interleave nondeterministically.
+    Parallel {
+        /// Worker threads for component shards (clamped to the shardable
+        /// component count; must be ≥ 1).
+        workers: usize,
+    },
+    /// Legacy full-rescan loop: every core re-examined every iteration,
+    /// clock always advancing by at least one cycle. The oracle of the
+    /// kernel-equivalence suite.
+    Reference,
+}
+
+impl ExecutionBackend {
+    /// Worker count used when a wire string says `"parallel"` with no `:N`.
+    pub const DEFAULT_PARALLEL_WORKERS: usize = 4;
+
+    /// Canonical wire encoding: `"serial"`, `"parallel:N"`, `"reference"`.
+    pub fn as_wire(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl std::fmt::Display for ExecutionBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionBackend::Serial => f.write_str("serial"),
+            ExecutionBackend::Parallel { workers } => write!(f, "parallel:{workers}"),
+            ExecutionBackend::Reference => f.write_str("reference"),
+        }
+    }
+}
+
+impl std::str::FromStr for ExecutionBackend {
+    type Err = String;
+
+    /// Parses the wire encoding. `"parallel"` without a worker count means
+    /// [`ExecutionBackend::DEFAULT_PARALLEL_WORKERS`]; a count of zero is
+    /// rejected.
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "serial" => Ok(ExecutionBackend::Serial),
+            "reference" => Ok(ExecutionBackend::Reference),
+            "parallel" => {
+                Ok(ExecutionBackend::Parallel { workers: Self::DEFAULT_PARALLEL_WORKERS })
+            }
+            _ => {
+                let workers = s
+                    .strip_prefix("parallel:")
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| {
+                        format!(
+                            "unknown execution backend '{s}' \
+                             (expected serial, parallel[:N] with N >= 1, or reference)"
+                        )
+                    })?;
+                Ok(ExecutionBackend::Parallel { workers })
+            }
+        }
+    }
 }
 
 /// Job submission parameters.
@@ -228,12 +332,15 @@ pub struct TogSim {
     cfg: SimConfig,
     fidelity: Fidelity,
     dram: DramSim,
+    /// Sharded re-hosting of `dram` while a parallel run is in flight;
+    /// `None` (and `dram` fully populated) otherwise.
+    parallel: Option<ShardedDram>,
     noc: NocSim,
     cores: Vec<Core>,
     caches: Vec<Option<L1Cache>>,
     jobs: Vec<Job>,
     dma_slab: Vec<DmaJob>,
-    tx_refs: HashMap<RequestId, TxRef>,
+    tx_refs: HashMap<RequestId, TxRef, BuildHasherDefault<TxHasher>>,
     retry_dram: Vec<(RequestId, MemRequest)>,
     retry_noc: Vec<(RequestId, NocMessage)>,
     ids: RequestIdGen,
@@ -283,12 +390,13 @@ impl TogSim {
             cfg: cfg.clone(),
             fidelity: Fidelity::Tls,
             dram: DramSim::new(&cfg.dram, cfg.npu.freq_mhz),
+            parallel: None,
             noc,
             cores: (0..cfg.npu.cores).map(|_| Core::new()).collect(),
             caches: (0..cfg.npu.cores).map(|_| cfg.npu.l1_cache.map(L1Cache::new)).collect(),
             jobs: Vec::new(),
             dma_slab: Vec::new(),
-            tx_refs: HashMap::new(),
+            tx_refs: HashMap::default(),
             retry_dram: Vec::new(),
             retry_noc: Vec::new(),
             ids: RequestIdGen::new(),
@@ -417,22 +525,51 @@ impl TogSim {
     /// Returns [`Error::SimulationFault`] on deadlock (a malformed TOG) or
     /// when the cycle safety limit is exceeded.
     pub fn run(&mut self) -> Result<SimReport> {
-        self.run_loop(false)?;
-        Ok(self.build_report())
+        self.run_with(ExecutionBackend::Serial)
     }
 
-    /// Runs with the legacy loop semantics — every core is rescanned on
-    /// every iteration and the clock always advances by at least one cycle
-    /// — using the same issue/collect primitives as [`TogSim::run`].
+    /// Runs every submitted job to completion on the selected
+    /// [`ExecutionBackend`].
     ///
-    /// This is the oracle of the kernel-equivalence test suite: both paths
-    /// must produce bit-identical reports.
+    /// Every backend produces bit-identical reports; they differ only in
+    /// host execution strategy:
+    ///
+    /// - [`Serial`](ExecutionBackend::Serial): the event kernel on the
+    ///   calling thread — same as [`TogSim::run`].
+    /// - [`Parallel`](ExecutionBackend::Parallel): the DRAM channels are
+    ///   re-hosted on a [`ShardedDram`] whose worker threads advance busy
+    ///   channel groups to each epoch's horizon while the NoC advances on
+    ///   this thread; admission, completion collection, and scheduling stay
+    ///   on this thread between epochs. Falls back to the serial path when
+    ///   a tracer is attached (worker-side trace recording would interleave
+    ///   nondeterministically).
+    /// - [`Reference`](ExecutionBackend::Reference): the legacy full-rescan
+    ///   loop, the oracle of the kernel-equivalence suite.
     ///
     /// # Errors
     ///
-    /// As for [`TogSim::run`].
-    pub fn run_reference(&mut self) -> Result<SimReport> {
-        self.run_loop(true)?;
+    /// Returns [`Error::SimulationFault`] on deadlock (a malformed TOG) or
+    /// when the cycle safety limit is exceeded.
+    pub fn run_with(&mut self, backend: ExecutionBackend) -> Result<SimReport> {
+        match backend {
+            ExecutionBackend::Serial => self.run_loop(false)?,
+            ExecutionBackend::Reference => self.run_loop(true)?,
+            ExecutionBackend::Parallel { workers } => {
+                if self.tracer.is_some() {
+                    self.run_loop(false)?;
+                } else {
+                    self.parallel = Some(ShardedDram::new(&mut self.dram, workers));
+                    let result = self.run_loop(false);
+                    // Put the channels (and their stats) back before
+                    // reporting or propagating an error.
+                    self.parallel
+                        .take()
+                        .expect("parallel backend installed")
+                        .restore(&mut self.dram);
+                    result?;
+                }
+            }
+        }
         Ok(self.build_report())
     }
 
@@ -466,26 +603,70 @@ impl TogSim {
                 return Ok(());
             }
             sched.observe(self.queue.next_time());
-            sched.observe_component(self.dram.next_event());
+            sched.observe_component(self.mem_next_event());
             sched.observe_component(self.noc.next_event());
             match sched.step() {
                 Step::Advance(t) => {
                     self.now = t;
-                    timed(metrics.as_ref().map(|m| &m.dram_ns), || self.dram.advance(t));
-                    timed(metrics.as_ref().map(|m| &m.noc_ns), || self.noc.advance(t));
+                    self.advance_components(t, metrics.as_ref());
                 }
                 Step::Drain => {
                     // A component event landed exactly at `now`: let the
                     // components retire it, then loop to collect without
                     // moving the clock.
-                    self.dram.advance(self.now);
-                    self.noc.advance(self.now);
+                    self.advance_components(self.now, None);
                 }
                 Step::Deadlocked => return Err(self.deadlock_fault()),
                 Step::LimitExceeded => {
                     return Err(Error::SimulationFault("cycle safety limit exceeded".into()));
                 }
             }
+        }
+    }
+
+    /// Advances the memory system and the NoC to `t`: one epoch. With the
+    /// parallel backend installed, busy DRAM channel groups run on their
+    /// worker threads while the NoC advances on this thread (safe overlap:
+    /// the two components never interact within a scheduler step — their
+    /// coupling is mediated by `collect_completions`, which runs next);
+    /// serially otherwise.
+    fn advance_components(&mut self, t: Cycle, metrics: Option<&EngineMetrics>) {
+        match &mut self.parallel {
+            Some(sharded) => {
+                let noc = &mut self.noc;
+                timed(metrics.map(|m| &m.dram_ns), || {
+                    sharded.advance_overlapped(t, || noc.advance(t));
+                });
+            }
+            None => {
+                timed(metrics.map(|m| &m.dram_ns), || self.dram.advance(t));
+                timed(metrics.map(|m| &m.noc_ns), || self.noc.advance(t));
+            }
+        }
+    }
+
+    /// Memory-system admission, routed to the sharded host during a
+    /// parallel run. Identical admission rule either way.
+    fn mem_enqueue(&mut self, req: MemRequest, at: Cycle) -> bool {
+        match &mut self.parallel {
+            Some(sharded) => sharded.try_enqueue(req, at),
+            None => self.dram.try_enqueue(req, at),
+        }
+    }
+
+    /// Earliest future memory-system event, routed like [`Self::mem_enqueue`].
+    fn mem_next_event(&self) -> Option<Cycle> {
+        match &self.parallel {
+            Some(sharded) => sharded.next_event(),
+            None => self.dram.next_event(),
+        }
+    }
+
+    /// Drains memory-system completions (serial retirement order) into `out`.
+    fn mem_drain_completions_into(&mut self, out: &mut Vec<(RequestId, Cycle)>) {
+        match &mut self.parallel {
+            Some(sharded) => sharded.drain_completions_into(out),
+            None => self.dram.drain_completions_into(out),
         }
     }
 
@@ -849,7 +1030,7 @@ impl TogSim {
                         true
                     } else {
                         let req = MemRequest::read(rid, addr, tx_bytes, d.tag);
-                        if self.dram.try_enqueue(req, self.now) {
+                        if self.mem_enqueue(req, self.now) {
                             // The line fills only once the memory system has
                             // accepted the miss.
                             if let Some(cache) = &mut self.caches[d.core] {
@@ -879,7 +1060,7 @@ impl TogSim {
         let mut progress = false;
         let pending = std::mem::take(&mut self.retry_dram);
         for (rid, req) in pending {
-            if self.dram.try_enqueue(req, self.now) {
+            if self.mem_enqueue(req, self.now) {
                 progress = true;
             } else {
                 self.retry_dram.push((rid, req));
@@ -904,7 +1085,7 @@ impl TogSim {
         // DRAM completions, through the reusable drain buffer (the legacy
         // `pop_completed` allocated a fresh Vec per poll).
         let mut buf = std::mem::take(&mut self.dram_buf);
-        self.dram.drain_completions_into(&mut buf);
+        self.mem_drain_completions_into(&mut buf);
         for (rid, at) in buf.drain(..) {
             drained += 1;
             let Some(txref) = self.tx_refs.remove(&rid) else {
@@ -947,7 +1128,7 @@ impl TogSim {
                     let req =
                         MemRequest::write(rid, txref.addr, self.cfg.dram.transaction_bytes, d.tag);
                     self.tx_refs.insert(rid, TxRef { phase: TxPhase::WriteDram, ..txref });
-                    if !self.dram.try_enqueue(req, at) {
+                    if !self.mem_enqueue(req, at) {
                         self.retry_dram.push((rid, req));
                     }
                 }
@@ -1241,6 +1422,154 @@ mod tests {
         // 4 loads + 4 stores of 4 KiB.
         assert_eq!(r.dram_bytes_for_tag(9), 8 * 4096);
         assert!(r.jobs[0].mean_bandwidth() > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod backend_tests {
+    use super::*;
+    use ptsim_tog::{AddrExpr, TogBuilder, TogOpKind};
+
+    fn expand(b: TogBuilder) -> ExecutableTog {
+        b.finish().expand().unwrap()
+    }
+
+    /// load -> compute -> store chain (same shape the kernel tests use).
+    fn pipeline_tog(n: u64, compute_cycles: u64, tile_bytes: u64) -> ExecutableTog {
+        let mut b = TogBuilder::new("pipe");
+        let i = b.begin_loop(n);
+        let ld = b
+            .node(TogOpKind::load(AddrExpr::new(0x1000).with_term(i, tile_bytes), tile_bytes), &[]);
+        let w = b.node(TogOpKind::WaitDma { dma: ld }, &[]);
+        let c = b.node(TogOpKind::compute("k", compute_cycles, ExecUnit::Matrix), &[w]);
+        b.node(
+            TogOpKind::store(AddrExpr::new(0x100_0000).with_term(i, tile_bytes), tile_bytes),
+            &[c],
+        );
+        b.end_loop();
+        expand(b)
+    }
+
+    /// Runs the same workload on `backend` and on Serial; demands equality.
+    fn assert_matches_serial(cfg: &SimConfig, tog: &ExecutableTog, backend: ExecutionBackend) {
+        let run = |backend| {
+            let mut sim = TogSim::new(cfg);
+            sim.add_job(tog.clone(), JobSpec::default());
+            sim.run_with(backend).unwrap()
+        };
+        let serial = run(ExecutionBackend::Serial);
+        let other = run(backend);
+        assert_eq!(serial, other, "{backend} diverged from serial");
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_worker_counts() {
+        let mut cfg = SimConfig::tiny();
+        cfg.dram.channels = 4;
+        let tog = pipeline_tog(24, 150, 8192);
+        // 1 worker, workers == channels, workers > channels.
+        for workers in [1, 2, 4, 16] {
+            assert_matches_serial(&cfg, &tog, ExecutionBackend::Parallel { workers });
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_single_channel() {
+        // workers > components collapses to one shard.
+        let cfg = {
+            let mut c = SimConfig::tiny();
+            c.dram.channels = 1;
+            c
+        };
+        let tog = pipeline_tog(8, 50, 4096);
+        assert_matches_serial(&cfg, &tog, ExecutionBackend::Parallel { workers: 8 });
+    }
+
+    #[test]
+    fn parallel_matches_reference_too() {
+        let cfg = SimConfig::tiny();
+        let tog = pipeline_tog(12, 200, 4096);
+        let run = |backend| {
+            let mut sim = TogSim::new(&cfg);
+            sim.add_job(tog.clone(), JobSpec::default());
+            sim.run_with(backend).unwrap()
+        };
+        assert_eq!(
+            run(ExecutionBackend::Reference),
+            run(ExecutionBackend::Parallel { workers: 2 })
+        );
+    }
+
+    #[test]
+    fn parallel_handles_drain_boundary_events() {
+        // An L1-less store-heavy graph produces DRAM completions landing
+        // exactly on collected edges (the `Step::Drain` path): writes hop
+        // NoC -> DRAM, and the WriteNoc delivery re-enqueues into DRAM *at*
+        // the current time — the zero-latency-at-the-horizon boundary case.
+        let mut cfg = SimConfig::tiny();
+        cfg.dram.channels = 2;
+        cfg.dram.queue_depth = 4; // force backpressure retries too
+        let mut b = TogBuilder::new("st");
+        for i in 0..6u64 {
+            b.node(TogOpKind::store(AddrExpr::new(0x2000 + i * 0x40), 2048), &[]);
+        }
+        let tog = expand(b);
+        for workers in [1, 2, 8] {
+            assert_matches_serial(&cfg, &tog, ExecutionBackend::Parallel { workers });
+        }
+    }
+
+    #[test]
+    fn parallel_with_tracer_falls_back_to_serial_path() {
+        let mut serial = TogSim::new(&SimConfig::tiny());
+        serial.enable_tracing();
+        let mut b = TogBuilder::new("t");
+        let ld = b.node(TogOpKind::load(AddrExpr::new(0x1000), 4096), &[]);
+        b.node(TogOpKind::WaitDma { dma: ld }, &[]);
+        let tog = expand(b);
+        serial.add_job(tog.clone(), JobSpec::default());
+        let want = serial.run().unwrap();
+        let trace = serial.chrome_trace();
+
+        let mut par = TogSim::new(&SimConfig::tiny());
+        par.enable_tracing();
+        par.add_job(tog, JobSpec::default());
+        let got = par.run_with(ExecutionBackend::Parallel { workers: 4 }).unwrap();
+        assert_eq!(want, got);
+        // Identical path, identical trace.
+        assert_eq!(trace, par.chrome_trace());
+    }
+
+    #[test]
+    fn parallel_runs_are_repeatable() {
+        let mut cfg = SimConfig::tiny();
+        cfg.dram.channels = 4;
+        let tog = pipeline_tog(16, 100, 8192);
+        let run = || {
+            let mut sim = TogSim::new(&cfg);
+            sim.add_job(tog.clone(), JobSpec::default());
+            sim.run_with(ExecutionBackend::Parallel { workers: 4 }).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn backend_wire_round_trips() {
+        for b in [
+            ExecutionBackend::Serial,
+            ExecutionBackend::Reference,
+            ExecutionBackend::Parallel { workers: 1 },
+            ExecutionBackend::Parallel { workers: 7 },
+        ] {
+            assert_eq!(b.as_wire().parse::<ExecutionBackend>().unwrap(), b);
+        }
+        assert_eq!(
+            "parallel".parse::<ExecutionBackend>().unwrap(),
+            ExecutionBackend::Parallel { workers: ExecutionBackend::DEFAULT_PARALLEL_WORKERS }
+        );
+        for bad in ["", "threads", "parallel:0", "parallel:-1", "parallel:x", "Serial"] {
+            assert!(bad.parse::<ExecutionBackend>().is_err(), "{bad:?} must not parse");
+        }
     }
 }
 

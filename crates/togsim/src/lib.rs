@@ -35,5 +35,5 @@ pub mod engine;
 pub mod report;
 
 pub use cache::{CacheStats, L1Cache};
-pub use engine::{Fidelity, JobId, JobSpec, TogSim};
+pub use engine::{ExecutionBackend, Fidelity, JobId, JobSpec, TogSim};
 pub use report::{JobReport, SimReport};

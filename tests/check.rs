@@ -114,6 +114,44 @@ fn regression_chiplet_channel_remap_is_exempt_from_channel_monotonicity() {
     pin(1, |c| c.cfg.noc.chiplet.is_some(), "a chiplet overlay");
 }
 
+// --- Parallel-backend pins: shard-partitioning edge cases the
+// `parallel_vs_serial` oracle must keep bit-identical. ---
+
+/// Seed 7: 16 workers over a *single* DRAM channel — every shard but one
+/// collapses away, the degenerate oversubscription edge of
+/// `partition_even`.
+#[test]
+fn regression_parallel_backend_oversubscribed_single_channel_stays_bit_identical() {
+    pin(
+        7,
+        |c| c.cfg.dram.channels == 1 && c.workers >= 16,
+        "16 parallel workers over one DRAM channel",
+    );
+}
+
+/// Seed 5: 16 workers over 4 channels — groups collapse to per-channel
+/// shards, the workers-exceed-components edge on a multi-channel machine.
+#[test]
+fn regression_parallel_backend_more_workers_than_channels_stays_bit_identical() {
+    pin(
+        5,
+        |c| c.cfg.dram.channels > 1 && c.workers > c.cfg.dram.channels,
+        "more parallel workers than DRAM channels",
+    );
+}
+
+/// Seed 1: the parallel backend under a chiplet overlay — the NoC routes
+/// cross-chiplet traffic on the coordinator while DRAM channel groups
+/// advance on worker threads.
+#[test]
+fn regression_parallel_backend_under_a_chiplet_overlay_stays_bit_identical() {
+    pin(
+        1,
+        |c| c.cfg.noc.chiplet.is_some() && c.workers > 1,
+        "a multi-worker parallel backend under a chiplet overlay",
+    );
+}
+
 // --- Satellite fixes, pinned via seeds whose cases exercise them. ---
 
 /// Seed 8: an `L1Ways` corruption (the `sets()` divide-by-zero guard and

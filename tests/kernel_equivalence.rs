@@ -1,15 +1,15 @@
 //! Event-kernel equivalence acceptance suite.
 //!
 //! The TOGSim engine was rewired from a monolithic poll-everything loop
-//! onto the shared `ptsim-event` scheduler with per-core dirty lists. The
-//! refactor's acceptance bar is *bit-identity*: the event-driven engine
-//! ([`TogSim::run`]) must produce exactly the same [`SimReport`] as the
-//! legacy full-rescan semantics (preserved as [`TogSim::run_reference`])
-//! for every workload family, at every fidelity, and irrespective of sweep
-//! parallelism.
+//! onto the shared `ptsim-event` scheduler with per-core dirty lists, and
+//! later gained a lookahead-parallel DRAM backend. The acceptance bar for
+//! both rewires is *bit-identity*: every [`ExecutionBackend`] — the serial
+//! event engine, the legacy full-rescan reference loop, and the sharded
+//! parallel kernel at any worker count — must produce exactly the same
+//! [`SimReport`] for every workload family, at every fidelity, and
+//! irrespective of sweep parallelism.
 //!
-//! [`TogSim::run`]: pytorchsim::togsim::TogSim::run
-//! [`TogSim::run_reference`]: pytorchsim::togsim::TogSim::run_reference
+//! [`ExecutionBackend`]: pytorchsim::ExecutionBackend
 //! [`SimReport`]: pytorchsim::togsim::SimReport
 
 use std::sync::Arc;
@@ -20,7 +20,18 @@ use pytorchsim::models::{self, ModelSpec};
 use pytorchsim::sweep::{Sweep, SweepOptions, SweepPoint};
 use pytorchsim::tog::{ExecUnit, ExecutableTog, FlatNode, FlatNodeKind};
 use pytorchsim::togsim::{JobSpec, SimReport, TogSim};
-use pytorchsim::{RunOptions, Simulator};
+use pytorchsim::{ExecutionBackend, RunOptions, Simulator};
+
+/// Every backend a serial run must stay bit-identical to: the legacy
+/// reference loop plus the parallel kernel at degenerate (1), typical (4),
+/// and oversubscribed (16, more workers than DRAM channels on the tiny
+/// config) shard counts.
+const ALTERNATE_BACKENDS: [ExecutionBackend; 4] = [
+    ExecutionBackend::Reference,
+    ExecutionBackend::Parallel { workers: 1 },
+    ExecutionBackend::Parallel { workers: 4 },
+    ExecutionBackend::Parallel { workers: 16 },
+];
 
 /// One representative per workload family in `crates/models`: a bare GEMM,
 /// an MLP, a transformer block stack, and a convolution layer.
@@ -44,40 +55,57 @@ fn fidelities() -> [(&'static str, RunOptions); 3] {
     ]
 }
 
-/// Runs one compiled workload through both loop semantics and returns the
-/// two reports.
-fn run_both(sim: &Simulator, spec: &ModelSpec, opts: &RunOptions) -> (SimReport, SimReport) {
+/// Runs one compiled workload through the given backend and returns its
+/// report.
+fn run_backend(
+    sim: &Simulator,
+    spec: &ModelSpec,
+    opts: &RunOptions,
+    backend: ExecutionBackend,
+) -> SimReport {
     let model = sim.compile(spec).expect("workload compiles");
     let kernels = opts.needs_kernels().then(|| Arc::new(model.kernels.clone()));
     let job = JobSpec { kernels, ..JobSpec::default() };
 
-    let mut event = TogSim::new(sim.config()).with_fidelity(opts.fidelity);
-    event.add_shared_job(Arc::new(model.tog.clone()), job.clone());
-    let mut reference = TogSim::new(sim.config()).with_fidelity(opts.fidelity);
-    reference.add_shared_job(Arc::new(model.tog.clone()), job);
-
-    (event.run().expect("event run"), reference.run_reference().expect("reference run"))
+    let mut togsim = TogSim::new(sim.config()).with_fidelity(opts.fidelity);
+    togsim.add_shared_job(Arc::new(model.tog.clone()), job);
+    togsim.run_with(backend).expect("backend run")
 }
 
 #[test]
-fn event_kernel_is_bit_identical_to_the_reference_loop_at_every_fidelity() {
+fn every_backend_is_bit_identical_at_every_fidelity() {
     let sim = Simulator::new(SimConfig::tiny());
     for spec in workloads() {
         for (name, opts) in fidelities() {
-            let (event, reference) = run_both(&sim, &spec, &opts);
-            assert_eq!(event, reference, "{} diverges at {name}", spec.name);
+            // Instruction-level runs are orders of magnitude slower than
+            // TLS, so they check one representative of each alternate
+            // semantics; the full worker-count matrix runs at TLS here and
+            // on the multi-core config below.
+            let backends: &[ExecutionBackend] = if name == "tls" {
+                &ALTERNATE_BACKENDS
+            } else {
+                &[ExecutionBackend::Reference, ExecutionBackend::Parallel { workers: 4 }]
+            };
+            let serial = run_backend(&sim, &spec, &opts, ExecutionBackend::Serial);
+            for &backend in backends {
+                let got = run_backend(&sim, &spec, &opts, backend);
+                assert_eq!(serial, got, "{} diverges at {name} under {backend}", spec.name);
+            }
         }
     }
 }
 
 #[test]
-fn event_kernel_matches_reference_on_the_multi_core_config() {
+fn every_backend_matches_serial_on_the_multi_core_config() {
     // The tpu_v3 memory system exercises deeper DRAM/NoC queues (and with
     // them the descriptor-rate wake-ups and backpressure retries).
     let sim = Simulator::new(SimConfig::tpu_v3_single_core());
     for spec in workloads() {
-        let (event, reference) = run_both(&sim, &spec, &RunOptions::tls());
-        assert_eq!(event, reference, "{} diverges on tpu_v3", spec.name);
+        let serial = run_backend(&sim, &spec, &RunOptions::tls(), ExecutionBackend::Serial);
+        for backend in ALTERNATE_BACKENDS {
+            let got = run_backend(&sim, &spec, &RunOptions::tls(), backend);
+            assert_eq!(serial, got, "{} diverges on tpu_v3 under {backend}", spec.name);
+        }
     }
 }
 
@@ -97,9 +125,13 @@ fn staggered_tenant_arrivals_are_bit_identical() {
     };
     let mut event = TogSim::new(sim.config());
     seed(&mut event);
-    let mut reference = TogSim::new(sim.config());
-    seed(&mut reference);
-    assert_eq!(event.run().expect("event run"), reference.run_reference().expect("reference run"));
+    let serial = event.run().expect("serial run");
+    for backend in ALTERNATE_BACKENDS {
+        let mut other = TogSim::new(sim.config());
+        seed(&mut other);
+        let got = other.run_with(backend).expect("backend run");
+        assert_eq!(serial, got, "staggered arrivals diverge under {backend}");
+    }
 }
 
 #[test]

@@ -12,7 +12,9 @@ use ptsim_serve::client::HttpClient;
 use ptsim_serve::server::{start, ServeConfig, ServerHandle};
 use ptsim_togsim::SimReport;
 use ptsim_trace::MetricValue;
-use pytorchsim::{CompileCache, FidelitySpec, ModelRequest, RunOptions, RunSpec, Simulator};
+use pytorchsim::{
+    CompileCache, ExecutionBackend, FidelitySpec, ModelRequest, RunOptions, RunSpec, Simulator,
+};
 use std::time::{Duration, Instant};
 
 fn tiny_spec(n: usize) -> RunSpec {
@@ -256,6 +258,48 @@ fn error_codes_are_typed() {
     let parsed = parse_json(&resp.body).unwrap();
     assert_eq!(parsed.req_u64("status").unwrap(), 422);
     assert!(!parsed.req_str("error").unwrap().is_empty());
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn wire_versioning_gates_the_backend_and_rejects_unknown_versions() {
+    let handle = start(ServeConfig::default()).unwrap();
+    let mut client = HttpClient::new(handle.addr());
+
+    // A version-less request is v1 and still served (the canonical form is
+    // v2, so strip the markers to reconstruct the legacy wire shape).
+    let v2 = tiny_spec(16).canonical_json();
+    let v1 = v2.replace("\"v\":2,", "").replace(",\"backend\":\"serial\"", "");
+    assert_ne!(v1, v2, "the canonical form must carry the v2 markers");
+    let resp = client.post("/v1/simulate", &v1).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(report_from_body(&resp.body), direct_gemm(16));
+
+    // A v1 request smuggling the v2-only backend key is rejected, not
+    // silently reinterpreted.
+    let model = "\"model\":{\"kind\":\"gemm\",\"n\":16}";
+    assert!(v1.contains(model), "body: {v1}");
+    let smuggled = v1.replace(model, &format!("{model},\"backend\":\"parallel:4\""));
+    let resp = client.post("/v1/simulate", &smuggled).unwrap();
+    assert_eq!(resp.status, 400, "body: {}", resp.body);
+    assert!(resp.body.contains("requires schema v2"), "body: {}", resp.body);
+
+    // An unknown version is a typed, counted rejection.
+    let v3 = v2.replace("\"v\":2", "\"v\":3");
+    let resp = client.post("/v1/simulate", &v3).unwrap();
+    assert_eq!(resp.status, 400, "body: {}", resp.body);
+    assert!(resp.body.contains("unsupported schema"), "body: {}", resp.body);
+    assert!(metric(&handle, "serve.rejected.schema") >= 1);
+
+    // A v2 request selecting the parallel backend is served bit-identical
+    // to the serial direct run.
+    let parallel =
+        tiny_spec(16).with_backend(ExecutionBackend::Parallel { workers: 4 }).canonical_json();
+    let resp = client.post("/v1/simulate", &parallel).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(report_from_body(&resp.body), direct_gemm(16));
 
     handle.shutdown();
     handle.join();
