@@ -56,6 +56,7 @@ pub const ORACLES: &[Oracle] = &[
     Oracle { name: "load_generation", run: load_generation },
     Oracle { name: "trace_validation", run: trace_validation },
     Oracle { name: "kernel_equivalence", run: kernel_equivalence },
+    Oracle { name: "staged_vs_monolithic", run: staged_vs_monolithic },
     Oracle { name: "parallel_vs_serial", run: parallel_vs_serial },
     Oracle { name: "sweep_determinism", run: sweep_determinism },
     Oracle { name: "max_cycles_clamp", run: max_cycles_clamp },
@@ -342,6 +343,59 @@ fn kernel_equivalence(case: &CheckCase) -> Result<(), String> {
             jobs.len(),
             event.total_cycles,
             reference.total_cycles
+        ));
+    }
+    Ok(())
+}
+
+/// The staged artifact pipeline (capture → plan → measure kernels → emit)
+/// must produce models bit-identical to the legacy monolithic single-pass
+/// lowering, with and without autotuning (odd seeds turn autotune on, so
+/// the plan stage's DRAM-bandwidth read and probe replay are exercised).
+fn staged_vs_monolithic(case: &CheckCase) -> Result<(), String> {
+    use pytorchsim::compiler::{Compiler, CompilerOptions};
+    let spec = case.workload.spec();
+    let opts = CompilerOptions { autotune: case.seed % 2 == 1, ..CompilerOptions::default() };
+    let compiler = Compiler::new(case.cfg.clone(), opts);
+    let staged = no_panic("staged compile", || compiler.compile(&spec.graph, &spec.name, 1))?;
+    let mono =
+        no_panic("monolithic compile", || compiler.compile_monolithic(&spec.graph, &spec.name, 1))?;
+    let (staged, mono) = match (staged, mono) {
+        (Ok(s), Ok(m)) => (s, m),
+        (Err(se), Err(me)) => {
+            let (se, me) = (se.to_string(), me.to_string());
+            if se == me {
+                return Ok(()); // agree on the rejection
+            }
+            return Err(format!("paths reject differently: staged {se:?} vs monolithic {me:?}"));
+        }
+        (Ok(_), Err(e)) => return Err(format!("only monolithic failed: {e}")),
+        (Err(e), Ok(_)) => return Err(format!("only staged failed: {e}")),
+    };
+    if staged.tog != mono.tog {
+        return Err(format!(
+            "TOGs diverge: staged {} nodes vs monolithic {}",
+            staged.tog.nodes.len(),
+            mono.tog.nodes.len()
+        ));
+    }
+    if staged.kernels != mono.kernels {
+        let mut s: Vec<&String> = staged.kernels.keys().collect();
+        let mut m: Vec<&String> = mono.kernels.keys().collect();
+        s.sort();
+        m.sort();
+        return Err(format!("kernel sets diverge: staged {s:?} vs monolithic {m:?}"));
+    }
+    if staged.layout != mono.layout {
+        return Err("memory layouts diverge".into());
+    }
+    if staged.op_plans != mono.op_plans {
+        return Err("op plans diverge".into());
+    }
+    if staged.stats != mono.stats {
+        return Err(format!(
+            "compile stats diverge: staged {:?} vs monolithic {:?}",
+            staged.stats, mono.stats
         ));
     }
     Ok(())

@@ -483,6 +483,149 @@ impl SimConfig {
     }
 }
 
+// ---------------------------------------------------------------------
+// Compile-stage config projections.
+//
+// The compiler pipeline caches each stage by a fingerprint over *only the
+// configuration fields that stage reads*. The projection types below are
+// the single source of truth for that read set: a stage key built from a
+// projection provably cannot change when an unrelated subsystem (DRAM
+// timing, NoC topology) is swept, which is what lets DRAM/NoC parameter
+// sweeps reuse every kernel measurement and compiled model.
+// ---------------------------------------------------------------------
+
+/// The [`NpuConfig`] fields the kernel codegen + offline timing stage
+/// reads.
+///
+/// Kernel generation (`ptsim-compiler`'s `KernelGen`) reads the systolic
+/// array geometry and the total vector width; the cycle-accurate kernel
+/// timing model (`ptsim-timingsim`) additionally reads the vector unit
+/// count and the DMA issue overhead; tiling reads the scratchpad capacity.
+/// Nothing in the kernel stage reads [`DramConfig`] or [`NocConfig`]:
+/// measured tile latencies are valid across every memory-system variant
+/// (the paper's §3.8 reuse "across different scenarios and HW
+/// configurations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelConfigProjection {
+    /// Systolic array rows.
+    pub systolic_rows: usize,
+    /// Systolic array columns.
+    pub systolic_cols: usize,
+    /// Systolic arrays per core (they form one logical array).
+    pub systolic_arrays_per_core: usize,
+    /// Vector units per core.
+    pub vector_units: usize,
+    /// SIMD lanes per vector unit.
+    pub vector_lanes: usize,
+    /// Scratchpad capacity, bytes (bounds tile sizes).
+    pub scratchpad_bytes: u64,
+    /// DMA descriptor issue overhead, cycles (timing model parameter).
+    pub dma_issue_cycles: u64,
+}
+
+impl KernelConfigProjection {
+    /// Content fingerprint of this projection (stage-tagged).
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint::Fnv::new()
+            .str("kernel-projection-v1")
+            .usize(self.systolic_rows)
+            .usize(self.systolic_cols)
+            .usize(self.systolic_arrays_per_core)
+            .usize(self.vector_units)
+            .usize(self.vector_lanes)
+            .u64(self.scratchpad_bytes)
+            .u64(self.dma_issue_cycles)
+            .finish()
+    }
+}
+
+/// The configuration the fusion + tiling/layout planning stage reads: the
+/// kernel projection (tiling is bounded by the same geometry) plus — only
+/// when autotuning is on — the peak DRAM bandwidth used to score candidate
+/// M-tiles. With autotuning off, a plan is reusable across every DRAM and
+/// NoC variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanConfigProjection {
+    /// The kernel-stage projection (geometry + scratchpad).
+    pub kernel: KernelConfigProjection,
+    /// `Some(peak bytes/cycle)` when the autotuner's DMA-cost model reads
+    /// it; `None` when the plan is DRAM-independent.
+    pub dram_peak_bytes_per_cycle: Option<u64>,
+}
+
+impl PlanConfigProjection {
+    /// Content fingerprint of this projection (stage-tagged).
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = crate::fingerprint::Fnv::new().str("plan-projection-v1");
+        f.write_u64(self.kernel.fingerprint());
+        match self.dram_peak_bytes_per_cycle {
+            Some(bw) => {
+                f.write_u64(1);
+                f.write_u64(bw);
+            }
+            None => f.write_u64(0),
+        }
+        f.finish()
+    }
+}
+
+/// The configuration the whole compile (plan + TOG emission) reads: the
+/// plan projection plus the core count the emitted TOG partitions work
+/// across. This is the config component of a compiled model's cache key —
+/// deliberately *not* the full [`SimConfig`], so models survive DRAM/NoC
+/// sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompileConfigProjection {
+    /// The planning-stage projection.
+    pub plan: PlanConfigProjection,
+    /// NPU cores the TOG partitions work across.
+    pub cores: usize,
+}
+
+impl CompileConfigProjection {
+    /// Content fingerprint of this projection (stage-tagged).
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint::Fnv::new()
+            .str("compile-projection-v1")
+            .u64(self.plan.fingerprint())
+            .usize(self.cores)
+            .finish()
+    }
+}
+
+impl NpuConfig {
+    /// The projection of this config the kernel codegen/timing stage
+    /// reads. See [`KernelConfigProjection`].
+    pub fn kernel_projection(&self) -> KernelConfigProjection {
+        KernelConfigProjection {
+            systolic_rows: self.systolic_rows,
+            systolic_cols: self.systolic_cols,
+            systolic_arrays_per_core: self.systolic_arrays_per_core,
+            vector_units: self.vector_units,
+            vector_lanes: self.vector_lanes,
+            scratchpad_bytes: self.scratchpad_bytes,
+            dma_issue_cycles: self.dma_issue_cycles,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The projection the planning stage reads. `autotune` states whether
+    /// the compiler's M-tile autotuner is on — the only compile path that
+    /// reads DRAM state (its peak bandwidth).
+    pub fn plan_projection(&self, autotune: bool) -> PlanConfigProjection {
+        PlanConfigProjection {
+            kernel: self.npu.kernel_projection(),
+            dram_peak_bytes_per_cycle: autotune.then(|| self.dram.peak_bytes_per_cycle()),
+        }
+    }
+
+    /// The projection a whole compilation reads (plan + emission).
+    pub fn compile_projection(&self, autotune: bool) -> CompileConfigProjection {
+        CompileConfigProjection { plan: self.plan_projection(autotune), cores: self.npu.cores }
+    }
+}
+
 // Hand-written JSON round-trips: the serde derives above are the public
 // API contract, but the vendored serde_json backend is an offline stub, so
 // every consumer that actually moves configs over a wire (`ptsim-serve`,
@@ -853,6 +996,124 @@ mod tests {
         assert!(err.contains("dram"), "{err}");
         let err = SimConfig::from_json_str("[1,2]").unwrap_err();
         assert!(err.contains("npu"), "{err}");
+    }
+
+    /// Every mutation of every [`DramConfig`] and [`NocConfig`] field,
+    /// exercised against the stage projections: none of them may move the
+    /// kernel-stage key (or the whole compile key when autotuning is off).
+    /// This is the invalidation contract DRAM/NoC sweeps rely on to skip
+    /// kernel re-measurement entirely.
+    #[test]
+    fn dram_and_noc_mutations_never_touch_the_kernel_stage_key() {
+        let base = SimConfig::tpu_v3();
+        let kfp = base.npu.kernel_projection().fingerprint();
+        let cfp = base.compile_projection(false).fingerprint();
+
+        let dram_variants: Vec<DramConfig> = vec![
+            DramConfig { channels: 4, ..base.dram.clone() },
+            DramConfig { banks_per_channel: 8, ..base.dram.clone() },
+            DramConfig { row_bytes: 4096, ..base.dram.clone() },
+            DramConfig { transaction_bytes: 128, ..base.dram.clone() },
+            DramConfig { bytes_per_cycle_per_channel: 32, ..base.dram.clone() },
+            DramConfig { t_cl_ns: 12.0, ..base.dram.clone() },
+            DramConfig { t_rcd_ns: 12.0, ..base.dram.clone() },
+            DramConfig { t_ras_ns: 24.0, ..base.dram.clone() },
+            DramConfig { t_wr_ns: 12.0, ..base.dram.clone() },
+            DramConfig { t_rp_ns: 12.0, ..base.dram.clone() },
+            DramConfig { queue_depth: 64, ..base.dram.clone() },
+            DramConfig { scheduler: MemSchedulerPolicy::Fcfs, ..base.dram.clone() },
+        ];
+        for (i, dram) in dram_variants.into_iter().enumerate() {
+            let cfg = SimConfig { dram, ..base.clone() };
+            assert_eq!(cfg.npu.kernel_projection().fingerprint(), kfp, "dram variant {i}");
+            assert_eq!(cfg.compile_projection(false).fingerprint(), cfp, "dram variant {i}");
+        }
+
+        let noc_variants: Vec<NocConfig> = vec![
+            NocConfig { kind: NocKind::Simple, ..base.noc.clone() },
+            NocConfig { flit_bytes: 64, ..base.noc.clone() },
+            NocConfig { latency_cycles: 16, ..base.noc.clone() },
+            NocConfig { bytes_per_cycle: 512, ..base.noc.clone() },
+            NocConfig { port_links: 16, ..base.noc.clone() },
+            NocConfig {
+                chiplet: Some(ChipletLinkConfig::paper_two_chiplets()),
+                ..base.noc.clone()
+            },
+        ];
+        for (i, noc) in noc_variants.into_iter().enumerate() {
+            let cfg = SimConfig { noc, ..base.clone() };
+            assert_eq!(cfg.npu.kernel_projection().fingerprint(), kfp, "noc variant {i}");
+            assert_eq!(cfg.compile_projection(false).fingerprint(), cfp, "noc variant {i}");
+        }
+    }
+
+    /// The fields the kernel stage *does* read must each invalidate its
+    /// key: vector width (units and lanes), systolic-array dimensions, and
+    /// scratchpad capacity — plus the DMA issue overhead the timing model
+    /// reads.
+    #[test]
+    fn kernel_stage_fields_each_invalidate_the_key() {
+        let base = NpuConfig::tpu_v3();
+        let kfp = base.kernel_projection().fingerprint();
+        let variants: Vec<(&str, NpuConfig)> = vec![
+            ("systolic_rows", NpuConfig { systolic_rows: 64, ..base.clone() }),
+            ("systolic_cols", NpuConfig { systolic_cols: 64, ..base.clone() }),
+            ("systolic_arrays_per_core", NpuConfig { systolic_arrays_per_core: 1, ..base.clone() }),
+            ("vector_units", NpuConfig { vector_units: 64, ..base.clone() }),
+            ("vector_lanes", NpuConfig { vector_lanes: 32, ..base.clone() }),
+            ("scratchpad_bytes", NpuConfig { scratchpad_bytes: 8 << 20, ..base.clone() }),
+            ("dma_issue_cycles", NpuConfig { dma_issue_cycles: 24, ..base.clone() }),
+        ];
+        for (field, npu) in variants {
+            assert_ne!(
+                npu.kernel_projection().fingerprint(),
+                kfp,
+                "{field} must invalidate the kernel-stage key"
+            );
+        }
+        // Fields the kernel stage does not read must not invalidate it.
+        let same = NpuConfig {
+            cores: 7,
+            freq_mhz: 123.0,
+            dma_queue_depth: 99,
+            element_bytes: 2,
+            l1_cache: Some(L1CacheConfig::kib_128()),
+            ..base.clone()
+        };
+        assert_eq!(same.kernel_projection().fingerprint(), kfp);
+    }
+
+    /// The DRAM bandwidth gate: with autotuning on, the plan (and compile)
+    /// key must track peak DRAM bandwidth; with it off, it must not. Core
+    /// count affects only the compile (emission) key, never the plan.
+    #[test]
+    fn plan_projection_reads_dram_bandwidth_only_under_autotune() {
+        let base = SimConfig::tpu_v3();
+        let faster = SimConfig {
+            dram: DramConfig { channels: base.dram.channels * 2, ..base.dram.clone() },
+            ..base.clone()
+        };
+        assert_eq!(
+            base.plan_projection(false).fingerprint(),
+            faster.plan_projection(false).fingerprint()
+        );
+        assert_ne!(
+            base.plan_projection(true).fingerprint(),
+            faster.plan_projection(true).fingerprint()
+        );
+
+        let more_cores =
+            SimConfig { npu: NpuConfig { cores: 4, ..base.npu.clone() }, ..base.clone() };
+        assert_eq!(
+            base.plan_projection(false).fingerprint(),
+            more_cores.plan_projection(false).fingerprint(),
+            "plan is core-count independent"
+        );
+        assert_ne!(
+            base.compile_projection(false).fingerprint(),
+            more_cores.compile_projection(false).fingerprint(),
+            "emission partitions across cores"
+        );
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Content fingerprinting for cache keys.
+//!
+//! Every stage of the compile pipeline is cached by a 64-bit FNV-1a
+//! fingerprint over *the exact bytes that stage reads*: a canonical
+//! encoding of the captured graph, a config projection, a compiler-options
+//! rendering. FNV-1a is deterministic across platforms and processes,
+//! cheap enough to run on every request, and — unlike `DefaultHasher` —
+//! guaranteed stable across Rust releases, so fingerprints can appear in
+//! wire formats and reports.
+//!
+//! This is not a cryptographic hash; it guards against accidental key
+//! collisions inside one process, not against adversarial inputs.
+
+/// FNV-1a offset basis (64-bit).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a fingerprint builder.
+///
+/// # Examples
+///
+/// ```
+/// use ptsim_common::fingerprint::Fnv;
+///
+/// let mut f = Fnv::new();
+/// f.write_str("gemm");
+/// f.write_u64(128);
+/// let a = f.finish();
+/// assert_eq!(a, Fnv::new().str("gemm").u64(128).finish());
+/// assert_ne!(a, Fnv::new().str("gemm").u64(129).finish());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+}
+
+impl Fnv {
+    /// Starts a fresh fingerprint at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv::default()
+    }
+
+    /// Folds raw bytes into the fingerprint.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` (widened to `u64` so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds an `f64` by its IEEE-754 bit pattern (total and
+    /// deterministic, NaN payloads included).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds a string's UTF-8 bytes plus its length (so `("ab","c")` and
+    /// `("a","bc")` fingerprint differently).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The fingerprint accumulated so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// Builder-style [`Fnv::write_u64`].
+    #[must_use]
+    pub fn u64(mut self, v: u64) -> Self {
+        self.write_u64(v);
+        self
+    }
+
+    /// Builder-style [`Fnv::write_usize`].
+    #[must_use]
+    pub fn usize(mut self, v: usize) -> Self {
+        self.write_usize(v);
+        self
+    }
+
+    /// Builder-style [`Fnv::write_f64`].
+    #[must_use]
+    pub fn f64(mut self, v: f64) -> Self {
+        self.write_f64(v);
+        self
+    }
+
+    /// Builder-style [`Fnv::write_str`].
+    #[must_use]
+    pub fn str(mut self, s: &str) -> Self {
+        self.write_str(s);
+        self
+    }
+}
+
+/// One-shot FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut f = Fnv::new();
+    f.write_bytes(bytes);
+    f.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn field_boundaries_matter() {
+        // Length prefixes keep adjacent strings from aliasing.
+        let a = Fnv::new().str("ab").str("c").finish();
+        let b = Fnv::new().str("a").str("bc").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn floats_fingerprint_by_bits() {
+        assert_ne!(Fnv::new().f64(0.0).finish(), Fnv::new().f64(-0.0).finish());
+        assert_eq!(Fnv::new().f64(1.5).finish(), Fnv::new().f64(1.5).finish());
+    }
+}

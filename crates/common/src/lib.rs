@@ -22,6 +22,7 @@
 pub mod config;
 pub mod cycles;
 pub mod error;
+pub mod fingerprint;
 pub mod id;
 pub mod json;
 pub mod util;

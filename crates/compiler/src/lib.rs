@@ -36,6 +36,7 @@ pub mod kernels;
 pub mod layout;
 pub mod lower;
 pub mod options;
+pub mod pipeline;
 pub mod tiles;
 
 pub use exec::execute_functional;
@@ -43,6 +44,10 @@ pub use kernels::{EltOp, Epilogue, KernelGen};
 pub use layout::MemoryLayout;
 pub use lower::{CompileStats, CompiledModel, ExecPath, Lowerer, OpPlan};
 pub use options::CompilerOptions;
+pub use pipeline::{
+    capture, graph_fingerprint, GraphArtifact, KernelKey, KernelStore, KernelStoreStats,
+    MeasuredKernel, PlanArtifact, ProbedGemm,
+};
 pub use tiles::{ConvLayout, ConvMapping, GemmTiling};
 
 use ptsim_common::config::SimConfig;
@@ -74,11 +79,75 @@ impl Compiler {
 
     /// Compiles a graph into kernels, a TOG, and execution plans.
     ///
+    /// Runs the staged pipeline (capture → plan → measure → emit) end to
+    /// end against a private, per-call [`KernelStore`]. To share kernel
+    /// measurements across compiles, drive [`Compiler::plan`] and
+    /// [`Compiler::emit`] with a long-lived store (as `CompileCache` in
+    /// `ptsim-core` does).
+    ///
     /// # Errors
     ///
     /// Returns an error if the graph is invalid or cannot be tiled onto the
     /// configured core.
     pub fn compile(&self, graph: &Graph, name: &str, batch: usize) -> Result<CompiledModel> {
+        let store = KernelStore::new();
+        let plan = self.plan(graph, &store)?;
+        self.emit(graph, name, batch, &plan, &store)
+    }
+
+    /// Stage 1: validates and fingerprints a graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph fails structural validation.
+    pub fn capture(&self, graph: &Graph) -> Result<GraphArtifact> {
+        pipeline::capture(graph)
+    }
+
+    /// Stage 2: builds the fusion/tiling/layout plan, measuring autotune
+    /// probe kernels through `store`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is invalid or a probe kernel cannot
+    /// be generated.
+    pub fn plan(&self, graph: &Graph, store: &KernelStore) -> Result<PlanArtifact> {
+        Lowerer::staged(&self.cfg, &self.opts, store).build_plan(graph)
+    }
+
+    /// Stages 3+4: emits the TOG from a precomputed plan, measuring any
+    /// still-unmeasured kernels through `store`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an operator cannot be tiled onto the configured
+    /// core.
+    pub fn emit(
+        &self,
+        graph: &Graph,
+        name: &str,
+        batch: usize,
+        plan: &PlanArtifact,
+        store: &KernelStore,
+    ) -> Result<CompiledModel> {
+        Lowerer::staged(&self.cfg, &self.opts, store).with_plan(plan).lower(graph, name, batch)
+    }
+
+    /// Compiles through the legacy single-pass path (private latency
+    /// cache, no artifact staging). Kept behind the `monolithic` feature
+    /// for one release as the bit-identity reference of the
+    /// `staged_vs_monolithic` check oracle; scheduled for deletion.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Compiler::compile`].
+    #[cfg(feature = "monolithic")]
+    pub fn compile_monolithic(
+        &self,
+        graph: &Graph,
+        name: &str,
+        batch: usize,
+    ) -> Result<CompiledModel> {
         Lowerer::new(&self.cfg, &self.opts).lower(graph, name, batch)
     }
 }

@@ -15,8 +15,10 @@
 use crate::kernels::{EltOp, Epilogue, KernelGen};
 use crate::layout::MemoryLayout;
 use crate::options::CompilerOptions;
+use crate::pipeline::{graph_fingerprint, KernelStore, PlanArtifact, ProbedGemm};
 use crate::tiles::{ConvMapping, GemmTiling};
 use ptsim_common::config::{DmaGranularity, SimConfig};
+use ptsim_common::fingerprint::Fnv;
 use ptsim_common::Result;
 use ptsim_graph::{Graph, Op, ValueId};
 use ptsim_isa::program::Program;
@@ -122,6 +124,18 @@ impl CompiledModel {
         }
         Ok(())
     }
+
+    /// Approximate resident size of this compiled model, for cache
+    /// accounting: kernels, TOG nodes, layout entries, and plans.
+    pub fn approx_bytes(&self) -> u64 {
+        let kernels: u64 =
+            self.kernels.iter().map(|(name, p)| 64 + name.len() as u64 + p.len() as u64 * 16).sum();
+        let tog = self.tog.nodes.len() as u64 * 96;
+        let layout = self.layout.len() as u64 * 32;
+        let plans = self.op_plans.len() as u64 * 40;
+        let graph = self.graph.len() as u64 * 64;
+        128 + kernels + tog + layout + plans + graph
+    }
 }
 
 /// DRAM base address where model tensors are placed.
@@ -141,6 +155,17 @@ pub struct Lowerer<'a> {
     kg: KernelGen,
     timing: TimingSim,
     lat_cache: LatencyCache,
+    /// Shared per-kernel measurement store (staged pipeline); `None` runs
+    /// the legacy monolithic path through `lat_cache`.
+    store: Option<&'a KernelStore>,
+    /// Precomputed plan to emit from (staged pipeline stage 4).
+    plan: Option<&'a PlanArtifact>,
+    /// Kernel config-projection fingerprint, the store key half.
+    kernel_fp: u64,
+    /// Timing measurements this lowerer performed against the store.
+    measured: u64,
+    /// Autotune probes measured, recorded for plan artifacts.
+    probes: Vec<ProbedGemm>,
     kernels: HashMap<String, Program>,
     nodes: Vec<FlatNode>,
     value_ready: HashMap<ValueId, usize>,
@@ -150,14 +175,18 @@ pub struct Lowerer<'a> {
 }
 
 impl<'a> Lowerer<'a> {
-    /// Creates a lowerer for the given configuration.
-    pub fn new(cfg: &'a SimConfig, opts: &'a CompilerOptions) -> Self {
+    fn base(cfg: &'a SimConfig, opts: &'a CompilerOptions) -> Self {
         Lowerer {
             cfg,
             opts,
             kg: KernelGen::new(&cfg.npu),
             timing: TimingSim::new(&cfg.npu),
             lat_cache: LatencyCache::new(),
+            store: None,
+            plan: None,
+            kernel_fp: cfg.npu.kernel_projection().fingerprint(),
+            measured: 0,
+            probes: Vec::new(),
             kernels: HashMap::new(),
             nodes: Vec::new(),
             value_ready: HashMap::new(),
@@ -165,6 +194,71 @@ impl<'a> Lowerer<'a> {
             cores: cfg.npu.cores,
             stats: CompileStats::default(),
         }
+    }
+
+    /// Creates a lowerer running the legacy monolithic path: every kernel
+    /// is measured through a private latency cache.
+    #[cfg(feature = "monolithic")]
+    pub fn new(cfg: &'a SimConfig, opts: &'a CompilerOptions) -> Self {
+        Lowerer::base(cfg, opts)
+    }
+
+    /// Creates a staged lowerer measuring kernels through the shared
+    /// `store`, keyed by the kernel config projection.
+    pub fn staged(cfg: &'a SimConfig, opts: &'a CompilerOptions, store: &'a KernelStore) -> Self {
+        Lowerer { store: Some(store), ..Lowerer::base(cfg, opts) }
+    }
+
+    /// Emits from a precomputed plan artifact instead of replanning.
+    #[must_use]
+    pub fn with_plan(mut self, plan: &'a PlanArtifact) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Runs stage 2 of the pipeline: fusion-independent tiling decisions,
+    /// memory layout, and (under autotune) probe measurements, producing a
+    /// [`PlanArtifact`] that [`Lowerer::with_plan`] can later emit from.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is invalid or a probe kernel cannot
+    /// be generated.
+    pub fn build_plan(mut self, graph: &Graph) -> Result<PlanArtifact> {
+        graph.validate()?;
+        let graph_fp = graph_fingerprint(graph);
+        self.layout = MemoryLayout::for_graph(graph, DRAM_BASE);
+        let mut tilings = HashMap::new();
+        for (idx, node) in graph.nodes().iter().enumerate() {
+            let (m, k, n) = match &node.op {
+                Op::MatMul => {
+                    let s = &graph.node(node.inputs[0]).shape;
+                    (s.dim(0), s.dim(1), graph.node(node.inputs[1]).shape.dim(1))
+                }
+                Op::BatchMatMul => {
+                    let sa = &graph.node(node.inputs[0]).shape;
+                    let sb = &graph.node(node.inputs[1]).shape;
+                    (sa.dim(1), sa.dim(2), sb.dim(2))
+                }
+                _ => continue,
+            };
+            let tiling = self.plan_tiling(idx, m, k, n)?;
+            tilings.insert(idx, tiling);
+        }
+        let fingerprint = Fnv::new()
+            .str("plan-artifact-v1")
+            .u64(graph_fp)
+            .u64(self.cfg.plan_projection(self.opts.autotune).fingerprint())
+            .u64(self.opts.fingerprint())
+            .finish();
+        Ok(PlanArtifact {
+            graph_fingerprint: graph_fp,
+            fingerprint,
+            tilings,
+            probes: self.probes,
+            layout: self.layout,
+            measured: self.measured,
+        })
     }
 
     /// Lowers a whole graph into a compiled model.
@@ -175,7 +269,23 @@ impl<'a> Lowerer<'a> {
     /// tiled onto this configuration.
     pub fn lower(mut self, graph: &Graph, name: &str, batch: usize) -> Result<CompiledModel> {
         graph.validate()?;
-        self.layout = MemoryLayout::for_graph(graph, DRAM_BASE);
+        self.layout = match self.plan {
+            Some(plan) => plan.layout.clone(),
+            None => MemoryLayout::for_graph(graph, DRAM_BASE),
+        };
+        // Replay the plan's autotune probes through the shared store so the
+        // emitted kernel set (and hence the compiled model) stays
+        // bit-identical to the monolithic path, which keeps probe kernels
+        // in its kernel map.
+        if let Some(plan) = self.plan {
+            for probe in plan.probes.clone() {
+                let pname =
+                    KernelGen::gemm_name(probe.tm, probe.tk, probe.tn, true, Epilogue::None, true);
+                self.kernel(&pname, |kg| {
+                    kg.gemm_tile_opt(probe.tm, probe.tk, probe.tn, true, Epilogue::None, true)
+                })?;
+            }
+        }
         let fusions = self.find_fusions(graph);
         let absorbed: HashMap<ValueId, ValueId> =
             fusions.values().flat_map(|f| f.absorbed.iter().map(|&v| (v, f.final_value))).collect();
@@ -205,8 +315,14 @@ impl<'a> Lowerer<'a> {
         }
         self.stats.kernels = self.kernels.len();
         self.stats.tog_nodes = self.nodes.len();
-        let (_, misses) = self.lat_cache.stats();
-        self.stats.timing_measurements = misses;
+        // Staged: measurements this model caused = the plan stage's plus
+        // this emission's store misses (a cached plan attributes its
+        // original probe measurements). Monolithic: private-cache misses.
+        self.stats.timing_measurements = if self.store.is_some() {
+            self.plan.map_or(0, |p| p.measured) + self.measured
+        } else {
+            self.lat_cache.stats().1
+        };
         let tog = ExecutableTog { name: format!("{name}_b{batch}"), nodes: self.nodes };
         tog.validate()?;
         Ok(CompiledModel {
@@ -352,6 +468,17 @@ impl<'a> Lowerer<'a> {
         name: &str,
         make: impl FnOnce(&KernelGen) -> Result<Program>,
     ) -> Result<u64> {
+        if let Some(store) = self.store {
+            let (measured, missed) =
+                store.get_or_measure(name, self.kernel_fp, &self.timing, || make(&self.kg))?;
+            if missed {
+                self.measured += 1;
+            }
+            if !self.kernels.contains_key(name) {
+                self.kernels.insert(name.to_string(), measured.program.clone());
+            }
+            return Ok(measured.latency.cycles);
+        }
         if !self.kernels.contains_key(name) {
             let program = make(&self.kg)?;
             debug_assert_eq!(program.name, name, "kernel name mismatch");
@@ -434,7 +561,7 @@ impl<'a> Lowerer<'a> {
                     n,
                     k_per_pass: k,
                     passes: 1,
-                    tiling: self.plan_tiling(m, k, n)?,
+                    tiling: self.plan_tiling(value.index(), m, k, n)?,
                     epi,
                     a_base: self.layout.addr(a),
                     a_row_stride: (k * 4) as u64,
@@ -466,7 +593,7 @@ impl<'a> Lowerer<'a> {
                         n,
                         k_per_pass: k,
                         passes: 1,
-                        tiling: self.plan_tiling(m, k, n)?,
+                        tiling: self.plan_tiling(value.index(), m, k, n)?,
                         epi: Epilogue::None,
                         a_base: self.layout.addr(a) + (bi * m * k * 4) as u64,
                         a_row_stride: (k * 4) as u64,
@@ -695,7 +822,12 @@ impl<'a> Lowerer<'a> {
     /// peak bandwidth, and the cheapest wins (§3.6.3 autotuning). Kernel
     /// measurements go through the latency cache, so candidates are cheap
     /// to revisit across operators.
-    fn plan_tiling(&mut self, m: usize, k: usize, n: usize) -> Result<GemmTiling> {
+    fn plan_tiling(&mut self, node: usize, m: usize, k: usize, n: usize) -> Result<GemmTiling> {
+        if let Some(plan) = self.plan {
+            if let Some(&tiling) = plan.tilings.get(&node) {
+                return Ok(tiling);
+            }
+        }
         let base = GemmTiling::plan(&self.cfg.npu, self.opts, m, k, n);
         if !self.opts.autotune || m <= 1 {
             return Ok(base);
@@ -711,6 +843,10 @@ impl<'a> Lowerer<'a> {
         let mut best = (base.tm, u64::MAX);
         for tm in candidates {
             let tm = tm.min(m).max(1);
+            let probe = ProbedGemm { tm, tk: base.tk, tn: base.tn };
+            if !self.probes.contains(&probe) {
+                self.probes.push(probe);
+            }
             let name = KernelGen::gemm_name(tm, base.tk, base.tn, true, Epilogue::None, true);
             let kernel_cycles = self.kernel(&name, |kg| {
                 kg.gemm_tile_opt(tm, base.tk, base.tn, true, Epilogue::None, true)

@@ -1,6 +1,7 @@
 //! Compiler options controlling the optimizations studied in §5.3.
 
 use ptsim_common::config::DmaGranularity;
+use ptsim_common::fingerprint::Fnv;
 use ptsim_common::json::{FromJson, Json, ToJson};
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +52,31 @@ impl CompilerOptions {
             conv_layout_opt: false,
             ..Self::default()
         }
+    }
+
+    /// Content fingerprint over every option, for staged-pipeline cache
+    /// keys. All fields are folded in explicitly — adding an option
+    /// without extending this is a compile error via the destructuring.
+    pub fn fingerprint(&self) -> u64 {
+        let CompilerOptions {
+            dma,
+            sfg_threshold_bytes,
+            fuse_epilogue,
+            conv_layout_opt,
+            max_m_tile,
+            small_c_threshold,
+            autotune,
+        } = self;
+        Fnv::new()
+            .str("compiler-options-v1")
+            .str(&format!("{dma:?}"))
+            .u64(*sfg_threshold_bytes)
+            .u64(u64::from(*fuse_epilogue))
+            .u64(u64::from(*conv_layout_opt))
+            .usize(*max_m_tile)
+            .usize(*small_c_threshold)
+            .u64(u64::from(*autotune))
+            .finish()
     }
 }
 

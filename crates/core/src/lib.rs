@@ -53,7 +53,7 @@ pub mod simulator;
 pub mod sweep;
 pub mod training;
 
-pub use cache::{CacheKey, CompileCache, CompileCacheStats};
+pub use cache::{CacheKey, CompileCache, CompileCacheStats, StageStats};
 pub use distributed::{ClusterConfig, ClusterIteration, ClusterSim, ScalingReport};
 pub use ptsim_togsim::ExecutionBackend;
 pub use runspec::{FidelitySpec, ModelRequest, RunSpec};

@@ -417,14 +417,7 @@ impl RunSpec {
     /// equal canonical rendering, which callers that cannot tolerate hash
     /// collisions should compare) imply equal [`SimReport`]s.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        for b in self.canonical_json().bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
-        }
-        h
+        ptsim_common::fingerprint::fnv1a(self.canonical_json().as_bytes())
     }
 
     /// Runs the spec through `cache`, compiling at most once per unique

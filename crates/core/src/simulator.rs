@@ -253,7 +253,7 @@ impl Simulator {
     /// configuration, or an error if lowering fails.
     pub fn compile(&self, spec: &ModelSpec) -> Result<Arc<CompiledModel>> {
         self.cfg.validate()?;
-        self.cache.compile_spec(&self.compiler, spec)
+        self.cache.compile_spec_traced(&self.compiler, spec, self.tracer.as_deref())
     }
 
     /// Number of cached compiled models (over the whole shared cache).
@@ -269,7 +269,11 @@ impl Simulator {
     ///
     /// Returns an error if compilation or simulation fails.
     pub fn run(&self, spec: &ModelSpec, opts: RunOptions) -> Result<SimReport> {
-        let model = self.compile(spec)?;
+        self.cfg.validate()?;
+        // A per-run tracer wins over the construction-time default, for
+        // compile spans exactly as for simulation events.
+        let tracer = opts.tracer.as_deref().or(self.tracer.as_deref());
+        let model = self.cache.compile_spec_traced(&self.compiler, spec, tracer)?;
         self.run_compiled(&model, &opts)
     }
 

@@ -407,10 +407,7 @@ impl Sweep {
             results,
             jobs,
             wall_seconds: started.elapsed().as_secs_f64(),
-            cache: CompileCacheStats {
-                hits: after.hits - hits_before.hits,
-                compiles: after.compiles - hits_before.compiles,
-            },
+            cache: after.delta(hits_before),
         })
     }
 }

@@ -324,7 +324,7 @@ fn route(req: &Request, state: &Arc<State>) -> Response {
     let t0 = Instant::now();
     let (endpoint, resp) = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => ("healthz", healthz(state)),
-        ("GET", "/metrics") => ("metrics", Response::json(200, state.metrics.json())),
+        ("GET", "/metrics") => ("metrics", metrics_endpoint(state)),
         ("POST", "/v1/simulate") => ("simulate", simulate(req, state)),
         ("POST", "/v1/sweep") => ("sweep", sweep(req, state)),
         ("POST", "/admin/shutdown") => ("shutdown", shutdown(state)),
@@ -339,6 +339,29 @@ fn route(req: &Request, state: &Arc<State>) -> Response {
         .histogram(&format!("serve.{endpoint}.latency_us"))
         .observe(t0.elapsed().as_micros() as u64);
     resp
+}
+
+/// `GET /metrics`: refreshes the compile-cache gauges from the live
+/// cache, then renders the registry. The staged cache keeps its own
+/// atomic counters, so per-stage hit/miss/in-flight numbers are exported
+/// as point-in-time gauges rather than double-counted registry counters.
+fn metrics_endpoint(state: &Arc<State>) -> Response {
+    let stats = state.compile_cache.stats();
+    let m = &state.metrics;
+    m.gauge("compile_cache.models").set(state.compile_cache.len() as u64);
+    m.gauge("compile_cache.bytes_held").set(stats.bytes_held);
+    m.gauge("compile_cache.evictions").set(stats.evictions);
+    for (stage, s) in [
+        ("graph", stats.graph),
+        ("plan", stats.plan),
+        ("kernel", stats.kernel),
+        ("model", stats.model),
+    ] {
+        m.gauge(&format!("compile_cache.{stage}.hits")).set(s.hits);
+        m.gauge(&format!("compile_cache.{stage}.misses")).set(s.misses);
+        m.gauge(&format!("compile_cache.{stage}.in_flight")).set(s.in_flight);
+    }
+    Response::json(200, state.metrics.json())
 }
 
 fn healthz(state: &Arc<State>) -> Response {

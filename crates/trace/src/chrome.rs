@@ -30,6 +30,8 @@ pub const NOC_PID: u32 = 1001;
 pub const SCHED_PID: u32 = 1002;
 /// Synthetic pid hosting the cluster/collective row.
 pub const CLUSTER_PID: u32 = 1003;
+/// Synthetic pid hosting the compile-pipeline row (wall-clock µs).
+pub const COMPILER_PID: u32 = 1004;
 
 /// Escapes a string for embedding in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -58,6 +60,7 @@ fn track_ids(track: Track) -> (u32, String) {
         Track::Noc => (NOC_PID, "\"noc\"".to_string()),
         Track::Scheduler => (SCHED_PID, "\"sched\"".to_string()),
         Track::Cluster => (CLUSTER_PID, "\"collective\"".to_string()),
+        Track::Compiler => (COMPILER_PID, "\"compile\"".to_string()),
     }
 }
 
@@ -67,6 +70,7 @@ fn process_name(pid: u32) -> String {
         NOC_PID => "noc".to_string(),
         SCHED_PID => "scheduler".to_string(),
         CLUSTER_PID => "cluster".to_string(),
+        COMPILER_PID => "compiler".to_string(),
         core => format!("core{core}"),
     }
 }

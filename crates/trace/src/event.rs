@@ -52,6 +52,8 @@ pub enum Track {
     Scheduler,
     /// The multi-NPU cluster (collectives).
     Cluster,
+    /// The staged compile pipeline (wall-clock µs, not simulated cycles).
+    Compiler,
 }
 
 /// Row-buffer outcome of a DRAM transaction, mirrored from the DRAM model

@@ -262,6 +262,24 @@ impl Tracer {
         });
     }
 
+    /// One stage of the staged compile pipeline (capture, plan, emit) on
+    /// the compiler track. `at` and `dur` are wall-clock microseconds
+    /// relative to the start of the compile, not simulated cycles — the
+    /// compiler row has its own timeline.
+    #[inline]
+    pub fn compile_span(&self, at: u64, stage: &str, dur: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            at,
+            dur,
+            track: Track::Compiler,
+            tag: 0,
+            data: EventData::Marker { label: format!("compile:{stage}") },
+        });
+    }
+
     /// A free-form instant annotation on any track.
     #[inline]
     pub fn marker(&self, at: u64, track: Track, label: &str) {
