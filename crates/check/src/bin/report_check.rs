@@ -11,7 +11,7 @@
 //! cargo run --release -p ptsim-check --bin report_check -- --seeds 50 --json
 //! ```
 
-use ptsim_check::{run_seed_with_workers, SuiteReport};
+use ptsim_check::{run_seed_filtered, SuiteReport, ORACLES};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -21,17 +21,19 @@ struct Args {
     replay: Option<u64>,
     json: bool,
     workers: Option<u64>,
+    oracle: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { seeds: 25, start: 0, replay: None, json: false, workers: None };
+    let mut args =
+        Args { seeds: 25, start: 0, replay: None, json: false, workers: None, oracle: None };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
         let mut num = |name: &str| -> Result<u64, String> {
-            it.next()
-                .ok_or_else(|| format!("{name} needs a value"))?
-                .parse()
-                .map_err(|e| format!("{name}: {e}"))
+            value(name)?.parse().map_err(|e| format!("{name}: {e}"))
         };
         match arg.as_str() {
             "--seeds" => args.seeds = num("--seeds")?,
@@ -39,17 +41,26 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay = Some(num("--replay")?),
             "--json" => args.json = true,
             "--workers" => args.workers = Some(num("--workers")?),
+            "--oracle" => {
+                let name = value("--oracle")?;
+                if !ORACLES.iter().any(|o| o.name == name) {
+                    let known: Vec<&str> = ORACLES.iter().map(|o| o.name).collect();
+                    return Err(format!("--oracle: unknown oracle {name:?}; known: {known:?}"));
+                }
+                args.oracle = Some(name);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: report_check [--seeds N] [--start S] [--replay SEED] [--json] \
-                     [--workers W]\n\
+                     [--workers W] [--oracle NAME]\n\
                      \n\
                      --seeds N     check seeds S..S+N (default 25)\n\
                      --start S     first seed of the range (default 0)\n\
                      --replay SEED re-check exactly one seed\n\
                      --json        machine-readable report\n\
                      --workers W   pin the parallel-backend worker count\n\
-                                   (default: each seed draws its own)"
+                                   (default: each seed draws its own)\n\
+                     --oracle NAME run a single oracle instead of the full set"
                 );
                 std::process::exit(0);
             }
@@ -75,7 +86,8 @@ fn main() -> ExitCode {
     let started = Instant::now();
     let mut outcomes = Vec::with_capacity(seeds.len());
     for &seed in &seeds {
-        let outcome = run_seed_with_workers(seed, args.workers.map(|w| w as usize));
+        let outcome =
+            run_seed_filtered(seed, args.workers.map(|w| w as usize), args.oracle.as_deref());
         if !args.json {
             if outcome.failures.is_empty() {
                 if args.replay.is_some() {

@@ -75,15 +75,25 @@ pub fn run_seed(seed: u64) -> SeedOutcome {
 /// instead of the seed's own draw — how CI smoke-tests the whole oracle set
 /// at one fixed shard count.
 pub fn run_seed_with_workers(seed: u64, workers: Option<usize>) -> SeedOutcome {
+    run_seed_filtered(seed, workers, None)
+}
+
+/// [`run_seed_with_workers`] restricted to the single oracle named
+/// `oracle` (all of them when `None`) — how CI smoke-tests one property
+/// over many seeds without paying for the whole set.
+pub fn run_seed_filtered(seed: u64, workers: Option<usize>, oracle: Option<&str>) -> SeedOutcome {
     let mut case = CheckCase::from_seed(seed);
     if let Some(w) = workers {
         case.workers = w;
     }
     let mut failures = Vec::new();
-    for oracle in ORACLES {
-        if let Err(message) = (oracle.run)(&case) {
-            let shrunk = shrink(&case, |candidate| (oracle.run)(candidate).is_err());
-            failures.push(Failure { seed, oracle: oracle.name, message, shrunk: shrunk.summary() });
+    for o in ORACLES {
+        if oracle.is_some_and(|name| name != o.name) {
+            continue;
+        }
+        if let Err(message) = (o.run)(&case) {
+            let shrunk = shrink(&case, |candidate| (o.run)(candidate).is_err());
+            failures.push(Failure { seed, oracle: o.name, message, shrunk: shrunk.summary() });
         }
     }
     SeedOutcome { seed, case: case.summary(), failures }

@@ -60,6 +60,7 @@ pub const ORACLES: &[Oracle] = &[
     Oracle { name: "parallel_vs_serial", run: parallel_vs_serial },
     Oracle { name: "sweep_determinism", run: sweep_determinism },
     Oracle { name: "max_cycles_clamp", run: max_cycles_clamp },
+    Oracle { name: "cancel_consistency", run: cancel_consistency },
     Oracle { name: "resource_monotonicity", run: resource_monotonicity },
     Oracle { name: "batch_monotonicity", run: batch_monotonicity },
     Oracle { name: "fidelity_agreement", run: fidelity_agreement },
@@ -482,6 +483,70 @@ fn max_cycles_clamp(case: &CheckCase) -> Result<(), String> {
                     r.total_cycles
                 ))
             }
+        }
+    }
+    Ok(())
+}
+
+/// Cooperative cancellation must be clean and deterministic: a run killed
+/// mid-flight by a seed-derived poll budget fails with the typed
+/// [`Error::Cancelled`]; re-running the identical spec *uncancelled on the
+/// same simulator* (same compile cache, same exactly-once gates) must be
+/// bit-identical to a never-cancelled run on a fresh simulator —
+/// cancellation can neither poison the caches nor leave a gate stuck.
+fn cancel_consistency(case: &CheckCase) -> Result<(), String> {
+    use ptsim_common::CancelToken;
+    let spec = case.workload.spec();
+
+    let baseline = no_panic("baseline run", || {
+        Simulator::new(case.cfg.clone()).run(&spec, RunOptions::tls())
+    })?
+    .map_err(|e| format!("baseline run: {e}"))?;
+
+    // Poll sites are fixed points of a run (the compile stages, then every
+    // 64th scheduler step), so a seed-derived budget cancels at the same
+    // spot on every replay — from before compilation (budget 0) to deep
+    // inside the engine.
+    let budget = case.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57; // 0..128
+    let sim = Simulator::new(case.cfg.clone());
+    let token = CancelToken::with_poll_budget(budget);
+    let run = no_panic("cancelled run", || sim.run(&spec, RunOptions::tls().with_cancel(token)))?;
+    match run {
+        Err(Error::Cancelled { .. }) => {}
+        Err(e) => return Err(format!("budget {budget}: expected Error::Cancelled, got: {e}")),
+        // A budget beyond the run's total poll count never fires; the
+        // report must then be untouched by the cancellation plumbing.
+        Ok(r) if r == baseline => {}
+        Ok(r) => {
+            return Err(format!(
+                "unfired budget {budget} changed the report: {} vs {} cycles",
+                r.total_cycles, baseline.total_cycles
+            ))
+        }
+    }
+
+    let retry = no_panic("uncancelled retry", || sim.run(&spec, RunOptions::tls()))?
+        .map_err(|e| format!("uncancelled retry after a cancelled run failed: {e}"))?;
+    if retry != baseline {
+        return Err(format!(
+            "retry after cancellation diverges from a never-cancelled run: {} vs {} cycles \
+             (poisoned cache?)",
+            retry.total_cycles, baseline.total_cycles
+        ));
+    }
+
+    let stats = sim.cache().stats();
+    for (stage, s) in [
+        ("graph", stats.graph),
+        ("plan", stats.plan),
+        ("kernel", stats.kernel),
+        ("model", stats.model),
+    ] {
+        if s.in_flight != 0 {
+            return Err(format!(
+                "{} {stage}-stage gates still in flight after a cancelled run",
+                s.in_flight
+            ));
         }
     }
     Ok(())

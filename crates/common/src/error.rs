@@ -25,6 +25,15 @@ pub enum Error {
     Serde(String),
     /// A wire request declared a schema version this build does not speak.
     UnsupportedSchema(String),
+    /// The run was cooperatively cancelled (deadline, budget, or explicit).
+    Cancelled {
+        /// Simulated cycle at which the cancellation was observed (0 when
+        /// the run was cancelled before the engine started stepping).
+        at_cycle: u64,
+        /// The poll point that observed the cancellation (e.g. `"togsim"`,
+        /// `"compile:plan"`, `"sweep"`).
+        phase: &'static str,
+    },
 }
 
 impl Error {
@@ -45,6 +54,9 @@ impl fmt::Display for Error {
             Error::SimulationFault(msg) => write!(f, "simulation fault: {msg}"),
             Error::Serde(msg) => write!(f, "serialization error: {msg}"),
             Error::UnsupportedSchema(msg) => write!(f, "unsupported schema: {msg}"),
+            Error::Cancelled { at_cycle, phase } => {
+                write!(f, "cancelled at cycle {at_cycle} during {phase}")
+            }
         }
     }
 }

@@ -19,6 +19,7 @@
 //! assert_eq!(tpu.cycles_to_secs(t), 1.0);
 //! ```
 
+pub mod cancel;
 pub mod config;
 pub mod cycles;
 pub mod error;
@@ -27,6 +28,7 @@ pub mod id;
 pub mod json;
 pub mod util;
 
+pub use cancel::CancelToken;
 pub use config::{DmaGranularity, DramConfig, NocConfig, NocKind, NpuConfig, SimConfig};
 pub use cycles::Cycle;
 pub use error::{Error, Result};

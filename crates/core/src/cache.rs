@@ -473,6 +473,36 @@ impl CompileCache {
         spec: &ModelSpec,
         tracer: Option<&ptsim_trace::Tracer>,
     ) -> Result<Arc<CompiledModel>> {
+        self.compile_spec_cancellable(compiler, spec, tracer, None)
+    }
+
+    /// [`CompileCache::compile_spec_traced`] with cooperative cancellation:
+    /// `cancel` is polled between every artifact stage (capture → plan →
+    /// measure+emit), so a fired token unwinds before the next stage
+    /// starts. The unwind is an ordinary `Err` through
+    /// [`get_or_compile`](CompileCache::get_or_compile)'s failure path:
+    /// nothing partial is cached and the per-key in-flight gate is
+    /// released, so a concurrent or later request for the same key simply
+    /// compiles afresh — cancellation cannot poison the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors, and returns
+    /// [`ptsim_common::Error::Cancelled`] if `cancel` fires between
+    /// stages.
+    pub fn compile_spec_cancellable(
+        &self,
+        compiler: &Compiler,
+        spec: &ModelSpec,
+        tracer: Option<&ptsim_trace::Tracer>,
+        cancel: Option<&ptsim_common::CancelToken>,
+    ) -> Result<Arc<CompiledModel>> {
+        let check = |phase: &'static str| -> Result<()> {
+            match cancel {
+                Some(token) => token.checkpoint(0, phase),
+                None => Ok(()),
+            }
+        };
         let started = std::time::Instant::now();
         let us = |t: std::time::Instant| (t - started).as_micros() as u64;
         let key = CacheKey::new(spec, compiler.config(), compiler.options());
@@ -482,6 +512,7 @@ impl CompileCache {
             compiled.store(1, Ordering::Relaxed);
             // Stage 1: graph capture. A fingerprint match skips
             // revalidation of a structurally identical graph.
+            check("compile:capture")?;
             let t0 = std::time::Instant::now();
             self.graphs.get_or_build(graph_fp, || {
                 spec.graph.validate()?;
@@ -499,6 +530,7 @@ impl CompileCache {
                 .u64(compiler.config().plan_projection(opts.autotune).fingerprint())
                 .u64(opts.fingerprint())
                 .finish();
+            check("compile:plan")?;
             let t1 = std::time::Instant::now();
             let plan = self.plans.get_or_build(plan_key, || {
                 let plan = compiler.plan(&spec.graph, &self.kernels)?;
@@ -511,6 +543,7 @@ impl CompileCache {
             }
             // Stages 3+4: emission measures any still-unknown kernels
             // through the shared store, then assembles the model.
+            check("compile:emit")?;
             let t2 = std::time::Instant::now();
             let model = compiler.emit(&spec.graph, &spec.name, 1, &plan, &self.kernels)?;
             if let Some(tr) = tracer {

@@ -427,13 +427,32 @@ impl RunSpec {
     ///
     /// Validation, compilation, or simulation failures.
     pub fn run(&self, cache: &Arc<CompileCache>) -> Result<SimReport> {
+        self.run_with_cancel(cache, None)
+    }
+
+    /// [`RunSpec::run`] with cooperative cancellation: `cancel` is polled
+    /// through every layer of the run (compile stages and the engine step
+    /// loop), so a fired token unwinds with
+    /// [`Error::Cancelled`] instead of finishing the simulation. This is
+    /// how `ptsim-serve` enforces `deadline_ms` on in-flight runs.
+    ///
+    /// # Errors
+    ///
+    /// As [`RunSpec::run`], plus [`Error::Cancelled`] once `cancel` fires.
+    pub fn run_with_cancel(
+        &self,
+        cache: &Arc<CompileCache>,
+        cancel: Option<&ptsim_common::CancelToken>,
+    ) -> Result<SimReport> {
         self.validate()?;
         let spec = self.model.build()?;
         let sim = Simulator::builder(self.config.clone())
             .compiler_options(self.options.clone())
             .shared_cache(Arc::clone(cache))
             .build();
-        sim.run(&spec, self.run_options())
+        let mut run = self.run_options();
+        run.cancel = cancel.cloned();
+        sim.run(&spec, run)
     }
 
     /// Parses the wire form with *typed* errors: a schema version outside

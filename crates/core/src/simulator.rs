@@ -23,7 +23,7 @@
 
 use crate::cache::CompileCache;
 use ptsim_common::config::SimConfig;
-use ptsim_common::{Cycle, Result};
+use ptsim_common::{CancelToken, Cycle, Result};
 use ptsim_compiler::{execute_functional, CompiledModel, Compiler, CompilerOptions};
 use ptsim_models::ModelSpec;
 use ptsim_tensor::Tensor;
@@ -52,6 +52,10 @@ pub struct RunOptions {
     /// Metrics registry; the engine registers its per-phase counters
     /// (`togsim.iterations`, `togsim.issue_ns`, …) here when set.
     pub metrics: Option<Arc<ptsim_trace::MetricsRegistry>>,
+    /// Cooperative cancellation: when set, the compile stages and the
+    /// engine step loop poll the token at bounded intervals and unwind
+    /// with [`ptsim_common::Error::Cancelled`] once it fires.
+    pub cancel: Option<CancelToken>,
 }
 
 impl RunOptions {
@@ -118,6 +122,19 @@ impl RunOptions {
         self
     }
 
+    /// Arms cooperative cancellation for this run. The token is polled
+    /// between compile stages and at a bounded interval of the engine's
+    /// step loop; once it fires the run returns
+    /// [`ptsim_common::Error::Cancelled`]. Cancelling never corrupts
+    /// shared state: the compile cache treats it as an ordinary failure
+    /// (nothing cached, in-flight gates released) and the engine stops the
+    /// clock instead of skewing it.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Whether this run needs kernel programs attached (ILS re-executes
     /// machine code).
     pub fn needs_kernels(&self) -> bool {
@@ -143,6 +160,9 @@ pub(crate) fn build_togsim(
     }
     if let Some(m) = &opts.metrics {
         sim.set_metrics(m);
+    }
+    if let Some(token) = &opts.cancel {
+        sim.set_cancel(token.clone());
     }
     sim
 }
@@ -252,8 +272,23 @@ impl Simulator {
     /// Returns [`ptsim_common::Error::InvalidConfig`] for a degenerate NPU
     /// configuration, or an error if lowering fails.
     pub fn compile(&self, spec: &ModelSpec) -> Result<Arc<CompiledModel>> {
+        self.compile_with_cancel(spec, None)
+    }
+
+    /// [`Simulator::compile`] with cooperative cancellation polled between
+    /// the artifact stages.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::compile`], plus [`ptsim_common::Error::Cancelled`]
+    /// if `cancel` fires between stages.
+    pub fn compile_with_cancel(
+        &self,
+        spec: &ModelSpec,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Arc<CompiledModel>> {
         self.cfg.validate()?;
-        self.cache.compile_spec_traced(&self.compiler, spec, self.tracer.as_deref())
+        self.cache.compile_spec_cancellable(&self.compiler, spec, self.tracer.as_deref(), cancel)
     }
 
     /// Number of cached compiled models (over the whole shared cache).
@@ -273,7 +308,12 @@ impl Simulator {
         // A per-run tracer wins over the construction-time default, for
         // compile spans exactly as for simulation events.
         let tracer = opts.tracer.as_deref().or(self.tracer.as_deref());
-        let model = self.cache.compile_spec_traced(&self.compiler, spec, tracer)?;
+        let model = self.cache.compile_spec_cancellable(
+            &self.compiler,
+            spec,
+            tracer,
+            opts.cancel.as_ref(),
+        )?;
         self.run_compiled(&model, &opts)
     }
 
@@ -421,6 +461,51 @@ mod tests {
             sim.run(&spec, RunOptions::ils_timing()).unwrap().total_cycles,
             sim.run(&spec, RunOptions::ils()).unwrap().total_cycles
         );
+    }
+
+    #[test]
+    fn pre_cancelled_run_fails_typed_without_poisoning_the_cache() {
+        let sim = Simulator::new(SimConfig::tiny());
+        let spec = gemm(16);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = sim.run(&spec, RunOptions::tls().with_cancel(token)).unwrap_err();
+        assert!(
+            matches!(err, ptsim_common::Error::Cancelled { phase: "compile:capture", .. }),
+            "{err}"
+        );
+        // Nothing partial was cached and the in-flight gate was released:
+        // the same simulator compiles and runs the spec afresh.
+        assert_eq!(sim.cache_len(), 0);
+        let report = sim.run(&spec, RunOptions::tls()).unwrap();
+        assert_eq!(
+            report,
+            Simulator::new(SimConfig::tiny()).run(&spec, RunOptions::tls()).unwrap()
+        );
+    }
+
+    #[test]
+    fn budget_cancel_mid_simulation_reports_togsim_phase() {
+        let sim = Simulator::new(SimConfig::tiny());
+        let spec = gemm(32);
+        // Budget past the three compile-stage polls but far below the
+        // engine's step count: the cancellation lands mid-simulation.
+        let token = CancelToken::with_poll_budget(4);
+        let err = sim.run(&spec, RunOptions::tls().with_cancel(token)).unwrap_err();
+        assert!(matches!(err, ptsim_common::Error::Cancelled { phase: "togsim", .. }), "{err}");
+        // The compiled model was cached before the cancellation hit the
+        // engine; an uncancelled retry hits the cache and completes.
+        assert_eq!(sim.cache_len(), 1);
+        sim.run(&spec, RunOptions::tls()).unwrap();
+    }
+
+    #[test]
+    fn uncancelled_token_leaves_reports_bit_identical() {
+        let sim = Simulator::new(SimConfig::tiny());
+        let spec = gemm(32);
+        let plain = sim.run(&spec, RunOptions::tls()).unwrap();
+        let armed = sim.run(&spec, RunOptions::tls().with_cancel(CancelToken::new())).unwrap();
+        assert_eq!(plain, armed, "an unfired token must not perturb the timeline");
     }
 
     #[test]

@@ -40,7 +40,7 @@ use crate::cache::{CompileCache, CompileCacheStats};
 use crate::simulator::{RunOptions, Simulator};
 use ptsim_common::config::SimConfig;
 use ptsim_common::json::{FromJson, Json, ToJson};
-use ptsim_common::Result;
+use ptsim_common::{CancelToken, Result};
 use ptsim_compiler::CompilerOptions;
 use ptsim_models::ModelSpec;
 use ptsim_tog::ExecutableTog;
@@ -162,21 +162,35 @@ impl SweepPoint {
         self
     }
 
-    /// Executes this point against a shared compile cache.
-    fn execute(&self, cache: &Arc<CompileCache>) -> Result<PointResult> {
+    /// Executes this point against a shared compile cache. A sweep-level
+    /// `cancel` token (from [`SweepOptions::cancel`]) is checked before
+    /// the point starts and threaded into its compile and simulation; a
+    /// point-level [`RunOptions::cancel`] takes precedence.
+    fn execute(
+        &self,
+        cache: &Arc<CompileCache>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<PointResult> {
         let started = Instant::now();
+        let mut run = self.run.clone();
+        if run.cancel.is_none() {
+            run.cancel = cancel.cloned();
+        }
+        if let Some(token) = &run.cancel {
+            token.checkpoint(0, "sweep")?;
+        }
         self.cfg.validate()?;
         let sim = Simulator::builder(self.cfg.clone())
             .compiler_options(self.opts.clone())
             .shared_cache(Arc::clone(cache))
             .build();
-        let mut togsim = sim.new_togsim(&self.run);
+        let mut togsim = sim.new_togsim(&run);
         for job in &self.jobs {
             match &job.source {
                 JobSource::Spec(spec) => {
-                    let model = sim.compile(spec)?;
+                    let model = sim.compile_with_cancel(spec, run.cancel.as_ref())?;
                     let mut placement = job.placement.clone();
-                    if self.run.needs_kernels() && placement.kernels.is_none() {
+                    if run.needs_kernels() && placement.kernels.is_none() {
                         placement.kernels = Some(Arc::new(model.kernels.clone()));
                     }
                     togsim.add_shared_job(Arc::new(model.tog.clone()), placement);
@@ -186,7 +200,7 @@ impl SweepPoint {
                 }
             }
         }
-        let report = togsim.run_with(self.run.backend)?;
+        let report = togsim.run_with(run.backend)?;
         Ok(PointResult {
             label: self.label.clone(),
             report,
@@ -203,6 +217,12 @@ pub struct SweepOptions {
     /// Share this cache instead of a sweep-private one — chain sweeps to
     /// reuse compilations, or pre-warm a cache for later simulators.
     pub cache: Option<Arc<CompileCache>>,
+    /// Cooperative cancellation for the whole sweep: the token is checked
+    /// before each point starts and propagated into every point's compile
+    /// and simulation (points with their own [`RunOptions::cancel`] keep
+    /// it). Once fired, remaining points fail fast with
+    /// [`ptsim_common::Error::Cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl SweepOptions {
@@ -215,6 +235,13 @@ impl SweepOptions {
     #[must_use]
     pub fn with_cache(mut self, cache: Arc<CompileCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Arms cooperative cancellation for every point of the sweep.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 }
@@ -376,9 +403,10 @@ impl Sweep {
 
         let slots: Vec<Mutex<Option<Result<PointResult>>>> =
             self.points.iter().map(|_| Mutex::new(None)).collect();
+        let cancel = options.cancel.as_ref();
         if jobs <= 1 {
             for (point, slot) in self.points.iter().zip(&slots) {
-                *slot.lock().expect("sweep slot poisoned") = Some(point.execute(&cache));
+                *slot.lock().expect("sweep slot poisoned") = Some(point.execute(&cache, cancel));
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -387,7 +415,7 @@ impl Sweep {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(point) = self.points.get(i) else { break };
-                        let result = point.execute(&cache);
+                        let result = point.execute(&cache, cancel);
                         *slots[i].lock().expect("sweep slot poisoned") = Some(result);
                     });
                 }
@@ -420,6 +448,23 @@ mod tests {
     fn small_grid() -> Sweep {
         let configs = vec![("tiny".to_string(), SimConfig::tiny())];
         Sweep::grid([gemm(16), gemm(32), gemm(48)], &configs)
+    }
+
+    #[test]
+    fn cancelled_sweep_fails_every_remaining_point_fast() {
+        let sweep = small_grid();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = sweep.run(&SweepOptions::with_jobs(2).with_cancel(token)).unwrap_err();
+        assert!(matches!(err, ptsim_common::Error::Cancelled { .. }), "{err}");
+    }
+
+    #[test]
+    fn unfired_sweep_token_changes_nothing() {
+        let sweep = small_grid();
+        let plain = sweep.run(&SweepOptions::with_jobs(1)).unwrap();
+        let armed = sweep.run(&SweepOptions::with_jobs(1).with_cancel(CancelToken::new())).unwrap();
+        assert_eq!(plain.sim_reports(), armed.sim_reports());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use crate::channel::Channel;
 use crate::DramSim;
-use ptsim_common::{Cycle, RequestId};
+use ptsim_common::{CancelToken, Cycle, RequestId};
 use ptsim_event::{partition_even, EpochShard, ShardPool};
 
 /// Hard cap on worker shards; beyond this, coordination cost dwarfs the
@@ -104,6 +104,13 @@ impl ShardedDram {
     /// Number of worker groups actually created.
     pub fn groups(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Arms cooperative cancellation on the underlying worker pool: once
+    /// `token` fires, channel groups stop advancing (the run is unwinding;
+    /// [`restore`](Self::restore) still returns every channel intact).
+    pub fn set_cancel(&self, token: &CancelToken) {
+        self.pool.set_cancel(token);
     }
 
     fn channel_of(&self, addr: u64) -> usize {

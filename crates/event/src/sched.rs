@@ -1,6 +1,17 @@
 //! The clock-owning scheduler.
 
-use ptsim_common::Cycle;
+use ptsim_common::{CancelToken, Cycle};
+
+/// How many [`Scheduler::step`] calls pass between cancel-token polls.
+///
+/// Polling is cheap (an atomic load; an `Instant::now()` when a deadline
+/// is armed) but the step loop is the hottest path in the engine, so the
+/// token is consulted at a bounded interval rather than every iteration.
+/// Steps take microseconds at most, so this bounds cancellation latency
+/// well below a millisecond of host time. Because the interval is a fixed
+/// function of the step count, poll sites are deterministic — the property
+/// deterministic poll-budget cancellation relies on.
+const CANCEL_POLL_INTERVAL: u32 = 64;
 
 /// What the driver should do next, decided by [`Scheduler::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +28,9 @@ pub enum Step {
     Deadlocked,
     /// Advancing would exceed the configured safety limit.
     LimitExceeded,
+    /// The run's [`CancelToken`] fired; the driver should unwind with
+    /// [`ptsim_common::error::Error::Cancelled`]. The clock does not move.
+    Cancelled,
 }
 
 /// Owns the global clock of an event-driven simulation and decides, each
@@ -51,6 +65,9 @@ pub struct Scheduler {
     next_scheduled: Cycle,
     next_component: Cycle,
     progressed: bool,
+    cancel: Option<CancelToken>,
+    /// Steps until the next cancel-token poll (0 = poll on this step).
+    until_poll: u32,
 }
 
 impl Default for Scheduler {
@@ -69,6 +86,8 @@ impl Scheduler {
             next_scheduled: Cycle::MAX,
             next_component: Cycle::MAX,
             progressed: false,
+            cancel: None,
+            until_poll: 0,
         }
     }
 
@@ -92,6 +111,17 @@ impl Scheduler {
     /// The configured safety limit.
     pub fn max_cycles(&self) -> u64 {
         self.max_cycles
+    }
+
+    /// Arms cooperative cancellation: [`step`](Scheduler::step) polls
+    /// `token` at a bounded interval (every `CANCEL_POLL_INTERVAL` steps,
+    /// including the first) and
+    /// returns [`Step::Cancelled`] once it has fired. The clock never
+    /// moves on a cancelled step, so a run that *completes* reports cycle
+    /// counts unaffected by polling granularity.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+        self.until_poll = 0;
     }
 
     /// Records that the current cycle did something (drained an event,
@@ -121,6 +151,17 @@ impl Scheduler {
     /// Consumes the observations made since the previous step and decides
     /// the next clock action.
     pub fn step(&mut self) -> Step {
+        if let Some(token) = &self.cancel {
+            if self.until_poll == 0 {
+                if token.poll() {
+                    // Leave `until_poll` at 0: once fired, every later
+                    // step re-polls and the verdict stays `Cancelled`.
+                    return Step::Cancelled;
+                }
+                self.until_poll = CANCEL_POLL_INTERVAL;
+            }
+            self.until_poll -= 1;
+        }
         let next = self.next_scheduled.min(self.next_component);
         let comp = self.next_component;
         let progressed = self.progressed;
@@ -218,6 +259,39 @@ mod tests {
         assert_eq!(s.now(), Cycle::ZERO, "a refused step leaves time alone");
         s.observe(Some(Cycle::new(100)));
         assert_eq!(s.step(), Step::Advance(Cycle::new(100)));
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_step_loop_without_moving_time() {
+        let mut s = Scheduler::new();
+        let token = CancelToken::new();
+        s.set_cancel(token.clone());
+        s.observe(Some(Cycle::new(10)));
+        assert_eq!(s.step(), Step::Advance(Cycle::new(10)));
+        token.cancel();
+        // Polls happen every CANCEL_POLL_INTERVAL steps; drive past one.
+        // Non-polling steps still advance time normally — only the
+        // cancelled step itself must leave the clock alone.
+        let mut fired = false;
+        for i in 0..=super::CANCEL_POLL_INTERVAL {
+            s.observe(Some(Cycle::new(1_000 + u64::from(i))));
+            let before = s.now();
+            if s.step() == Step::Cancelled {
+                assert_eq!(s.now(), before, "a cancelled step leaves time alone");
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "the poll interval elapsed without a Cancelled verdict");
+        // The verdict is sticky: the token stays fired.
+        assert_eq!(s.step(), Step::Cancelled);
+    }
+
+    #[test]
+    fn unarmed_scheduler_never_polls() {
+        let mut s = Scheduler::new();
+        s.observe(Some(Cycle::new(5)));
+        assert_eq!(s.step(), Step::Advance(Cycle::new(5)));
     }
 
     #[test]

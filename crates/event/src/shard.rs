@@ -35,10 +35,10 @@
 //! runners included), where a spin-wait would steal the coordinator's own
 //! timeslice.
 
-use ptsim_common::Cycle;
+use ptsim_common::{CancelToken, Cycle};
 use std::mem;
 use std::ops::Range;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 /// A partition of simulation state that one worker advances per epoch.
@@ -70,6 +70,12 @@ enum SlotState<S> {
 struct Slot<S> {
     state: Mutex<SlotState<S>>,
     cv: Condvar,
+    /// Optional run-wide cancel token, armed at most once per pool
+    /// lifetime ([`ShardPool::set_cancel`]). Workers poll it once per
+    /// epoch — the bounded interval of this layer — and skip the epoch's
+    /// work after it fires, while still handing the shard back so the
+    /// coordinator's reclaim barrier (and shard ownership) is unaffected.
+    cancel: OnceLock<CancelToken>,
 }
 
 fn worker_loop<S: EpochShard>(slot: &Slot<S>) {
@@ -78,7 +84,10 @@ fn worker_loop<S: EpochShard>(slot: &Slot<S>) {
         match mem::replace(&mut *guard, SlotState::Idle) {
             SlotState::Work(mut shard, horizon) => {
                 drop(guard);
-                shard.run_epoch(horizon);
+                let cancelled = slot.cancel.get().is_some_and(CancelToken::is_cancelled);
+                if !cancelled {
+                    shard.run_epoch(horizon);
+                }
                 guard = slot.state.lock().expect("shard slot poisoned");
                 // Shutdown may have raced in while the epoch ran; honour it
                 // rather than clobbering it with `Done` and waiting forever.
@@ -117,7 +126,13 @@ impl<S: EpochShard> ShardPool<S> {
     pub fn new(shards: Vec<S>) -> Self {
         let slots: Vec<Arc<Slot<S>>> = shards
             .iter()
-            .map(|_| Arc::new(Slot { state: Mutex::new(SlotState::Idle), cv: Condvar::new() }))
+            .map(|_| {
+                Arc::new(Slot {
+                    state: Mutex::new(SlotState::Idle),
+                    cv: Condvar::new(),
+                    cancel: OnceLock::new(),
+                })
+            })
             .collect();
         let threads = slots
             .iter()
@@ -141,6 +156,21 @@ impl<S: EpochShard> ShardPool<S> {
     /// True when the pool holds no shards.
     pub fn is_empty(&self) -> bool {
         self.home.is_empty()
+    }
+
+    /// Arms cooperative cancellation: once `token` fires, workers skip the
+    /// per-epoch `run_epoch` work (polling once per dispatched epoch) but
+    /// still hand their shards back at the barrier, so ownership and
+    /// shutdown are unaffected. Intended for runs that are being unwound —
+    /// shard timelines stop advancing, and the driver is expected to abort
+    /// with `Error::Cancelled` instead of consuming further results.
+    ///
+    /// The token can be armed at most once per pool; later calls are
+    /// ignored (the pool lives for a single run).
+    pub fn set_cancel(&self, token: &CancelToken) {
+        for slot in &self.slots {
+            let _ = slot.cancel.set(token.clone());
+        }
     }
 
     /// Coordinator access to shard `i` (between epochs).
@@ -311,6 +341,29 @@ mod tests {
         assert!(ran);
         // Shards are home again: coordinator access works.
         assert_eq!(pool.shard_mut(1).last, Cycle::new(3));
+    }
+
+    #[test]
+    fn cancelled_pool_skips_epochs_but_returns_shards() {
+        let pool = ShardPool::new(probes(3));
+        let token = CancelToken::new();
+        pool.set_cancel(&token);
+        token.cancel();
+        let mut pool = pool;
+        pool.run_epoch_where(Cycle::new(10), |_| true, || {});
+        // Every shard came home (the barrier reclaimed them all) but no
+        // epoch work ran.
+        let shards = pool.into_shards();
+        assert_eq!(shards.len(), 3);
+        assert!(shards.iter().all(|s| s.epochs == 0));
+    }
+
+    #[test]
+    fn uncancelled_token_does_not_disturb_epochs() {
+        let mut pool = ShardPool::new(probes(2));
+        pool.set_cancel(&CancelToken::new());
+        pool.run_epoch_where(Cycle::new(7), |_| true, || {});
+        assert!(pool.into_shards().iter().all(|s| s.epochs == 1 && s.last == Cycle::new(7)));
     }
 
     #[test]

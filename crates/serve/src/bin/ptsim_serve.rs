@@ -46,17 +46,25 @@ fn parse_args() -> Result<Args, String> {
                 args.cfg.deadline_ms =
                     value("--deadline-ms")?.parse().map_err(|e| format!("--deadline-ms: {e}"))?
             }
+            "--shutdown-grace-ms" => {
+                args.cfg.shutdown_grace_ms = value("--shutdown-grace-ms")?
+                    .parse()
+                    .map_err(|e| format!("--shutdown-grace-ms: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: ptsim_serve [--host H] [--port P] [--workers N] \
-                     [--queue-depth D] [--result-cache-mb M] [--deadline-ms T]\n\
+                     [--queue-depth D] [--result-cache-mb M] [--deadline-ms T] \
+                     [--shutdown-grace-ms G]\n\
                      \n\
                      --host H             bind host (default 127.0.0.1)\n\
                      --port P             bind port, 0 = OS-assigned (default 8080)\n\
                      --workers N          simulation worker threads (default 4)\n\
                      --queue-depth D      admission queue depth, beyond it 429 (default 64)\n\
                      --result-cache-mb M  result cache budget, 0 disables (default 32)\n\
-                     --deadline-ms T      per-request deadline (default 30000)"
+                     --deadline-ms T      per-request deadline, end to end (default 30000)\n\
+                     --shutdown-grace-ms G  drain grace before in-flight runs are cancelled \
+                     (default 5000)"
                 );
                 std::process::exit(0);
             }
@@ -75,6 +83,12 @@ fn main() -> ExitCode {
         }
     };
     args.cfg.addr = format!("{}:{}", args.host, args.port);
+    // Validate here too, so a bad flag reads as "invalid configuration:
+    // ..." rather than a bind error.
+    if let Err(e) = args.cfg.validate() {
+        eprintln!("ptsim_serve: {e}");
+        return ExitCode::FAILURE;
+    }
     let cfg = args.cfg.clone();
     let handle = match start(args.cfg) {
         Ok(h) => h,
@@ -84,8 +98,9 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "ptsim_serve: {} workers, queue depth {}, result cache {} MiB, deadline {} ms",
-        cfg.workers, cfg.queue_depth, cfg.result_cache_mb, cfg.deadline_ms
+        "ptsim_serve: {} workers, queue depth {}, result cache {} MiB, deadline {} ms, \
+         shutdown grace {} ms",
+        cfg.workers, cfg.queue_depth, cfg.result_cache_mb, cfg.deadline_ms, cfg.shutdown_grace_ms
     );
     println!("listening on http://{}", handle.addr());
     use std::io::Write;

@@ -13,6 +13,15 @@
 //! success, on simulation error, and on every admission-rejection path
 //! (queue full, draining). Followers always wake with the same outcome the
 //! leader got, which is exactly the semantics of a shared request.
+//!
+//! Worker threads hold that obligation across the simulation itself, where
+//! a panic (or any early return) would otherwise strand followers until
+//! their own timeout *and* leak the map entry forever — later requests for
+//! the same spec would coalesce onto a slot nobody will ever fill. The
+//! [`CompletionGuard`] makes the obligation RAII: dropping an uncompleted
+//! guard fills the slot with a fallback error outcome and retires the
+//! entry, so abandonment degrades to an explicit `500`/`503` instead of a
+//! hang plus a leak.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -99,6 +108,15 @@ impl InflightMap {
         }
     }
 
+    /// Binds the leader obligation for `canon` to an RAII guard: either
+    /// [`CompletionGuard::complete`] publishes a real outcome, or the
+    /// guard's drop publishes `fallback` — so a panicking (or otherwise
+    /// abandoning) worker still wakes every follower and retires the map
+    /// entry instead of leaking it.
+    pub fn completion_guard(&self, canon: String, fallback: Outcome) -> CompletionGuard<'_> {
+        CompletionGuard { map: self, canon: Some(canon), fallback }
+    }
+
     /// Requests currently in flight.
     pub fn len(&self) -> usize {
         self.slots.lock().expect("inflight map poisoned").len()
@@ -112,6 +130,34 @@ impl InflightMap {
     /// `(leaders, coalesced followers)` since startup.
     pub fn stats(&self) -> (u64, u64) {
         (self.led.load(Ordering::Relaxed), self.coalesced.load(Ordering::Relaxed))
+    }
+}
+
+/// RAII completion obligation for one coalescing slot (see
+/// [`InflightMap::completion_guard`]).
+#[derive(Debug)]
+pub struct CompletionGuard<'a> {
+    map: &'a InflightMap,
+    /// `None` once completed; drop does nothing then.
+    canon: Option<String>,
+    /// Published on drop when the guard was never completed.
+    fallback: Outcome,
+}
+
+impl CompletionGuard<'_> {
+    /// Publishes the real outcome and disarms the guard.
+    pub fn complete(mut self, outcome: Outcome) {
+        let canon = self.canon.take().expect("guard completes at most once");
+        self.map.complete(&canon, outcome);
+    }
+}
+
+impl Drop for CompletionGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(canon) = self.canon.take() {
+            let fallback = std::mem::replace(&mut self.fallback, Ok(String::new()));
+            self.map.complete(&canon, fallback);
+        }
     }
 }
 
@@ -149,6 +195,74 @@ mod tests {
         let Join::Follower(late) = m.join("slow") else { panic!() };
         m.complete("slow", Err((503, "x".into())));
         assert_eq!(late.wait(Duration::from_secs(1)), Some(Err((503, "x".into()))));
+    }
+
+    /// Regression: a leader that panicked (worker death) or returned early
+    /// without calling `complete` used to park followers until their own
+    /// timeout and leak the map entry forever. The guard turns that into
+    /// an immediate fallback outcome and a retired entry.
+    #[test]
+    fn abandoned_leader_wakes_followers_with_the_fallback() {
+        let m = Arc::new(InflightMap::new());
+        let Join::Leader(_lead) = m.join("doomed") else { panic!() };
+        let Join::Follower(follower) = m.join("doomed") else { panic!() };
+
+        let map = Arc::clone(&m);
+        let worker = thread::spawn(move || {
+            let _guard =
+                map.completion_guard("doomed".into(), Err((500, "request abandoned".into())));
+            panic!("worker dies mid-simulation");
+        });
+        assert!(worker.join().is_err(), "the worker must have panicked");
+
+        // The follower wakes promptly with the fallback, not a timeout.
+        assert_eq!(
+            follower.wait(Duration::from_secs(5)),
+            Some(Err((500, "request abandoned".into())))
+        );
+        assert!(m.is_empty(), "the abandoned entry must not leak");
+        // The key is reusable: a later request leads afresh.
+        assert!(matches!(m.join("doomed"), Join::Leader(_)));
+    }
+
+    #[test]
+    fn completed_guard_publishes_the_real_outcome_not_the_fallback() {
+        let m = InflightMap::new();
+        let Join::Leader(_lead) = m.join("fine") else { panic!() };
+        let Join::Follower(follower) = m.join("fine") else { panic!() };
+        let guard = m.completion_guard("fine".into(), Err((500, "abandoned".into())));
+        guard.complete(Ok("body".into()));
+        assert_eq!(follower.wait(Duration::from_secs(1)), Some(Ok("body".into())));
+        assert!(m.is_empty());
+    }
+
+    /// Satellite pin: the timeout-vs-fill race. A follower whose timeout
+    /// expires at the same instant the leader fills the slot must observe
+    /// either a clean timeout (`None`) or the real outcome — never a
+    /// panic, a partial value, or a hang. Stress the boundary by sweeping
+    /// the timeout across the fill time over many iterations.
+    #[test]
+    fn wait_timeout_vs_fill_race_is_consistent() {
+        for i in 0..200u64 {
+            let m = Arc::new(InflightMap::new());
+            let Join::Leader(_lead) = m.join("race") else { panic!() };
+            let Join::Follower(slot) = m.join("race") else { panic!() };
+            let waiter = {
+                let timeout = Duration::from_micros(i * 13 % 600);
+                thread::spawn(move || slot.wait(timeout))
+            };
+            // Fill at a jittered moment around the waiter's deadline.
+            if i % 3 == 0 {
+                std::thread::yield_now();
+            }
+            m.complete("race", Ok("v".into()));
+            match waiter.join().expect("waiter must not panic") {
+                None => {}                         // timed out before the fill
+                Some(Ok(v)) => assert_eq!(v, "v"), // observed the fill
+                Some(other) => panic!("impossible outcome {other:?}"),
+            }
+            assert!(m.is_empty(), "complete always retires the entry");
+        }
     }
 
     #[test]

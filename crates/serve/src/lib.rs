@@ -24,7 +24,9 @@
 //!
 //! Error codes: `400` unparseable request, `404`/`405` routing, `422`
 //! valid JSON but failed validation/compilation/simulation, `429`
-//! admission queue full, `503` draining or deadline exceeded.
+//! admission queue full, `503` draining, deadline exceeded (in the queue
+//! *or* mid-simulation — runs are cooperatively cancelled when
+//! `deadline_ms` expires), or cancelled by a grace-expired shutdown.
 //!
 //! # Example
 //!

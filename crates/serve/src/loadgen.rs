@@ -317,16 +317,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         latencies.extend(t.latencies_us);
     }
     latencies.sort_unstable();
-    let exact = |p: f64| -> u64 {
-        if latencies.is_empty() {
-            return 0;
-        }
-        let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
-        latencies[rank.clamp(1, latencies.len()) - 1]
-    };
-    report.p50_us = exact(50.0);
-    report.p95_us = exact(95.0);
-    report.p99_us = exact(99.0);
+    report.p50_us = exact_percentile(&latencies, 50.0);
+    report.p95_us = exact_percentile(&latencies, 95.0);
+    report.p99_us = exact_percentile(&latencies, 99.0);
     report.max_us = latencies.last().copied().unwrap_or(0);
     report.mean_us = if latencies.is_empty() {
         0.0
@@ -335,6 +328,19 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
     };
     report.throughput_rps = if wall > 0.0 { report.sent as f64 / wall } else { 0.0 };
     Ok(report)
+}
+
+/// Exact nearest-rank percentile over an already **sorted** sample set:
+/// the smallest sample such that at least `p` percent of samples are ≤ it
+/// (rank `⌈(p/100)·n⌉`, 1-based, clamped into the sample range). No
+/// interpolation — the returned value is always an observed sample. An
+/// empty set reports `0`.
+pub fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 #[cfg(test)]
@@ -376,5 +382,37 @@ mod tests {
         let parsed = ptsim_common::json::parse_json(&r.to_json().render()).unwrap();
         assert_eq!(parsed.req_u64("sent").unwrap(), 10);
         assert_eq!(parsed.req_u64("p50_us").unwrap(), 1200);
+    }
+
+    /// Satellite pin: the degenerate sample counts. Nearest-rank must not
+    /// index out of bounds (0 samples), must report the only sample at
+    /// every percentile (1 sample), and must split 2 samples at the
+    /// median: rank ⌈0.5·2⌉ = 1 → first sample for p50, rank ⌈0.95·2⌉ = 2
+    /// → second sample for p95/p99.
+    #[test]
+    fn exact_percentile_handles_zero_one_and_two_samples() {
+        assert_eq!(exact_percentile(&[], 50.0), 0);
+        assert_eq!(exact_percentile(&[], 99.0), 0);
+
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(exact_percentile(&[7], p), 7, "single sample at p{p}");
+        }
+
+        let two = [10, 20];
+        assert_eq!(exact_percentile(&two, 50.0), 10);
+        assert_eq!(exact_percentile(&two, 95.0), 20);
+        assert_eq!(exact_percentile(&two, 99.0), 20);
+        // p = 0 clamps to the first sample instead of underflowing rank 0.
+        assert_eq!(exact_percentile(&two, 0.0), 10);
+    }
+
+    #[test]
+    fn exact_percentile_matches_nearest_rank_on_a_known_set() {
+        // The canonical nearest-rank example: 1..=5.
+        let v = [15, 20, 35, 40, 50];
+        assert_eq!(exact_percentile(&v, 30.0), 20);
+        assert_eq!(exact_percentile(&v, 40.0), 20);
+        assert_eq!(exact_percentile(&v, 50.0), 35);
+        assert_eq!(exact_percentile(&v, 100.0), 50);
     }
 }

@@ -27,16 +27,20 @@
 //! drains: the listener stops accepting, in-flight and queued requests all
 //! complete (**zero dropped in-flight**, asserted by the integration
 //! tests), workers exit when the queue runs dry, and [`ServerHandle::join`]
-//! returns.
+//! returns. Runs still executing after `shutdown_grace_ms` are
+//! cooperatively cancelled via their [`CancelToken`] — every waiter
+//! (leader and coalesced followers alike) gets a `503` instead of
+//! hanging, so a stuck simulation cannot hold shutdown hostage.
 
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::inflight::{InflightMap, Join, Outcome};
 use crate::rescache::ResultCache;
 use ptsim_common::json::{Json, ToJson};
+use ptsim_common::{CancelToken, Error};
 use ptsim_trace::MetricsRegistry;
 use pytorchsim::sweep::{Sweep, SweepOptions};
 use pytorchsim::{CompileCache, RunSpec};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -60,7 +64,15 @@ pub struct ServeConfig {
     /// Result-cache budget in mebibytes (0 disables).
     pub result_cache_mb: usize,
     /// Per-request deadline, admission to completion, milliseconds.
+    /// Enforced end-to-end: a request that exceeds it *mid-simulation* is
+    /// cooperatively cancelled and answered `503`, not just one stranded
+    /// in the admission queue.
     pub deadline_ms: u64,
+    /// Graceful-shutdown grace period, milliseconds: once a drain starts,
+    /// in-flight runs still executing after this long are cooperatively
+    /// cancelled (each answers `503`) rather than awaited indefinitely.
+    /// `0` cancels in-flight work immediately on drain.
+    pub shutdown_grace_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -71,7 +83,32 @@ impl Default for ServeConfig {
             queue_depth: 64,
             result_cache_mb: 32,
             deadline_ms: 30_000,
+            shutdown_grace_ms: 5_000,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Rejects nonsense tunables upfront with a typed error, instead of
+    /// silently patching them to surprise defaults at use sites (the old
+    /// behavior: `deadline_ms.max(1)`, `workers.max(1)`,
+    /// `queue_depth.max(1)` scattered through the server).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when `workers`, `queue_depth`, or
+    /// `deadline_ms` is zero.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.workers == 0 {
+            return Err(Error::InvalidConfig("serve workers must be nonzero".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(Error::InvalidConfig("serve queue_depth must be nonzero".into()));
+        }
+        if self.deadline_ms == 0 {
+            return Err(Error::InvalidConfig("serve deadline_ms must be nonzero".into()));
+        }
+        Ok(())
     }
 }
 
@@ -153,13 +190,47 @@ struct State {
     inflight: InflightMap,
     queue: JobQueue,
     draining: AtomicBool,
+    /// Set once the shutdown grace period has expired: every in-flight
+    /// run's token has been cancelled, and runs *starting* after this
+    /// point are cancelled at arming time.
+    force_cancel: AtomicBool,
     active_conns: AtomicU64,
+    /// Cancel tokens of runs currently executing on workers, so a
+    /// grace-expired drain can fire them all.
+    run_cancels: Mutex<HashMap<u64, CancelToken>>,
+    cancel_seq: AtomicU64,
     started: Instant,
 }
 
 impl State {
     fn deadline(&self) -> Duration {
-        Duration::from_millis(self.cfg.deadline_ms.max(1))
+        // `deadline_ms` is validated nonzero at startup.
+        Duration::from_millis(self.cfg.deadline_ms)
+    }
+
+    /// Tracks a run's cancel token for the drain path. The insert-then-
+    /// check order closes the race with [`State::cancel_in_flight`]: a
+    /// token is either seen in the map or cancelled here directly.
+    fn register_cancel(&self, token: &CancelToken) -> u64 {
+        let id = self.cancel_seq.fetch_add(1, Ordering::SeqCst);
+        self.run_cancels.lock().expect("cancel registry poisoned").insert(id, token.clone());
+        if self.force_cancel.load(Ordering::SeqCst) {
+            token.cancel();
+        }
+        id
+    }
+
+    fn unregister_cancel(&self, id: u64) {
+        self.run_cancels.lock().expect("cancel registry poisoned").remove(&id);
+    }
+
+    /// Fires every in-flight run's token (grace-expired drain), and makes
+    /// later-arming runs cancel immediately.
+    fn cancel_in_flight(&self) {
+        self.force_cancel.store(true, Ordering::SeqCst);
+        for token in self.run_cancels.lock().expect("cancel registry poisoned").values() {
+            token.cancel();
+        }
     }
 
     fn count_response(&self, status: u16) {
@@ -218,20 +289,27 @@ impl ServerHandle {
 ///
 /// # Errors
 ///
-/// Propagates bind failures.
+/// Rejects an invalid [`ServeConfig`] (see [`ServeConfig::validate`]) with
+/// [`std::io::ErrorKind::InvalidInput`], and propagates bind failures.
 pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    if let Err(e) = cfg.validate() {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()));
+    }
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let workers = cfg.workers.max(1);
+    let workers = cfg.workers;
     let state = Arc::new(State {
-        queue: JobQueue::new(cfg.queue_depth.max(1)),
+        queue: JobQueue::new(cfg.queue_depth),
         results: ResultCache::new(cfg.result_cache_mb * (1 << 20)),
         inflight: InflightMap::new(),
         metrics: Arc::new(MetricsRegistry::new()),
         compile_cache: CompileCache::shared(),
         draining: AtomicBool::new(false),
+        force_cancel: AtomicBool::new(false),
         active_conns: AtomicU64::new(0),
+        run_cancels: Mutex::new(HashMap::new()),
+        cancel_seq: AtomicU64::new(0),
         started: Instant::now(),
         cfg,
     });
@@ -277,8 +355,19 @@ fn accept_loop(listener: &TcpListener, state: &Arc<State>) {
     }
     // Draining: no new connections. Wait for live ones to finish their
     // requests (they observe the flag and close), then let workers run the
-    // queue dry and exit.
+    // queue dry and exit. Connections can only finish if the runs they
+    // wait on finish, so once the grace period elapses the remaining
+    // in-flight runs are cooperatively cancelled (each answers `503`) —
+    // a stuck simulation cannot hold shutdown hostage.
+    let drain_started = Instant::now();
+    let grace = Duration::from_millis(state.cfg.shutdown_grace_ms);
+    let mut cancelled = false;
     while state.active_conns.load(Ordering::SeqCst) > 0 {
+        if !cancelled && drain_started.elapsed() >= grace {
+            state.metrics.counter("serve.shutdown.grace_expired").inc();
+            state.cancel_in_flight();
+            cancelled = true;
+        }
         std::thread::sleep(Duration::from_millis(2));
     }
     state.queue.close();
@@ -370,7 +459,7 @@ fn healthz(state: &Arc<State>) -> Response {
         .set("status", Json::str(if draining { "draining" } else { "ok" }))
         .set("draining", Json::Bool(draining))
         .set("uptime_seconds", Json::num(state.started.elapsed().as_secs_f64()))
-        .set("workers", Json::u64(state.cfg.workers.max(1) as u64))
+        .set("workers", Json::u64(state.cfg.workers as u64))
         .render();
     Response::json(200, body)
 }
@@ -507,7 +596,7 @@ fn sweep(req: &Request, state: &Arc<State>) -> Response {
     let jobs = parsed
         .get("jobs")
         .and_then(Json::as_num)
-        .map_or(1, |n| (n.max(1.0) as usize).min(state.cfg.workers.max(1)));
+        .map_or(1, |n| (n.max(1.0) as usize).min(state.cfg.workers));
     // One sweep occupies one admission slot and one worker; its canonical
     // form includes every point, so identical sweeps coalesce like
     // identical simulations (they are not result-cached — the payoff is in
@@ -547,16 +636,41 @@ fn worker_loop(state: &Arc<State>) {
         state.metrics.gauge("serve.queue.depth").set(left as u64);
         let gauge = state.metrics.gauge("serve.inflight");
         gauge.add(1);
-        let outcome = execute(state, &job);
+        // The run's end-to-end deadline counts from admission, so queue
+        // wait and simulation share one budget. Registering the token
+        // lets a grace-expired drain fire it mid-run; the completion
+        // guard keeps the coalescing contract even if `execute` panics.
+        let token = CancelToken::with_deadline(job.admitted + state.deadline());
+        let reg = state.register_cancel(&token);
+        let guard = state.inflight.completion_guard(
+            job.canon.clone(),
+            Err((500, "request abandoned by its worker".into())),
+        );
+        let outcome = execute(state, &job, &token);
+        state.unregister_cancel(reg);
         if let (Ok(body), JobKind::Simulate(_)) = (&outcome, &job.kind) {
             state.results.insert(job.fingerprint, job.canon.clone(), body.clone());
         }
-        state.inflight.complete(&job.canon, outcome);
+        guard.complete(outcome);
         gauge.sub(1);
     }
 }
 
-fn execute(state: &Arc<State>, job: &Job) -> Outcome {
+/// Maps a cooperative cancellation to its `503`, attributing the cause:
+/// a token whose wall-clock deadline has passed was killed by
+/// `deadline_ms`; otherwise it was fired by a grace-expired shutdown.
+fn cancelled_outcome(state: &Arc<State>, token: &CancelToken, e: &Error) -> Outcome {
+    let cause = if token.deadline_expired() {
+        state.metrics.counter("serve.cancelled.deadline").inc();
+        "deadline exceeded mid-simulation"
+    } else {
+        state.metrics.counter("serve.cancelled.shutdown").inc();
+        "cancelled by server shutdown"
+    };
+    Err((503, format!("{cause}: {e}")))
+}
+
+fn execute(state: &Arc<State>, job: &Job, token: &CancelToken) -> Outcome {
     if job.admitted.elapsed() > state.deadline() {
         state.metrics.counter("serve.rejected.deadline").inc();
         return Err((503, "deadline exceeded in the admission queue".into()));
@@ -564,7 +678,7 @@ fn execute(state: &Arc<State>, job: &Job) -> Outcome {
     match &job.kind {
         JobKind::Simulate(spec) => {
             let t0 = Instant::now();
-            match spec.run(&state.compile_cache) {
+            match spec.run_with_cancel(&state.compile_cache, Some(token)) {
                 Ok(report) => {
                     state
                         .metrics
@@ -575,6 +689,7 @@ fn execute(state: &Arc<State>, job: &Job) -> Outcome {
                         .set("report", report.to_json())
                         .render())
                 }
+                Err(e @ Error::Cancelled { .. }) => cancelled_outcome(state, token, &e),
                 Err(e) => Err((422, format!("simulation failed: {e}"))),
             }
         }
@@ -588,7 +703,11 @@ fn execute(state: &Arc<State>, job: &Job) -> Outcome {
                     Err(e) => return Err((422, format!("invalid sweep point: {e}"))),
                 }
             }
-            let opts = SweepOptions { jobs: *jobs, cache: Some(Arc::clone(&state.compile_cache)) };
+            let opts = SweepOptions {
+                jobs: *jobs,
+                cache: Some(Arc::clone(&state.compile_cache)),
+                cancel: Some(token.clone()),
+            };
             match sw.run(&opts) {
                 Ok(report) => {
                     // Input-ordered JSON lines: one PointResult per line,
@@ -608,6 +727,7 @@ fn execute(state: &Arc<State>, job: &Job) -> Outcome {
                     out.push('\n');
                     Ok(out)
                 }
+                Err(e @ Error::Cancelled { .. }) => cancelled_outcome(state, token, &e),
                 Err(e) => Err((422, format!("sweep failed: {e}"))),
             }
         }

@@ -12,7 +12,7 @@ use crate::cache::L1Cache;
 use crate::report::{JobReport, SimReport};
 use ptsim_common::config::SimConfig;
 use ptsim_common::id::RequestIdGen;
-use ptsim_common::{Cycle, Error, RequestId, Result};
+use ptsim_common::{CancelToken, Cycle, Error, RequestId, Result};
 use ptsim_dram::{DramSim, MemRequest, ShardedDram};
 use ptsim_event::{CompletionSource, EventQueue, Scheduler, Step, WakeSet};
 use ptsim_funcsim::FuncSim;
@@ -368,6 +368,9 @@ pub struct TogSim {
     /// Timeline recording when enabled; shared with the DRAM and NoC models
     /// so their events land in the same trace.
     tracer: Option<Arc<Tracer>>,
+    /// Cooperative cancellation, polled by the scheduler step loop (and,
+    /// under the parallel backend, by the shard workers).
+    cancel: Option<CancelToken>,
 }
 
 impl TogSim {
@@ -414,6 +417,7 @@ impl TogSim {
             tx_cores_buf: Vec::new(),
             metrics: None,
             tracer: None,
+            cancel: None,
         }
     }
 
@@ -434,6 +438,15 @@ impl TogSim {
     /// Simulation-length safety limit in cycles.
     pub fn set_max_cycles(&mut self, max_cycles: u64) {
         self.max_cycles = max_cycles;
+    }
+
+    /// Arms cooperative cancellation: the run loop polls `token` at a
+    /// bounded interval and, once it fires, unwinds with
+    /// [`Error::Cancelled`] (`phase: "togsim"`) instead of completing.
+    /// Cancellation never changes the timeline of a run that completes —
+    /// the clock only ever stops, it is never skewed.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Enables execution-timeline recording with a fresh [`Tracer`];
@@ -558,7 +571,11 @@ impl TogSim {
                 if self.tracer.is_some() {
                     self.run_loop(false)?;
                 } else {
-                    self.parallel = Some(ShardedDram::new(&mut self.dram, workers));
+                    let sharded = ShardedDram::new(&mut self.dram, workers);
+                    if let Some(token) = &self.cancel {
+                        sharded.set_cancel(token);
+                    }
+                    self.parallel = Some(sharded);
                     let result = self.run_loop(false);
                     // Put the channels (and their stats) back before
                     // reporting or propagating an error.
@@ -583,6 +600,9 @@ impl TogSim {
         }
         let mut sched = Scheduler::starting_at(self.now);
         sched.set_max_cycles(self.max_cycles);
+        if let Some(token) = &self.cancel {
+            sched.set_cancel(token.clone());
+        }
         let metrics = self.metrics.clone();
         loop {
             if let Some(m) = &metrics {
@@ -619,6 +639,9 @@ impl TogSim {
                 Step::Deadlocked => return Err(self.deadlock_fault()),
                 Step::LimitExceeded => {
                     return Err(Error::SimulationFault("cycle safety limit exceeded".into()));
+                }
+                Step::Cancelled => {
+                    return Err(Error::Cancelled { at_cycle: self.now.raw(), phase: "togsim" });
                 }
             }
         }

@@ -5,9 +5,9 @@
 //! fails again if the fix is reverted.
 
 use ptsim_check::gen::{CheckCase, Corruption, Workload};
-use ptsim_check::{run_seed, run_suite};
+use ptsim_check::{run_seed, run_seed_filtered, run_suite};
 use ptsim_common::config::SimConfig;
-use ptsim_common::Error;
+use ptsim_common::{CancelToken, Error};
 use pytorchsim::scheduler::ArrivalDist;
 use pytorchsim::{RunOptions, Simulator};
 
@@ -199,4 +199,69 @@ fn regression_bert_end_to_end_with_conv_index_robustness() {
         |c| c.conv_index > 3 && matches!(c.workload, Workload::Bert { .. }),
         "an out-of-range conv index and a BERT workload",
     );
+}
+
+// --- Cancellation pins: seeds whose seed-derived poll budgets land the
+// `cancel_consistency` oracle's cancellation in each distinct phase. ---
+
+/// The oracle's budget derivation (`seed · φ₆₄ >> 57`, range 0..128),
+/// duplicated here so a pin fails loudly if the derivation drifts.
+fn oracle_budget(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57
+}
+
+/// Replays `seed` through the single named oracle and re-checks the shape
+/// that makes it interesting.
+fn pin_oracle(seed: u64, oracle: &str, shape: impl Fn(&CheckCase) -> bool, what: &str) {
+    let case = CheckCase::from_seed(seed);
+    assert!(shape(&case), "seed {seed} no longer generates a case with {what}: {}", case.summary());
+    let outcome = run_seed_filtered(seed, None, Some(oracle));
+    assert!(outcome.failures.is_empty(), "seed {seed} ({what}): {:?}", outcome.failures);
+}
+
+/// With a cold cache the poll order is fixed: three compile-stage
+/// checkpoints, then the scheduler's own polling. Budgets 0..=3 therefore
+/// land the cancellation in each distinct phase of a run — before capture,
+/// between stages, and on the first engine poll — and the reported phase
+/// depends only on the budget, never on host timing.
+#[test]
+fn regression_cancellation_phase_coverage_is_deterministic() {
+    let case = CheckCase::from_seed(0);
+    for (budget, expect_phase) in
+        [(0u64, "compile:capture"), (1, "compile:plan"), (2, "compile:emit"), (3, "togsim")]
+    {
+        let sim = Simulator::new(case.cfg.clone());
+        let token = CancelToken::with_poll_budget(budget);
+        match sim.run(&case.workload.spec(), RunOptions::tls().with_cancel(token)) {
+            Err(Error::Cancelled { phase, .. }) => {
+                assert_eq!(phase, expect_phase, "budget {budget}");
+            }
+            other => panic!("budget {budget}: expected Cancelled, got {other:?}"),
+        }
+    }
+}
+
+/// Seeds 0 and 34 draw the two smallest budgets (0 and 1), pinning the
+/// oracle's fired-token branch at the earliest poll sites: cancellation
+/// before and between compile stages must unwind without poisoning the
+/// compile cache, and the uncancelled retry must replay bit-identically.
+#[test]
+fn regression_compile_stage_cancellation_leaves_the_cache_sound() {
+    for (seed, budget) in [(0u64, 0u64), (34, 1)] {
+        pin_oracle(
+            seed,
+            "cancel_consistency",
+            |c| oracle_budget(c.seed) == budget,
+            "a poll budget landing inside compilation",
+        );
+    }
+}
+
+/// Seeds 13 (budget 4, outliving its tiny layernorm run) and 8 (budget
+/// 120) pin the oracle's unfired-token branch: an armed but unconsumed
+/// budget must leave the report bit-identical to an uncancelled run.
+#[test]
+fn regression_unfired_token_is_bit_identical() {
+    pin_oracle(13, "cancel_consistency", |c| oracle_budget(c.seed) == 4, "a small unfired budget");
+    pin_oracle(8, "cancel_consistency", |c| oracle_budget(c.seed) >= 100, "a large unfired budget");
 }

@@ -306,6 +306,115 @@ fn wire_versioning_gates_the_backend_and_rejects_unknown_versions() {
 }
 
 #[test]
+fn invalid_config_is_rejected_at_startup() {
+    for (cfg, what) in [
+        (ServeConfig { workers: 0, ..ServeConfig::default() }, "workers"),
+        (ServeConfig { queue_depth: 0, ..ServeConfig::default() }, "queue_depth"),
+        (ServeConfig { deadline_ms: 0, ..ServeConfig::default() }, "deadline_ms"),
+    ] {
+        let err = match start(cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("{what} == 0 must be rejected"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{what}");
+        assert!(err.to_string().contains(what), "{what}: {err}");
+        assert!(err.to_string().contains("invalid configuration"), "{what}: {err}");
+    }
+}
+
+/// Acceptance: a request whose `deadline_ms` expires *mid-simulation* is
+/// cooperatively cancelled and answered `503` within 250 ms of the
+/// deadline — not left running until its own completion, and not stranded
+/// until the connection-side wait gives up.
+#[test]
+fn mid_run_deadline_expiry_returns_503_promptly() {
+    let handle = start(ServeConfig {
+        workers: 1,
+        deadline_ms: 150,
+        shutdown_grace_ms: 60_000,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = HttpClient::new(handle.addr());
+
+    // Fast compile (milliseconds), long simulation (seconds at
+    // instruction-level timing even in release — gemm-512 measures ~2.4 s
+    // in `examples/cancel_probe.rs`): the deadline expires deep inside the
+    // engine, where only the scheduler's bounded-interval poll sites can
+    // observe it.
+    let body = tiny_spec(512).with_fidelity(FidelitySpec::IlsTiming).canonical_json();
+    let t0 = Instant::now();
+    let resp = client.post("/v1/simulate", &body).unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(resp.status, 503, "body: {}", resp.body);
+    assert!(resp.body.contains("deadline exceeded mid-simulation"), "body: {}", resp.body);
+    assert!(
+        elapsed < Duration::from_millis(150 + 250),
+        "503 arrived after {elapsed:?}; the budget is the 150 ms deadline plus 250 ms"
+    );
+    assert!(metric(&handle, "serve.cancelled.deadline") >= 1);
+
+    // The worker survives a cancelled run and its caches stay sound: a
+    // fast request right after is served normally.
+    let resp = client.post("/v1/simulate", &tiny_spec(16).canonical_json()).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(report_from_body(&resp.body), direct_gemm(16));
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Acceptance: a drain with a long in-flight run completes within the
+/// grace period — the run is cooperatively cancelled, and its coalesced
+/// followers get the same clean `503` instead of being stranded.
+#[test]
+fn shutdown_grace_cancels_stuck_runs_and_strands_no_followers() {
+    let handle = start(ServeConfig {
+        workers: 1,
+        deadline_ms: 120_000,
+        shutdown_grace_ms: 100,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    // A sweep long enough (several seconds of instruction-level timing)
+    // that it is always still mid-run when the grace period expires.
+    let points: Vec<String> = (0..16)
+        .map(|i| {
+            tiny_spec(192 + 8 * (i % 8)).with_fidelity(FidelitySpec::IlsTiming).canonical_json()
+        })
+        .collect();
+    let body = format!("{{\"points\":[{}]}}", points.join(","));
+
+    let mut drained = Duration::ZERO;
+    let mut responses = Vec::new();
+    std::thread::scope(|s| {
+        let leader = s.spawn(|| HttpClient::new(addr).post("/v1/sweep", &body).unwrap());
+        wait_until("the sweep to go in flight", || metric(&handle, "serve.inflight") > 0);
+        let follower = s.spawn(|| HttpClient::new(addr).post("/v1/sweep", &body).unwrap());
+        wait_until("the follower to coalesce", || metric(&handle, "serve.coalesced") > 0);
+
+        let t0 = Instant::now();
+        handle.shutdown();
+        responses.push(("leader", leader.join().unwrap()));
+        responses.push(("follower", follower.join().unwrap()));
+        drained = t0.elapsed();
+    });
+    for (who, resp) in &responses {
+        assert_eq!(resp.status, 503, "{who} body: {}", resp.body);
+        assert!(resp.body.contains("cancelled by server shutdown"), "{who} body: {}", resp.body);
+    }
+    assert!(
+        drained < Duration::from_millis(100 + 2_000),
+        "responses took {drained:?} against a 100 ms grace"
+    );
+    assert_eq!(metric(&handle, "serve.shutdown.grace_expired"), 1);
+    assert!(metric(&handle, "serve.cancelled.shutdown") >= 1);
+    // join() returning proves the cancelled drain terminated cleanly.
+    handle.join();
+}
+
+#[test]
 fn result_cache_turns_repeats_into_hits() {
     let handle = start(ServeConfig::default()).unwrap();
     let mut client = HttpClient::new(handle.addr());
