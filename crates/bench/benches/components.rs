@@ -10,7 +10,9 @@ use pytorchsim::compiler::{Compiler, CompilerOptions, Epilogue, KernelGen};
 use pytorchsim::dram::{DramSim, MemRequest};
 use pytorchsim::models;
 use pytorchsim::noc::{NocMessage, NocSim};
+use pytorchsim::obs::{CounterConfig, CounterHub};
 use pytorchsim::timingsim::TimingSim;
+use pytorchsim::{RunOptions, Simulator};
 
 fn bench_components(c: &mut Criterion) {
     let cfg = SimConfig::tpu_v3();
@@ -89,5 +91,32 @@ fn bench_components(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_components);
+/// Measures the performance-counter layer: the disabled path (counters not
+/// attached) against the enabled path. The disabled path must be
+/// indistinguishable from the pre-counter engine — it costs one
+/// `Option::is_some` branch per recording site — and the enabled path must
+/// never perturb the simulated timeline, which the setup asserts before
+/// timing anything.
+fn bench_counters(c: &mut Criterion) {
+    let sim = Simulator::new(SimConfig::tiny());
+    let spec = models::gemm(128);
+    let model = sim.compile(&spec).unwrap();
+    let plain = sim.run_compiled(&model, &RunOptions::tls()).unwrap();
+    let hub = CounterHub::shared(CounterConfig::default());
+    let counted = sim.run_compiled(&model, &RunOptions::tls().with_counters(hub)).unwrap();
+    assert_eq!(plain, counted, "counters must observe, never perturb");
+
+    c.bench_function("run_gemm128_counters_off", |b| {
+        b.iter(|| sim.run_compiled(&model, &RunOptions::tls()).unwrap().total_cycles)
+    });
+
+    c.bench_function("run_gemm128_counters_on", |b| {
+        b.iter(|| {
+            let hub = CounterHub::shared(CounterConfig::default());
+            sim.run_compiled(&model, &RunOptions::tls().with_counters(hub)).unwrap().total_cycles
+        })
+    });
+}
+
+criterion_group!(benches, bench_components, bench_counters);
 criterion_main!(benches);

@@ -507,6 +507,10 @@ impl CompileCache {
         let us = |t: std::time::Instant| (t - started).as_micros() as u64;
         let key = CacheKey::new(spec, compiler.config(), compiler.options());
         let graph_fp = key.graph_fp;
+        // Compile spans carry a tag derived from the full cache key, so a
+        // trace with interleaved compiles from many requests still shows
+        // which spans belong to which compilation unit.
+        let span_tag = (key.graph_fp ^ key.config_fp ^ key.options_fp) as u32;
         let compiled = AtomicU64::new(0);
         let model = self.get_or_compile(key, || {
             compiled.store(1, Ordering::Relaxed);
@@ -519,7 +523,7 @@ impl CompileCache {
                 Ok(GraphArtifact { fingerprint: graph_fp, nodes: spec.graph.len() })
             })?;
             if let Some(tr) = tracer {
-                tr.compile_span(us(t0), "capture", t0.elapsed().as_micros() as u64);
+                tr.compile_span(us(t0), "capture", t0.elapsed().as_micros() as u64, span_tag);
             }
             // Stage 2: plan, keyed by graph + plan projection + options —
             // the exact key `Lowerer::build_plan` stamps on the artifact.
@@ -539,7 +543,7 @@ impl CompileCache {
                 Ok(plan)
             })?;
             if let Some(tr) = tracer {
-                tr.compile_span(us(t1), "plan", t1.elapsed().as_micros() as u64);
+                tr.compile_span(us(t1), "plan", t1.elapsed().as_micros() as u64, span_tag);
             }
             // Stages 3+4: emission measures any still-unknown kernels
             // through the shared store, then assembles the model.
@@ -547,13 +551,13 @@ impl CompileCache {
             let t2 = std::time::Instant::now();
             let model = compiler.emit(&spec.graph, &spec.name, 1, &plan, &self.kernels)?;
             if let Some(tr) = tracer {
-                tr.compile_span(us(t2), "measure+emit", t2.elapsed().as_micros() as u64);
+                tr.compile_span(us(t2), "measure+emit", t2.elapsed().as_micros() as u64, span_tag);
             }
             Ok(model)
         })?;
         if compiled.load(Ordering::Relaxed) == 0 {
             if let Some(tr) = tracer {
-                tr.compile_span(started.elapsed().as_micros() as u64, "hit", 0);
+                tr.compile_span(started.elapsed().as_micros() as u64, "hit", 0, span_tag);
             }
         }
         Ok(model)

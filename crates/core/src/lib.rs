@@ -91,6 +91,7 @@ pub use ptsim_graph as graph;
 pub use ptsim_isa as isa;
 pub use ptsim_models as models;
 pub use ptsim_noc as noc;
+pub use ptsim_obs as obs;
 pub use ptsim_scheduler as scheduler;
 pub use ptsim_sparse as sparse;
 pub use ptsim_tensor as tensor;

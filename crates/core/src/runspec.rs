@@ -28,9 +28,16 @@
 //! the [`ExecutionBackend`] (`"serial"`, `"parallel:N"`, or
 //! `"reference"`); v1 requests default to the serial backend, and a v1
 //! request that nonetheless carries `"backend"` is rejected rather than
-//! silently reinterpreted. Versions outside `1..=`[`WIRE_VERSION`] come
-//! back as [`Error::UnsupportedSchema`] from [`RunSpec::parse_wire`], so
-//! servers can tell "speak a newer protocol" apart from "garbage request".
+//! silently reinterpreted. **v3** adds the optional `"profile"` flag
+//! requesting an inline performance-counter summary alongside the report.
+//! To keep fingerprints of pre-existing requests stable, serialization
+//! emits the *lowest* version that can express the spec: `"v":2` unless
+//! `profile` is set, `"v":3` (with `"profile":true`) when it is. As with
+//! `"backend"` at v1, a `"profile"` key on a sub-v3 request is rejected
+//! rather than silently dropped. Versions outside `1..=`[`WIRE_VERSION`]
+//! come back as [`Error::UnsupportedSchema`] from [`RunSpec::parse_wire`],
+//! so servers can tell "speak a newer protocol" apart from "garbage
+//! request".
 
 use crate::cache::CompileCache;
 use crate::simulator::{RunOptions, Simulator};
@@ -47,8 +54,9 @@ use std::sync::Arc;
 pub const MAX_DIM: usize = 16_384;
 /// Largest accepted transformer layer count.
 pub const MAX_LAYERS: usize = 128;
-/// The wire-schema version this build emits (it accepts `1..=WIRE_VERSION`).
-pub const WIRE_VERSION: u64 = 2;
+/// The highest wire-schema version this build speaks (it accepts
+/// `1..=WIRE_VERSION` and emits the lowest version expressing the spec).
+pub const WIRE_VERSION: u64 = 3;
 /// Largest accepted parallel-backend worker count on the wire.
 pub const MAX_WORKERS: usize = 256;
 
@@ -336,6 +344,10 @@ pub struct RunSpec {
     pub max_cycles: Option<u64>,
     /// Execution backend (defaults to serial; on the wire, v2 only).
     pub backend: ExecutionBackend,
+    /// Request an inline performance-counter summary (on the wire, v3
+    /// only; defaults to off).
+    #[serde(default)]
+    pub profile: bool,
 }
 
 impl RunSpec {
@@ -348,6 +360,7 @@ impl RunSpec {
             fidelity: FidelitySpec::Tls,
             max_cycles: None,
             backend: ExecutionBackend::Serial,
+            profile: false,
         }
     }
 
@@ -376,6 +389,13 @@ impl RunSpec {
     #[must_use]
     pub fn with_backend(mut self, backend: ExecutionBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Requests (or clears) the inline performance-counter summary.
+    #[must_use]
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -444,6 +464,26 @@ impl RunSpec {
         cache: &Arc<CompileCache>,
         cancel: Option<&ptsim_common::CancelToken>,
     ) -> Result<SimReport> {
+        self.run_observed(cache, cancel, None)
+    }
+
+    /// [`RunSpec::run_with_cancel`] with an optional [`CounterHub`]
+    /// attached to the run, so callers honouring the spec's `profile` flag
+    /// (the serve execute path) can collect cycle-resolved counters without
+    /// re-deriving run options themselves. Counters only observe; the
+    /// returned report is bit-identical with or without a hub.
+    ///
+    /// [`CounterHub`]: ptsim_obs::CounterHub
+    ///
+    /// # Errors
+    ///
+    /// As [`RunSpec::run_with_cancel`].
+    pub fn run_observed(
+        &self,
+        cache: &Arc<CompileCache>,
+        cancel: Option<&ptsim_common::CancelToken>,
+        counters: Option<Arc<ptsim_obs::CounterHub>>,
+    ) -> Result<SimReport> {
         self.validate()?;
         let spec = self.model.build()?;
         let sim = Simulator::builder(self.config.clone())
@@ -452,6 +492,7 @@ impl RunSpec {
             .build();
         let mut run = self.run_options();
         run.cancel = cancel.cloned();
+        run.counters = counters;
         sim.run(&spec, run)
     }
 
@@ -489,13 +530,20 @@ impl RunSpec {
 
 impl ToJson for RunSpec {
     fn to_json(&self) -> Json {
+        // Emit the lowest version that can express the spec: a profile-less
+        // spec renders exactly as it did under v2, keeping its fingerprint
+        // (and thus every result-cache key derived from it) stable.
+        let version = if self.profile { 3 } else { 2 };
         let mut j = Json::obj()
-            .set("v", Json::u64(WIRE_VERSION))
+            .set("v", Json::u64(version))
             .set("model", self.model.to_json())
             .set("config", self.config.to_json())
             .set("options", self.options.to_json())
             .set("fidelity", self.fidelity.to_json())
             .set("backend", Json::str(self.backend.as_wire()));
+        if self.profile {
+            j = j.set("profile", Json::Bool(true));
+        }
         if let Some(m) = self.max_cycles {
             j = j.set("max_cycles", Json::u64(m));
         }
@@ -534,6 +582,13 @@ impl FromJson for RunSpec {
                 .ok_or_else(|| "backend must be a string".to_string())?
                 .parse::<ExecutionBackend>()?,
         };
+        let profile = match (version, v.get("profile")) {
+            (1 | 2, Some(_)) => {
+                return Err("\"profile\" requires schema v3; add \"v\":3 to the request".to_string())
+            }
+            (_, None) => false,
+            (_, Some(p)) => p.as_bool().ok_or_else(|| "profile must be a boolean".to_string())?,
+        };
         let model = ModelRequest::from_json(v.req("model")?)?;
         let config = match v.get("config") {
             Some(c) => SimConfig::from_json(c)?,
@@ -556,7 +611,7 @@ impl FromJson for RunSpec {
                     .ok_or_else(|| "max_cycles must be a non-negative integer".to_string())?,
             ),
         };
-        Ok(RunSpec { model, config, options, fidelity, max_cycles, backend })
+        Ok(RunSpec { model, config, options, fidelity, max_cycles, backend, profile })
     }
 }
 
@@ -621,10 +676,10 @@ mod tests {
 
     #[test]
     fn unknown_wire_versions_are_typed_errors() {
-        let v3 =
-            ptsim_common::json::parse_json(r#"{"v":3,"model":{"kind":"gemm","n":16}}"#).unwrap();
-        match RunSpec::parse_wire(&v3) {
-            Err(Error::UnsupportedSchema(msg)) => assert!(msg.contains("v3"), "{msg}"),
+        let v4 =
+            ptsim_common::json::parse_json(r#"{"v":4,"model":{"kind":"gemm","n":16}}"#).unwrap();
+        match RunSpec::parse_wire(&v4) {
+            Err(Error::UnsupportedSchema(msg)) => assert!(msg.contains("v4"), "{msg}"),
             other => panic!("expected UnsupportedSchema, got {other:?}"),
         }
         let v0 =
@@ -633,6 +688,59 @@ mod tests {
         // Garbage is Serde, not UnsupportedSchema.
         let junk = ptsim_common::json::parse_json(r#"{"v":2}"#).unwrap();
         assert!(matches!(RunSpec::parse_wire(&junk), Err(Error::Serde(_))));
+    }
+
+    #[test]
+    fn v3_round_trips_the_profile_flag() {
+        let spec = RunSpec::new(ModelRequest::Gemm { n: 16 }).with_profile(true);
+        let json = spec.canonical_json();
+        assert!(json.contains("\"v\":3"), "{json}");
+        assert!(json.contains("\"profile\":true"), "{json}");
+        let back = RunSpec::from_json_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert!(back.profile);
+        // An explicit v3 request without a profile key defaults to off.
+        let spec = RunSpec::from_json_str(r#"{"v":3,"model":{"kind":"gemm","n":16}}"#).unwrap();
+        assert!(!spec.profile);
+    }
+
+    #[test]
+    fn profile_free_specs_still_serialize_as_v2() {
+        // Fingerprint stability: adding the v3 schema must not re-render
+        // (and thus re-key) requests that do not use it.
+        let spec = RunSpec::new(ModelRequest::Gemm { n: 16 });
+        let json = spec.canonical_json();
+        assert!(json.contains("\"v\":2"), "{json}");
+        assert!(!json.contains("profile"), "{json}");
+    }
+
+    #[test]
+    fn sub_v3_requests_with_a_profile_key_are_rejected() {
+        for wire in [
+            r#"{"model":{"kind":"gemm","n":16},"profile":true}"#,
+            r#"{"v":2,"model":{"kind":"gemm","n":16},"profile":true}"#,
+        ] {
+            let err = RunSpec::from_json_str(wire).unwrap_err();
+            assert!(err.contains("requires schema v3"), "{err}");
+        }
+    }
+
+    #[test]
+    fn profile_flag_changes_the_fingerprint() {
+        let plain = RunSpec::new(ModelRequest::Gemm { n: 16 });
+        let profiled = plain.clone().with_profile(true);
+        assert_ne!(plain.fingerprint(), profiled.fingerprint());
+    }
+
+    #[test]
+    fn run_observed_fills_the_hub_without_perturbing_the_report() {
+        let spec = RunSpec::new(ModelRequest::Gemm { n: 16 }).with_config(SimConfig::tiny());
+        let cache = CompileCache::shared();
+        let plain = spec.run(&cache).unwrap();
+        let hub = ptsim_obs::CounterHub::shared(ptsim_obs::CounterConfig::default());
+        let observed = spec.run_observed(&cache, None, Some(Arc::clone(&hub))).unwrap();
+        assert_eq!(plain, observed, "counters must observe, never perturb");
+        assert!(!hub.snapshot().is_empty(), "the hub must have recorded series");
     }
 
     #[test]

@@ -52,6 +52,14 @@ pub struct RunOptions {
     /// Metrics registry; the engine registers its per-phase counters
     /// (`togsim.iterations`, `togsim.issue_ns`, …) here when set.
     pub metrics: Option<Arc<ptsim_trace::MetricsRegistry>>,
+    /// Hardware performance counters: when set, the engine and the DRAM
+    /// and NoC models record cycle-resolved counter series (compute-unit
+    /// busy cycles per core and kernel, per-channel DRAM bandwidth and
+    /// row outcomes, NoC link occupancy, queue depths) into the hub.
+    /// Unlike [`RunOptions::tracer`], counters never force the parallel
+    /// backend onto the serial path, and the recorded series are
+    /// bit-identical across every [`ExecutionBackend`].
+    pub counters: Option<Arc<ptsim_obs::CounterHub>>,
     /// Cooperative cancellation: when set, the compile stages and the
     /// engine step loop poll the token at bounded intervals and unwind
     /// with [`ptsim_common::Error::Cancelled`] once it fires.
@@ -122,6 +130,14 @@ impl RunOptions {
         self
     }
 
+    /// Attaches a performance-counter hub: the engine, DRAM, and NoC
+    /// record cycle-resolved counter series into it during the run.
+    #[must_use]
+    pub fn with_counters(mut self, counters: Arc<ptsim_obs::CounterHub>) -> Self {
+        self.counters = Some(counters);
+        self
+    }
+
     /// Arms cooperative cancellation for this run. The token is polled
     /// between compile stages and at a bounded interval of the engine's
     /// step loop; once it fires the run returns
@@ -160,6 +176,9 @@ pub(crate) fn build_togsim(
     }
     if let Some(m) = &opts.metrics {
         sim.set_metrics(m);
+    }
+    if let Some(c) = &opts.counters {
+        sim.set_counters(Arc::clone(c));
     }
     if let Some(token) = &opts.cancel {
         sim.set_cancel(token.clone());

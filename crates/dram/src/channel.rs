@@ -3,6 +3,7 @@
 use crate::stats::DramStats;
 use ptsim_common::config::{DramConfig, MemSchedulerPolicy};
 use ptsim_common::{Cycle, RequestId};
+use ptsim_obs::CounterHub;
 use ptsim_trace::Tracer;
 use std::sync::Arc;
 
@@ -94,6 +95,7 @@ pub(crate) struct Channel {
     /// This channel's index, used as the trace track id.
     index: usize,
     tracer: Option<Arc<Tracer>>,
+    counters: Option<Arc<CounterHub>>,
 }
 
 impl Channel {
@@ -121,6 +123,7 @@ impl Channel {
             stats: DramStats::default(),
             index: 0,
             tracer: None,
+            counters: None,
         }
     }
 
@@ -128,6 +131,12 @@ impl Channel {
     pub(crate) fn set_tracer(&mut self, tracer: Arc<Tracer>, index: usize) {
         self.index = index;
         self.tracer = Some(tracer);
+    }
+
+    /// Attaches a counter hub; `index` identifies this channel's series.
+    pub(crate) fn set_counters(&mut self, counters: Arc<CounterHub>, index: usize) {
+        self.index = index;
+        self.counters = Some(counters);
     }
 
     fn bank_and_row(&self, addr: u64) -> (usize, u64) {
@@ -277,13 +286,16 @@ impl Channel {
 
             let latency = finish.saturating_sub(q.arrival);
             self.stats.record(&q.req, outcome, latency);
+            let row = match outcome {
+                RowOutcome::Hit => ptsim_trace::RowOutcome::Hit,
+                RowOutcome::Miss => ptsim_trace::RowOutcome::Miss,
+                RowOutcome::Conflict => ptsim_trace::RowOutcome::Conflict,
+            };
             if let Some(t) = &self.tracer {
-                let row = match outcome {
-                    RowOutcome::Hit => ptsim_trace::RowOutcome::Hit,
-                    RowOutcome::Miss => ptsim_trace::RowOutcome::Miss,
-                    RowOutcome::Conflict => ptsim_trace::RowOutcome::Conflict,
-                };
                 t.dram_tx(self.index, finish, q.req.is_write, row, q.req.bytes, latency, q.req.tag);
+            }
+            if let Some(c) = &self.counters {
+                c.record_dram_tx(self.index, finish, q.req.bytes, row);
             }
             self.inflight.push(std::cmp::Reverse((finish, q.req.id)));
             self.queue.remove(pick);

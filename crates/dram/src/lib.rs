@@ -70,6 +70,17 @@ impl DramSim {
         }
     }
 
+    /// Attaches a counter hub: every channel records retiring transactions
+    /// into its per-channel bandwidth and row-outcome counter series.
+    /// Channels carry the handle with them when sharded, so the parallel
+    /// backend records the same (commutative) bucket sums as the serial
+    /// one.
+    pub fn set_counters(&mut self, counters: std::sync::Arc<ptsim_obs::CounterHub>) {
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            ch.set_counters(counters.clone(), i);
+        }
+    }
+
     /// Maps an address to its channel index (transaction-interleaved).
     pub fn channel_of(&self, addr: u64) -> usize {
         ((addr / self.cfg.transaction_bytes) % self.cfg.channels as u64) as usize

@@ -115,6 +115,7 @@ pub struct NocSim {
     stats: NocStats,
     max_in_flight: usize,
     tracer: Option<std::sync::Arc<ptsim_trace::Tracer>>,
+    counters: Option<std::sync::Arc<ptsim_obs::CounterHub>>,
 }
 
 #[derive(Debug, Clone)]
@@ -171,6 +172,7 @@ impl NocSim {
             stats: NocStats::default(),
             max_in_flight: 1 << 20,
             tracer: None,
+            counters: None,
         }
     }
 
@@ -178,6 +180,13 @@ impl NocSim {
     /// track at its delivery cycle with source, destination, and latency.
     pub fn set_tracer(&mut self, tracer: std::sync::Arc<ptsim_trace::Tracer>) {
         self.tracer = Some(tracer);
+    }
+
+    /// Attaches a counter hub: every accepted message records its flit (or
+    /// byte, for the simple model) occupancy on the source injection and
+    /// destination ejection link series at the delivery cycle.
+    pub fn set_counters(&mut self, counters: std::sync::Arc<ptsim_obs::CounterHub>) {
+        self.counters = Some(counters);
     }
 
     /// Port slot rate per cycle: flit links for the crossbar, bytes for the
@@ -268,6 +277,9 @@ impl NocSim {
         }
         if let Some(t) = &self.tracer {
             t.noc_transfer(ready, msg.src, msg.dst, msg.bytes, ready - now, crossed, 0);
+        }
+        if let Some(c) = &self.counters {
+            c.record_noc_flits(msg.src, msg.dst, ready, units);
         }
         self.queue.push(Reverse((ready, msg.id)));
         true

@@ -205,9 +205,33 @@ fn smoke(addr: SocketAddr) -> Result<(), String> {
     if cycles == 0 {
         return Err("simulate reported zero cycles".into());
     }
+    // /metrics speaks Prometheus text exposition; every line must be a
+    // `# TYPE` comment or a `name[{labels}] value` sample, and at least one
+    // histogram family (the per-endpoint latencies) must be present.
     let metrics = client.get("/metrics")?;
-    ptsim_common::json::parse_json(&metrics.body)
-        .map_err(|e| format!("metrics body is not JSON: {e}"))?;
+    if metrics.status != 200 {
+        return Err(format!("metrics returned {}", metrics.status));
+    }
+    let mut saw_histogram = false;
+    for line in metrics.body.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ptsim_") {
+            saw_histogram |= rest.ends_with(" histogram");
+            continue;
+        }
+        let mut parts = line.rsplitn(2, ' ');
+        let value = parts.next().unwrap_or("");
+        let name = parts.next().unwrap_or("");
+        if !name.starts_with("ptsim_") || value.parse::<f64>().is_err() {
+            return Err(format!("bad Prometheus sample line: {line:?}"));
+        }
+    }
+    if !saw_histogram {
+        return Err("no histogram family in /metrics".into());
+    }
+    // The structured view moved to /metrics.json; it must stay valid JSON.
+    let metrics_json = client.get("/metrics.json")?;
+    ptsim_common::json::parse_json(&metrics_json.body)
+        .map_err(|e| format!("metrics.json body is not JSON: {e}"))?;
     println!("smoke: healthz ok, gemm(16) simulated in {cycles} cycles, metrics valid");
     Ok(())
 }

@@ -241,6 +241,17 @@ impl Response {
         }
     }
 
+    /// A plain-text response in the Prometheus text exposition
+    /// content-type (the format `/metrics` serves).
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; version=0.0.4",
+            body: body.into(),
+        }
+    }
+
     /// The uniform error shape: `{"error": ..., "status": ...}`.
     pub fn error(status: u16, message: &str) -> Self {
         let msg = ptsim_common::json::Json::str(message).render();

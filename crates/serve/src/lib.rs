@@ -19,8 +19,14 @@
 //! | `POST /v1/simulate` | Run one `RunSpec`, return `{fingerprint, report}` |
 //! | `POST /v1/sweep` | Run `{points: [RunSpec...], jobs}`; JSON-lines reply |
 //! | `GET /healthz` | Liveness plus drain state |
-//! | `GET /metrics` | Metrics registry snapshot as JSON |
+//! | `GET /metrics` | Prometheus text exposition of the metrics registry |
+//! | `GET /metrics.json` | The same registry as one JSON object |
 //! | `POST /admin/shutdown` | Graceful drain |
+//!
+//! Every response carries an `x-ptsim-request-id` header (monotonic per
+//! server process) so client logs can be correlated with server-side
+//! metrics; a `RunSpec` with `"v":3,"profile":true` additionally returns a
+//! bottleneck-attribution summary under `"profile"` in the simulate body.
 //!
 //! Error codes: `400` unparseable request, `404`/`405` routing, `422`
 //! valid JSON but failed validation/compilation/simulation, `429`

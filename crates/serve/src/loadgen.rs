@@ -3,10 +3,12 @@
 //! Methodology (recorded in `EXPERIMENTS.md`): `conns` threads each hold
 //! one keep-alive connection and either free-run (closed loop, `rps = 0`)
 //! or pace themselves to a target aggregate rate (open loop). Latency is
-//! measured per request from first byte written to full response read;
-//! percentiles are **exact** — every sample is kept and sorted, not
-//! bucketed — because tail behaviour under admission control is the whole
-//! point of the experiment.
+//! measured per request from first byte written to full response read and
+//! recorded into a bounded log-bucketed [`Histogram`] per worker (constant
+//! memory regardless of sample count, deterministic merge), whose
+//! nearest-rank percentiles resolve to genuinely observed samples — tail
+//! behaviour under admission control is the whole point of the experiment,
+//! so the p99 must be a real request, not an interpolated bucket edge.
 //!
 //! The request mix is what distinguishes the cache paths:
 //! - [`Mix::Cached`]: every request is byte-identical, so after the first
@@ -18,6 +20,7 @@
 use crate::client::HttpClient;
 use ptsim_common::config::SimConfig;
 use ptsim_common::json::{Json, ToJson};
+use ptsim_trace::Histogram;
 use pytorchsim::{ModelRequest, RunSpec};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -213,7 +216,7 @@ struct WorkerTally {
     rejected_503: u64,
     other_status: u64,
     transport_errors: u64,
-    latencies_us: Vec<u64>,
+    latencies_us: Histogram,
 }
 
 fn worker(cfg: &LoadgenConfig, bodies: &[String], worker_index: usize) -> WorkerTally {
@@ -251,7 +254,7 @@ fn worker(cfg: &LoadgenConfig, bodies: &[String], worker_index: usize) -> Worker
                         if resp.header("x-ptsim-cache") == Some("hit") {
                             tally.cache_hits += 1;
                         }
-                        tally.latencies_us.push(t0.elapsed().as_micros() as u64);
+                        tally.latencies_us.observe(t0.elapsed().as_micros() as u64);
                     }
                     429 => tally.rejected_429 += 1,
                     503 => tally.rejected_503 += 1,
@@ -305,7 +308,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         wall_seconds: wall,
         ..LoadReport::default()
     };
-    let mut latencies = Vec::new();
+    // Per-worker histograms fold element-wise (commutative), so the merged
+    // percentiles are independent of worker join order.
+    let latencies = Histogram::standalone();
     for t in tallies {
         report.sent += t.sent;
         report.ok += t.ok;
@@ -314,18 +319,13 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         report.rejected_503 += t.rejected_503;
         report.other_status += t.other_status;
         report.transport_errors += t.transport_errors;
-        latencies.extend(t.latencies_us);
+        latencies.merge(&t.latencies_us);
     }
-    latencies.sort_unstable();
-    report.p50_us = exact_percentile(&latencies, 50.0);
-    report.p95_us = exact_percentile(&latencies, 95.0);
-    report.p99_us = exact_percentile(&latencies, 99.0);
-    report.max_us = latencies.last().copied().unwrap_or(0);
-    report.mean_us = if latencies.is_empty() {
-        0.0
-    } else {
-        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
-    };
+    report.p50_us = latencies.percentile(50.0);
+    report.p95_us = latencies.percentile(95.0);
+    report.p99_us = latencies.percentile(99.0);
+    report.max_us = latencies.max();
+    report.mean_us = latencies.mean();
     report.throughput_rps = if wall > 0.0 { report.sent as f64 / wall } else { 0.0 };
     Ok(report)
 }
@@ -335,6 +335,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
 /// (rank `⌈(p/100)·n⌉`, 1-based, clamped into the sample range). No
 /// interpolation — the returned value is always an observed sample. An
 /// empty set reports `0`.
+///
+/// This is the reference semantics the bounded [`Histogram`] used by
+/// [`run`] approximates; the two agree exactly whenever the rank lands on
+/// a bucket's first or last sample (always true with ≤2 samples per
+/// bucket), which the tests pin.
 pub fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -404,6 +409,31 @@ mod tests {
         assert_eq!(exact_percentile(&two, 99.0), 20);
         // p = 0 clamps to the first sample instead of underflowing rank 0.
         assert_eq!(exact_percentile(&two, 0.0), 10);
+    }
+
+    /// The bounded histogram that replaced the unbounded latency vector
+    /// must report bit-identical percentiles on the degenerate sample
+    /// counts pinned above, and match the nearest-rank reference whenever
+    /// ranks land on bucket boundaries.
+    #[test]
+    fn histogram_percentiles_match_exact_on_degenerate_counts() {
+        let empty = Histogram::standalone();
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(empty.percentile(p), exact_percentile(&[], p), "empty at p{p}");
+        }
+
+        let one = Histogram::standalone();
+        one.observe(7);
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(one.percentile(p), exact_percentile(&[7], p), "single sample at p{p}");
+        }
+
+        let two = Histogram::standalone();
+        two.observe(10);
+        two.observe(20);
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(two.percentile(p), exact_percentile(&[10, 20], p), "two samples at p{p}");
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@ use crate::rescache::ResultCache;
 use ptsim_common::json::{Json, ToJson};
 use ptsim_common::{CancelToken, Error};
 use ptsim_trace::MetricsRegistry;
+use pytorchsim::obs::CounterHub;
 use pytorchsim::sweep::{Sweep, SweepOptions};
 use pytorchsim::{CompileCache, RunSpec};
 use std::collections::{HashMap, VecDeque};
@@ -199,6 +200,11 @@ struct State {
     /// grace-expired drain can fire them all.
     run_cancels: Mutex<HashMap<u64, CancelToken>>,
     cancel_seq: AtomicU64,
+    /// Monotonic request counter behind the `x-ptsim-request-id` header.
+    /// The id lives in the *header only*: response bodies are result-cached
+    /// and coalesced across requests, so a body-embedded id would replay a
+    /// stale id to later callers.
+    request_seq: AtomicU64,
     started: Instant,
 }
 
@@ -310,6 +316,7 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         active_conns: AtomicU64::new(0),
         run_cancels: Mutex::new(HashMap::new()),
         cancel_seq: AtomicU64::new(0),
+        request_seq: AtomicU64::new(0),
         started: Instant::now(),
         cfg,
     });
@@ -411,15 +418,19 @@ fn connection_loop(stream: TcpStream, state: &Arc<State>) {
 
 fn route(req: &Request, state: &Arc<State>) -> Response {
     let t0 = Instant::now();
+    let request_id = state.request_seq.fetch_add(1, Ordering::SeqCst);
     let (endpoint, resp) = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => ("healthz", healthz(state)),
         ("GET", "/metrics") => ("metrics", metrics_endpoint(state)),
+        ("GET", "/metrics.json") => ("metrics", metrics_json_endpoint(state)),
         ("POST", "/v1/simulate") => ("simulate", simulate(req, state)),
         ("POST", "/v1/sweep") => ("sweep", sweep(req, state)),
         ("POST", "/admin/shutdown") => ("shutdown", shutdown(state)),
-        (_, "/healthz" | "/metrics" | "/v1/simulate" | "/v1/sweep" | "/admin/shutdown") => {
-            ("other", Response::error(405, &format!("method {} not allowed here", req.method)))
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/metrics.json" | "/v1/simulate" | "/v1/sweep"
+            | "/admin/shutdown",
+        ) => ("other", Response::error(405, &format!("method {} not allowed here", req.method))),
         _ => ("other", Response::error(404, &format!("no route for {}", req.path))),
     };
     state.metrics.counter(&format!("serve.{endpoint}.requests")).inc();
@@ -427,14 +438,14 @@ fn route(req: &Request, state: &Arc<State>) -> Response {
         .metrics
         .histogram(&format!("serve.{endpoint}.latency_us"))
         .observe(t0.elapsed().as_micros() as u64);
-    resp
+    resp.with_header("x-ptsim-request-id", format!("req-{request_id}"))
 }
 
-/// `GET /metrics`: refreshes the compile-cache gauges from the live
-/// cache, then renders the registry. The staged cache keeps its own
-/// atomic counters, so per-stage hit/miss/in-flight numbers are exported
-/// as point-in-time gauges rather than double-counted registry counters.
-fn metrics_endpoint(state: &Arc<State>) -> Response {
+/// Refreshes the compile-cache gauges from the live cache so both metric
+/// renderings see current values. The staged cache keeps its own atomic
+/// counters, so per-stage hit/miss/in-flight numbers are exported as
+/// point-in-time gauges rather than double-counted registry counters.
+fn refresh_cache_gauges(state: &Arc<State>) {
     let stats = state.compile_cache.stats();
     let m = &state.metrics;
     m.gauge("compile_cache.models").set(state.compile_cache.len() as u64);
@@ -450,6 +461,19 @@ fn metrics_endpoint(state: &Arc<State>) -> Response {
         m.gauge(&format!("compile_cache.{stage}.misses")).set(s.misses);
         m.gauge(&format!("compile_cache.{stage}.in_flight")).set(s.in_flight);
     }
+}
+
+/// `GET /metrics`: Prometheus text exposition (`text/plain;
+/// version=0.0.4`), deterministically sorted by metric name.
+fn metrics_endpoint(state: &Arc<State>) -> Response {
+    refresh_cache_gauges(state);
+    Response::text(200, state.metrics.prometheus_text())
+}
+
+/// `GET /metrics.json`: the same registry as one JSON object, for tests
+/// and tooling that want structured values rather than scrape text.
+fn metrics_json_endpoint(state: &Arc<State>) -> Response {
+    refresh_cache_gauges(state);
     Response::json(200, state.metrics.json())
 }
 
@@ -678,16 +702,27 @@ fn execute(state: &Arc<State>, job: &Job, token: &CancelToken) -> Outcome {
     match &job.kind {
         JobKind::Simulate(spec) => {
             let t0 = Instant::now();
-            match spec.run_with_cancel(&state.compile_cache, Some(token)) {
+            // `"profile":true` attaches a counter hub to the run and adds
+            // a bottleneck-attribution summary to the body. Profiled specs
+            // carry a distinct fingerprint (the flag is part of the wire
+            // form), and attribution is deterministic, so the body is as
+            // result-cacheable as an unprofiled one.
+            let hub =
+                spec.profile.then(|| CounterHub::shared(pytorchsim::obs::CounterConfig::default()));
+            match spec.run_observed(&state.compile_cache, Some(token), hub.clone()) {
                 Ok(report) => {
                     state
                         .metrics
                         .histogram("serve.simulate.run_us")
                         .observe(t0.elapsed().as_micros() as u64);
-                    Ok(Json::obj()
+                    let mut body = Json::obj()
                         .set("fingerprint", Json::str(format!("{:016x}", job.fingerprint)))
-                        .set("report", report.to_json())
-                        .render())
+                        .set("report", report.to_json());
+                    if let Some(hub) = hub {
+                        let attr = pytorchsim::obs::profile::attribute(&hub, report.total_cycles);
+                        body = body.set("profile", attr.to_json());
+                    }
+                    Ok(body.render())
                 }
                 Err(e @ Error::Cancelled { .. }) => cancelled_outcome(state, token, &e),
                 Err(e) => Err((422, format!("simulation failed: {e}"))),

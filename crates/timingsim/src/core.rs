@@ -6,6 +6,7 @@ use ptsim_event::DrainFifo;
 use ptsim_isa::instr::Instr;
 use ptsim_isa::program::Program;
 use ptsim_isa::reg::Reg;
+use ptsim_obs::{CounterHub, QueueSite};
 
 /// Microarchitectural timing parameters of the core model.
 ///
@@ -89,6 +90,11 @@ impl Serializer {
         self.drains.push(Cycle::new(end), ());
         (t, end)
     }
+
+    /// Outstanding (not yet drained) pushes.
+    fn len(&self) -> usize {
+        self.drains.len()
+    }
 }
 
 /// Timing state of the systolic array.
@@ -153,6 +159,30 @@ impl TimingSim {
     /// Returns [`Error::IsaFault`] on malformed kernels (runaway loops,
     /// `vpop` with no produced data, missing `halt`).
     pub fn measure(&self, program: &Program) -> Result<TileLatency> {
+        self.measure_inner(program, None)
+    }
+
+    /// Like [`TimingSim::measure`], additionally recording serializer
+    /// `DrainFifo` depths (series index 0: weight path, 1: input path) and
+    /// systolic-array output-FIFO depths into `counters`, stamped on the
+    /// kernel's own measurement timeline (cycle 0 = kernel start).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TimingSim::measure`].
+    pub fn measure_with_counters(
+        &self,
+        program: &Program,
+        counters: &CounterHub,
+    ) -> Result<TileLatency> {
+        self.measure_inner(program, Some(counters))
+    }
+
+    fn measure_inner(
+        &self,
+        program: &Program,
+        counters: Option<&CounterHub>,
+    ) -> Result<TileLatency> {
         let p = &self.params;
         let mut regs = [0i64; 32];
         let mut sready = [0u64; 32]; // scalar register ready times
@@ -386,6 +416,14 @@ impl TimingSim {
                 Instr::Wvpush { vs } => {
                     let t0 = cycle.max(vready[vs.index()]).max(vec_free);
                     let (t, end) = weight_ser.push(t0, vl);
+                    if let Some(h) = counters {
+                        h.record_queue_depth(
+                            QueueSite::TimingSerializer,
+                            0,
+                            t,
+                            weight_ser.len() as u64,
+                        );
+                    }
                     stall += t - cycle;
                     sa.weight_elems += vl;
                     let full = self.sa_rows * self.sa_cols;
@@ -399,6 +437,14 @@ impl TimingSim {
                 Instr::Ivpush { vs } => {
                     let t0 = cycle.max(vready[vs.index()]).max(vec_free);
                     let (t, end) = input_ser.push(t0, vl);
+                    if let Some(h) = counters {
+                        h.record_queue_depth(
+                            QueueSite::TimingSerializer,
+                            1,
+                            t,
+                            input_ser.len() as u64,
+                        );
+                    }
                     stall += t - cycle;
                     sa.input_elems += vl;
                     // Vectors completed by this push fire at a rate of one
@@ -412,6 +458,14 @@ impl TimingSim {
                         // Fill + drain skew of the array.
                         let ready = fire + self.sa_rows + self.sa_cols;
                         sa.outputs.push(Cycle::new(ready), self.sa_cols);
+                        if let Some(h) = counters {
+                            h.record_queue_depth(
+                                QueueSite::TimingSaOutputs,
+                                0,
+                                fire,
+                                sa.outputs.len() as u64,
+                            );
+                        }
                     }
                     vec_free = t + 1;
                     cycle = t + 1;

@@ -18,6 +18,7 @@ use ptsim_event::{CompletionSource, EventQueue, Scheduler, Step, WakeSet};
 use ptsim_funcsim::FuncSim;
 use ptsim_isa::program::Program;
 use ptsim_noc::{NocMessage, NocSim};
+use ptsim_obs::{BusyUnit, CounterHub, QueueSite};
 use ptsim_timingsim::TimingSim;
 use ptsim_tog::{ExecUnit, ExecutableTog, FlatNodeKind};
 use ptsim_trace::{Counter, Lane, MetricsRegistry, Tracer};
@@ -368,6 +369,11 @@ pub struct TogSim {
     /// Timeline recording when enabled; shared with the DRAM and NoC models
     /// so their events land in the same trace.
     tracer: Option<Arc<Tracer>>,
+    /// Hardware performance counters when enabled; shared with the DRAM
+    /// and NoC models. Unlike the tracer, counters do not force the
+    /// parallel backend onto the serial path: bucket aggregation is
+    /// commutative, so worker-side recording stays deterministic.
+    counters: Option<Arc<CounterHub>>,
     /// Cooperative cancellation, polled by the scheduler step loop (and,
     /// under the parallel backend, by the shard workers).
     cancel: Option<CancelToken>,
@@ -417,6 +423,7 @@ impl TogSim {
             tx_cores_buf: Vec::new(),
             metrics: None,
             tracer: None,
+            counters: None,
             cancel: None,
         }
     }
@@ -467,6 +474,22 @@ impl TogSim {
     /// The attached tracer, if any.
     pub fn tracer(&self) -> Option<&Arc<Tracer>> {
         self.tracer.as_ref()
+    }
+
+    /// Attaches a counter hub. The handle is threaded into the DRAM and
+    /// NoC models, and the engine itself records per-core compute-unit
+    /// busy cycles (overall and per kernel) plus engine/core queue
+    /// depths. Counter recording is bit-identical across every
+    /// [`ExecutionBackend`] at a fixed workload.
+    pub fn set_counters(&mut self, counters: Arc<CounterHub>) {
+        self.dram.set_counters(counters.clone());
+        self.noc.set_counters(counters.clone());
+        self.counters = Some(counters);
+    }
+
+    /// The attached counter hub, if any.
+    pub fn counters(&self) -> Option<&Arc<CounterHub>> {
+        self.counters.as_ref()
     }
 
     /// Serializes the recorded timeline in the Chrome trace-event format
@@ -595,7 +618,7 @@ impl TogSim {
         // jobs. (Jobs already seeded by an earlier `run` call are skipped.)
         for j in 0..self.jobs.len() {
             if !self.jobs[j].seeded {
-                self.queue.push(self.jobs[j].spec.start_at, Event::JobArrival { job: j });
+                self.push_event(self.jobs[j].spec.start_at, Event::JobArrival { job: j });
             }
         }
         let mut sched = Scheduler::starting_at(self.now);
@@ -778,14 +801,35 @@ impl TogSim {
     fn dispatch(&mut self, job: usize, node: usize) {
         let core = self.core_of(job, self.jobs[job].tog.nodes[node].core);
         self.dirty.insert(core);
-        match &self.jobs[job].tog.nodes[node].kind {
+        let (site, depth) = match &self.jobs[job].tog.nodes[node].kind {
             FlatNodeKind::Compute { unit, .. } => match unit {
-                ExecUnit::Matrix => self.cores[core].matrix_q.push_back((job, node)),
-                ExecUnit::Vector => self.cores[core].vector_q.push_back((job, node)),
+                ExecUnit::Matrix => {
+                    self.cores[core].matrix_q.push_back((job, node));
+                    (QueueSite::CoreMatrix, self.cores[core].matrix_q.len())
+                }
+                ExecUnit::Vector => {
+                    self.cores[core].vector_q.push_back((job, node));
+                    (QueueSite::CoreVector, self.cores[core].vector_q.len())
+                }
             },
             FlatNodeKind::LoadDma { .. } | FlatNodeKind::StoreDma { .. } => {
                 self.cores[core].dma_wait_q.push_back((job, node));
+                (QueueSite::CoreDma, self.cores[core].dma_wait_q.len())
             }
+        };
+        if let Some(c) = &self.counters {
+            c.record_queue_depth(site, core, self.now.raw(), depth as u64);
+        }
+    }
+
+    /// Pushes an engine event and, with counters attached, samples the
+    /// event-queue depth. Pushes happen at identical simulated times on
+    /// every backend (the event streams are bit-identical), so the
+    /// sampled series is backend-independent.
+    fn push_event(&mut self, at: Cycle, event: Event) {
+        self.queue.push(at, event);
+        if let Some(c) = &self.counters {
+            c.record_queue_depth(QueueSite::Scheduler, 0, self.now.raw(), self.queue.len() as u64);
         }
     }
 
@@ -848,6 +892,17 @@ impl TogSim {
                 };
                 let Some((job, node)) = head else { break };
                 let cycles = self.compute_cycles(job, node, core);
+                if let Some(c) = &self.counters {
+                    let FlatNodeKind::Compute { kernel, .. } = &self.jobs[job].tog.nodes[node].kind
+                    else {
+                        unreachable!("compute queue only holds compute nodes")
+                    };
+                    let busy_unit = match unit {
+                        ExecUnit::Matrix => BusyUnit::Matrix,
+                        ExecUnit::Vector => BusyUnit::Vector,
+                    };
+                    c.record_compute(core, busy_unit, kernel, self.now.raw(), cycles);
+                }
                 if let Some(t) = &self.tracer {
                     let FlatNodeKind::Compute { kernel, .. } = &self.jobs[job].tog.nodes[node].kind
                     else {
@@ -877,7 +932,7 @@ impl TogSim {
                         self.cores[core].vector_busy += cycles;
                     }
                 }
-                self.queue.push(done, Event::ComputeDone { job, node });
+                self.push_event(done, Event::ComputeDone { job, node });
                 self.jobs[job].compute_nodes += 1;
                 progress = true;
             }
@@ -998,7 +1053,7 @@ impl TogSim {
             && self.cores[core].dma_wake_posted < free
         {
             self.cores[core].dma_wake_posted = free;
-            self.queue.push(free, Event::CoreWake { core });
+            self.push_event(free, Event::CoreWake { core });
         }
         progress
     }
@@ -1049,7 +1104,7 @@ impl TogSim {
                         // touching the memory system (§3.3.3).
                         let lat =
                             self.caches[d.core].as_ref().map(|c| c.hit_latency()).unwrap_or(0);
-                        self.queue.push(self.now + lat, Event::CacheHit { dma_id });
+                        self.push_event(self.now + lat, Event::CacheHit { dma_id });
                         true
                     } else {
                         let req = MemRequest::read(rid, addr, tx_bytes, d.tag);

@@ -32,6 +32,20 @@ pub const SCHED_PID: u32 = 1002;
 pub const CLUSTER_PID: u32 = 1003;
 /// Synthetic pid hosting the compile-pipeline row (wall-clock µs).
 pub const COMPILER_PID: u32 = 1004;
+/// Synthetic pid hosting counter tracks (`ph: "C"` series).
+pub const COUNTERS_PID: u32 = 1005;
+
+/// One named counter series for export: `(ts, value)` points rendered as
+/// Chrome counter (`ph: "C"`) events, which Perfetto draws as a filled
+/// area chart under its own row. Points must be in non-decreasing `ts`
+/// order (bucketed series from a counter hub naturally are).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterTrack {
+    /// Display name, e.g. `core0.matrix_busy`.
+    pub name: String,
+    /// `(timestamp, value)` samples in non-decreasing timestamp order.
+    pub points: Vec<(u64, f64)>,
+}
 
 /// Escapes a string for embedding in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -71,6 +85,7 @@ fn process_name(pid: u32) -> String {
         SCHED_PID => "scheduler".to_string(),
         CLUSTER_PID => "cluster".to_string(),
         COMPILER_PID => "compiler".to_string(),
+        COUNTERS_PID => "counters".to_string(),
         core => format!("core{core}"),
     }
 }
@@ -123,7 +138,18 @@ fn is_async_span(ev: &TraceEvent) -> bool {
 /// whole array is globally sorted by start cycle). Returns `"[]"` for an
 /// empty slice.
 pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
-    if events.is_empty() {
+    export_chrome_trace_with_counters(events, &[])
+}
+
+/// Serializes events plus counter tracks as a Chrome trace-event JSON
+/// array. Counter points become `ph: "C"` records on the synthetic
+/// [`COUNTERS_PID`] process, one `tid` row per track, interleaved into the
+/// same global time sort as the span/instant records.
+pub fn export_chrome_trace_with_counters(
+    events: &[TraceEvent],
+    counters: &[CounterTrack],
+) -> String {
+    if events.is_empty() && counters.is_empty() {
         return "[]".to_string();
     }
 
@@ -186,12 +212,28 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
             );
         }
     }
+    for track in counters {
+        let name = json_escape(&track.name);
+        for &(ts, value) in &track.points {
+            push(
+                &mut records,
+                ts,
+                0,
+                format!(
+                    r#"{{"name":"{name}","cat":"counter","ph":"C","ts":{ts},"pid":{COUNTERS_PID},"tid":"{name}","args":{{"value":{value}}}}}"#
+                ),
+            );
+        }
+    }
     records.sort();
 
     let mut out = String::with_capacity(events.len() * 96 + 64);
     out.push('[');
     // Name the synthetic processes so Perfetto shows readable rows.
-    let pids: BTreeSet<u32> = events.iter().map(|e| track_ids(e.track).0).collect();
+    let mut pids: BTreeSet<u32> = events.iter().map(|e| track_ids(e.track).0).collect();
+    if !counters.is_empty() {
+        pids.insert(COUNTERS_PID);
+    }
     let mut first = true;
     for pid in pids {
         if !std::mem::take(&mut first) {
@@ -247,6 +289,27 @@ mod tests {
         assert!(json.contains(r#""tid":"matrix""#));
         assert!(json.contains(r#""tid":"ch1""#));
         assert!(json.contains(r#""name":"core0""#), "process metadata present");
+    }
+
+    #[test]
+    fn counter_tracks_are_exported_as_c_records() {
+        let t = Tracer::new();
+        t.compute_span(0, Lane::Matrix, "gemm_tile", 0, 100, 0);
+        let tracks = vec![
+            CounterTrack {
+                name: "core0.matrix_busy".into(),
+                points: vec![(0, 64.0), (1024, 32.0)],
+            },
+            CounterTrack { name: "dram.ch0.bytes".into(), points: vec![(0, 4096.0)] },
+        ];
+        let json = export_chrome_trace_with_counters(&t.events(), &tracks);
+        assert!(json.contains(r#""ph":"C""#), "{json}");
+        assert!(json.contains(r#""name":"core0.matrix_busy""#));
+        assert!(json.contains(r#""args":{"value":4096}"#));
+        assert!(json.contains(r#""name":"counters""#), "counters process named");
+        // Counters alone still produce a valid non-empty array.
+        let only = export_chrome_trace_with_counters(&[], &tracks[..1]);
+        assert!(only.starts_with('[') && only.contains(r#""ph":"C""#));
     }
 
     #[test]

@@ -265,9 +265,11 @@ impl Tracer {
     /// One stage of the staged compile pipeline (capture, plan, emit) on
     /// the compiler track. `at` and `dur` are wall-clock microseconds
     /// relative to the start of the compile, not simulated cycles — the
-    /// compiler row has its own timeline.
+    /// compiler row has its own timeline. `tag` identifies *what* was
+    /// being compiled (the compile cache derives it from its cache key),
+    /// so spans from concurrent requests can be told apart in the trace.
     #[inline]
-    pub fn compile_span(&self, at: u64, stage: &str, dur: u64) {
+    pub fn compile_span(&self, at: u64, stage: &str, dur: u64, tag: u32) {
         if !self.is_enabled() {
             return;
         }
@@ -275,7 +277,7 @@ impl Tracer {
             at,
             dur,
             track: Track::Compiler,
-            tag: 0,
+            tag,
             data: EventData::Marker { label: format!("compile:{stage}") },
         });
     }

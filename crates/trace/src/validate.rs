@@ -27,6 +27,8 @@ pub struct TraceCheck {
     pub instants: usize,
     /// Async begin/end pairs.
     pub async_pairs: usize,
+    /// Counter (`C`) samples.
+    pub counters: usize,
     /// Distinct `(pid, tid)` rows carrying events.
     pub tracks: usize,
 }
@@ -101,6 +103,16 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceCheck, String> {
                 check.spans += 1;
             }
             "i" | "I" => check.instants += 1,
+            "C" => {
+                // Counter samples must carry at least one numeric series
+                // value in args, or viewers render an empty track.
+                let ok = matches!(rec.get("args"), Some(Json::Obj(fields))
+                    if fields.iter().any(|(_, v)| matches!(v, Json::Num(_))));
+                if !ok {
+                    return Err(obj_err("counter event lacks a numeric args value"));
+                }
+                check.counters += 1;
+            }
             "b" => {
                 let key = async_key(rec, i)?;
                 if open_async.insert(key.clone(), ts).is_some() {
@@ -157,6 +169,28 @@ mod tests {
         assert_eq!(check.async_pairs, 2);
         assert_eq!(check.instants, 1);
         assert!(check.tracks >= 3);
+    }
+
+    #[test]
+    fn counter_records_validate_and_are_counted() {
+        use crate::chrome::{export_chrome_trace_with_counters, CounterTrack};
+        let t = Tracer::new();
+        t.compute_span(0, Lane::Matrix, "a", 0, 100, 0);
+        let tracks = vec![CounterTrack {
+            name: "core0.matrix_busy".into(),
+            points: vec![(0, 10.0), (1024, 20.0), (2048, 0.0)],
+        }];
+        let json = export_chrome_trace_with_counters(&t.events(), &tracks);
+        let check = validate_chrome_trace(&json).unwrap();
+        assert_eq!(check.counters, 3);
+        assert_eq!(check.spans, 1);
+    }
+
+    #[test]
+    fn counter_records_without_numeric_args_are_rejected() {
+        let json = r#"[{"name":"c","ph":"C","ts":0,"pid":1005,"tid":"c","args":{"value":"x"}}]"#;
+        let err = validate_chrome_trace(json).unwrap_err();
+        assert!(err.contains("numeric args value"), "{err}");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use ptsim_common::config::{NocConfig, SimConfig};
 use ptsim_common::Cycle;
 use pytorchsim::models::{self, ModelSpec};
+use pytorchsim::obs::{CounterConfig, CounterHub};
 use pytorchsim::sweep::{Sweep, SweepOptions, SweepPoint};
 use pytorchsim::tog::{ExecUnit, ExecutableTog, FlatNode, FlatNodeKind};
 use pytorchsim::togsim::{JobSpec, SimReport, TogSim};
@@ -105,6 +106,55 @@ fn every_backend_matches_serial_on_the_multi_core_config() {
         for backend in ALTERNATE_BACKENDS {
             let got = run_backend(&sim, &spec, &RunOptions::tls(), backend);
             assert_eq!(serial, got, "{} diverges on tpu_v3 under {backend}", spec.name);
+        }
+    }
+}
+
+/// Runs one compiled workload through the given backend with a fresh
+/// counter hub attached, returning the report and the hub's canonical JSON
+/// rendering (sorted series, so byte-equality means series-equality).
+fn run_backend_counted(
+    sim: &Simulator,
+    spec: &ModelSpec,
+    opts: &RunOptions,
+    backend: ExecutionBackend,
+) -> (SimReport, String) {
+    let model = sim.compile(spec).expect("workload compiles");
+    let kernels = opts.needs_kernels().then(|| Arc::new(model.kernels.clone()));
+    let job = JobSpec { kernels, ..JobSpec::default() };
+
+    let hub = CounterHub::shared(CounterConfig::default());
+    let mut togsim = TogSim::new(sim.config()).with_fidelity(opts.fidelity);
+    togsim.set_counters(Arc::clone(&hub));
+    togsim.add_shared_job(Arc::new(model.tog.clone()), job);
+    let report = togsim.run_with(backend).expect("backend run");
+    (report, hub.to_json().render())
+}
+
+/// Tentpole acceptance: the performance-counter layer inherits the
+/// engine's bit-identity guarantee. With the same workload and config,
+/// every backend must record *exactly* the same counter series — same
+/// keys, same buckets, same values — because every recording is stamped
+/// with simulated time, never host time or worker identity. And attaching
+/// counters must not perturb the simulated timeline (unlike the tracer,
+/// counters never force a serial fallback).
+#[test]
+fn counter_series_are_bit_identical_across_backends() {
+    let sim = Simulator::new(SimConfig::tiny());
+    for spec in workloads() {
+        let plain = run_backend(&sim, &spec, &RunOptions::tls(), ExecutionBackend::Serial);
+        let (serial_report, serial_counters) =
+            run_backend_counted(&sim, &spec, &RunOptions::tls(), ExecutionBackend::Serial);
+        assert_eq!(plain, serial_report, "{}: counters perturb the run", spec.name);
+        assert!(serial_counters.len() > 2, "{}: hub recorded nothing", spec.name);
+        for backend in ALTERNATE_BACKENDS {
+            let (report, counters) = run_backend_counted(&sim, &spec, &RunOptions::tls(), backend);
+            assert_eq!(serial_report, report, "{} report diverges under {backend}", spec.name);
+            assert_eq!(
+                serial_counters, counters,
+                "{} counter series diverge under {backend}",
+                spec.name
+            );
         }
     }
 }

@@ -287,8 +287,8 @@ fn wire_versioning_gates_the_backend_and_rejects_unknown_versions() {
     assert!(resp.body.contains("requires schema v2"), "body: {}", resp.body);
 
     // An unknown version is a typed, counted rejection.
-    let v3 = v2.replace("\"v\":2", "\"v\":3");
-    let resp = client.post("/v1/simulate", &v3).unwrap();
+    let v4 = v2.replace("\"v\":2", "\"v\":4");
+    let resp = client.post("/v1/simulate", &v4).unwrap();
     assert_eq!(resp.status, 400, "body: {}", resp.body);
     assert!(resp.body.contains("unsupported schema"), "body: {}", resp.body);
     assert!(metric(&handle, "serve.rejected.schema") >= 1);
@@ -411,6 +411,120 @@ fn shutdown_grace_cancels_stuck_runs_and_strands_no_followers() {
     assert_eq!(metric(&handle, "serve.shutdown.grace_expired"), 1);
     assert!(metric(&handle, "serve.cancelled.shutdown") >= 1);
     // join() returning proves the cancelled drain terminated cleanly.
+    handle.join();
+}
+
+/// Acceptance: `/metrics` serves valid Prometheus text exposition —
+/// `text/plain; version=0.0.4`, families sorted by name, at least one
+/// histogram — and the rendering is deterministic while the registry is
+/// quiescent. The JSON view lives on at `/metrics.json`.
+#[test]
+fn metrics_endpoint_serves_sorted_prometheus_text() {
+    let handle = start(ServeConfig::default()).unwrap();
+    let mut client = HttpClient::new(handle.addr());
+    // Generate some traffic so counters and latency histograms exist.
+    assert_eq!(client.post("/v1/simulate", &tiny_spec(16).canonical_json()).unwrap().status, 200);
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    let resp = client.get("/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("text/plain; version=0.0.4"));
+    let families: Vec<&str> = resp
+        .body
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split(' ').next())
+        .collect();
+    assert!(!families.is_empty(), "body: {}", resp.body);
+    let mut sorted = families.clone();
+    sorted.sort_unstable();
+    assert_eq!(families, sorted, "metric families must be name-sorted");
+    assert!(resp.body.contains(" histogram"), "at least one histogram family: {}", resp.body);
+    assert!(
+        resp.body.contains("ptsim_serve_simulate_latency_us_bucket{le=\"+Inf\"}"),
+        "body: {}",
+        resp.body
+    );
+    // Quiescent registry (no traffic in between) renders byte-identically
+    // except for the metrics endpoint's own self-observation.
+    for line in client.get("/metrics").unwrap().body.lines() {
+        if !line.contains("ptsim_serve_metrics") && !line.contains("ptsim_serve_responses") {
+            assert!(resp.body.contains(line), "line {line:?} drifted between scrapes");
+        }
+    }
+
+    // The structured JSON view moved to /metrics.json.
+    let json = client.get("/metrics.json").unwrap();
+    assert_eq!(json.status, 200);
+    assert_eq!(json.header("content-type"), Some("application/json"));
+    let parsed = parse_json(&json.body).unwrap();
+    assert!(parsed.req_u64("serve.simulate.requests").unwrap() >= 1, "body: {}", json.body);
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Every response carries a monotonically increasing `x-ptsim-request-id`
+/// header — in the header only, so result-cached bodies stay byte-identical
+/// across requests.
+#[test]
+fn every_response_carries_a_unique_request_id() {
+    let handle = start(ServeConfig::default()).unwrap();
+    let mut client = HttpClient::new(handle.addr());
+    let body = tiny_spec(16).canonical_json();
+
+    let mut ids = Vec::new();
+    let first = client.post("/v1/simulate", &body).unwrap();
+    let second = client.post("/v1/simulate", &body).unwrap();
+    assert_eq!(first.body, second.body, "cached body must not embed the request id");
+    for resp in
+        [first, second, client.get("/healthz").unwrap(), client.get("/no/such/route").unwrap()]
+    {
+        let id = resp.header("x-ptsim-request-id").expect("request id header").to_string();
+        let n: u64 = id.strip_prefix("req-").expect("req-<n> shape").parse().unwrap();
+        ids.push(n);
+    }
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(ids, sorted, "ids must be unique and increasing: {ids:?}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Acceptance: `"profile":true` (wire v3) returns a bottleneck-attribution
+/// summary inline, the report itself stays bit-identical to an unprofiled
+/// run, and the attribution closes exactly over the total cycles.
+#[test]
+fn profile_flag_returns_inline_counter_summary() {
+    let handle = start(ServeConfig::default()).unwrap();
+    let mut client = HttpClient::new(handle.addr());
+
+    let plain = client.post("/v1/simulate", &tiny_spec(24).canonical_json()).unwrap();
+    assert_eq!(plain.status, 200, "body: {}", plain.body);
+    assert!(!plain.body.contains("\"profile\""), "unprofiled body: {}", plain.body);
+
+    let body = tiny_spec(24).with_profile(true).canonical_json();
+    assert!(body.contains("\"v\":3"), "{body}");
+    let resp = client.post("/v1/simulate", &body).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(report_from_body(&resp.body), report_from_body(&plain.body), "counters perturb");
+
+    let parsed = parse_json(&resp.body).unwrap();
+    let profile = parsed.req("profile").expect("profiled body has a profile key");
+    let total = profile.req_u64("total_cycles").unwrap();
+    assert_eq!(total, report_from_body(&resp.body).total_cycles);
+    let attributed = profile.req_u64("attributed_cycles").unwrap();
+    assert_eq!(attributed, total, "attribution must close exactly");
+
+    // Profiled and unprofiled specs have distinct fingerprints, so the
+    // result cache keeps both bodies and repeat profiled requests hit.
+    let repeat = client.post("/v1/simulate", &body).unwrap();
+    assert_eq!(repeat.header("x-ptsim-cache"), Some("hit"));
+    assert_eq!(repeat.body, resp.body);
+
+    handle.shutdown();
     handle.join();
 }
 
